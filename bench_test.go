@@ -1,0 +1,254 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (DESIGN.md §3 maps each to its implementing modules). The harnesses print
+// the regenerated rows once per benchmark so `go test -bench=.` doubles as
+// the experiment runner; EXPERIMENTS.md records paper-vs-measured.
+package comfort
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"comfort/internal/campaign"
+	"comfort/internal/engines"
+	"comfort/internal/fuzzers"
+	"comfort/internal/lm"
+
+	"comfort/internal/corpus"
+	"comfort/internal/js/lint"
+
+	"math/rand"
+)
+
+// campaignOnce caches the headline campaign so the table benchmarks share
+// one discovery run (the paper's tables all come from the same 200h run).
+var (
+	campaignOnce sync.Once
+	campaignRes  *campaign.Result
+)
+
+func headlineCampaign() *campaign.Result {
+	campaignOnce.Do(func() {
+		campaignRes = campaign.Run(campaign.Config{
+			Fuzzer:   fuzzers.NewComfort(),
+			Testbeds: engines.Testbeds(),
+			Cases:    1200,
+			Seed:     2021,
+		})
+	})
+	return campaignRes
+}
+
+// BenchmarkTable1EngineInventory regenerates the engine-version inventory.
+func BenchmarkTable1EngineInventory(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = campaign.Table1()
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkTable2BugStatistics regenerates the per-engine bug statistics
+// (ground truth exactly matches the paper; the "found" column is measured).
+func BenchmarkTable2BugStatistics(b *testing.B) {
+	res := headlineCampaign()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = campaign.Table2(res.FoundDefects())
+	}
+	b.StopTimer()
+	fmt.Println(out)
+	fmt.Printf("campaign: %d cases, %d testbed executions, %d found, %d dups filtered\n\n",
+		res.CasesRun, res.Executed, len(res.Found), res.DuplicatesFiltered)
+}
+
+// BenchmarkTable3BugsPerVersion regenerates the per-version attribution.
+func BenchmarkTable3BugsPerVersion(b *testing.B) {
+	res := headlineCampaign()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = campaign.Table3(res.FoundDefects())
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkTable4BugCategories regenerates the discovery-channel breakdown.
+func BenchmarkTable4BugCategories(b *testing.B) {
+	res := headlineCampaign()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = campaign.Table4(res.FoundDefects())
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkTable5TopBuggyAPIs regenerates the API-type distribution.
+func BenchmarkTable5TopBuggyAPIs(b *testing.B) {
+	res := headlineCampaign()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = campaign.Table5(res.FoundDefects())
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkFigure7ComponentBugs regenerates the per-component counts.
+func BenchmarkFigure7ComponentBugs(b *testing.B) {
+	res := headlineCampaign()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = campaign.Figure7(res.FoundDefects())
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkFigure8FuzzerComparison runs the six-fuzzer comparison with an
+// equal test-case budget (the scaled 72-hour experiment).
+func BenchmarkFigure8FuzzerComparison(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out, _ = campaign.Figure8(400, 2021)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkFigure9QualityMetrics measures syntax passing rate plus
+// statement/function/branch coverage per fuzzer.
+func BenchmarkFigure9QualityMetrics(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out, _ = campaign.Figure9(150, 2021)
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkAblationLMOrder contrasts syntactic validity across context
+// lengths (the §5.3.3 DeepSmith comparison as an ablation).
+func BenchmarkAblationLMOrder(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		var lines string
+		for _, arch := range []lm.Arch{lm.ArchGPT2, lm.ArchLSTM} {
+			g := lm.Train(corpus.Programs(), corpus.Headers(), lm.Config{Arch: arch})
+			rng := rand.New(rand.NewSource(2021))
+			valid := 0
+			const n = 200
+			for j := 0; j < n; j++ {
+				if lint.Valid(g.Generate(rng)) {
+					valid++
+				}
+			}
+			lines += fmt.Sprintf("  %-6s validity: %d/%d (%.1f%%)\n", arch, valid, n,
+				100*float64(valid)/n)
+		}
+		out = "Ablation: LM context order vs syntactic validity\n" + lines
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkAblationSpecGuidance contrasts defect discovery with and without
+// the ECMA-262-guided data channel (DESIGN.md §4).
+func BenchmarkAblationSpecGuidance(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		withSpec := campaign.Run(campaign.Config{
+			Fuzzer: fuzzers.NewComfort(), Cases: 250, Seed: 7,
+			Testbeds: engines.Testbeds(),
+		})
+		withoutSpec := campaign.Run(campaign.Config{
+			Fuzzer: fuzzers.NewDeepSmith(), Cases: 250, Seed: 7,
+			Testbeds: engines.Testbeds(),
+		})
+		out = fmt.Sprintf(
+			"Ablation: spec guidance — COMFORT found %d defects, generation-only found %d (250 cases each)\n",
+			len(withSpec.Found), len(withoutSpec.Found))
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkAblationDedup measures the Figure-6 tree's filtering effect.
+func BenchmarkAblationDedup(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		on := campaign.Run(campaign.Config{
+			Fuzzer: fuzzers.NewComfort(), Cases: 200, Seed: 5,
+			Testbeds: engines.Testbeds(),
+		})
+		off := campaign.Run(campaign.Config{
+			Fuzzer: fuzzers.NewComfort(), Cases: 200, Seed: 5,
+			Testbeds: engines.Testbeds(), DisableDedup: true,
+		})
+		out = fmt.Sprintf(
+			"Ablation: dedup tree — filtered %d duplicate reports (found %d); without the tree: %d attribution runs for the same %d findings\n",
+			on.DuplicatesFiltered, len(on.Found), off.UnattributedFindings+len(off.Found)+off.DuplicatesFiltered, len(off.Found))
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// BenchmarkAblationReduction measures witness shrinkage from the Section
+// 3.5 reducer over the catalog's own witnesses.
+func BenchmarkAblationReduction(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		res := campaign.Run(campaign.Config{
+			Fuzzer: fuzzers.NewComfort(), Cases: 150, Seed: 11,
+			Testbeds:        engines.Testbeds(),
+			ReduceWitnesses: true,
+		})
+		var before, after int
+		for _, f := range res.Found {
+			before += len(f.TestCase)
+			after += len(f.Reduced)
+		}
+		if before == 0 {
+			before = 1
+		}
+		out = fmt.Sprintf(
+			"Ablation: reduction — %d findings, witness bytes %d → %d (%.0f%% of original)\n",
+			len(res.Found), before, after, 100*float64(after)/float64(before))
+	}
+	b.StopTimer()
+	fmt.Println(out)
+}
+
+// --- micro-benchmarks of the substrate ---
+
+func BenchmarkInterpreterPipeline(b *testing.B) {
+	src := corpus.Programs()[0]
+	for i := 0; i < b.N; i++ {
+		engines.Reference(src, false, engines.RunOptions{Fuel: 100000, Seed: 1})
+	}
+}
+
+func BenchmarkGeneration(b *testing.B) {
+	g := lm.Train(corpus.Programs(), corpus.Headers(), lm.Config{Arch: lm.ArchGPT2})
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Generate(rng)
+	}
+}
+
+func BenchmarkDifferentialCase(b *testing.B) {
+	tbs := engines.LatestTestbeds()
+	src := corpus.Programs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiffTest(src, tbs, 100000, 1)
+	}
+}

@@ -1,0 +1,87 @@
+// Command comfort runs fuzzing campaigns and regenerates the paper's
+// evaluation tables and figures.
+//
+// Usage:
+//
+//	comfort -cases 1000                 # full campaign + all tables
+//	comfort -table 2 -cases 500         # one table
+//	comfort -figure 8 -cases 300        # fuzzer comparison
+//	comfort -figure 9 -n 200            # quality metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"comfort/internal/campaign"
+	"comfort/internal/engines"
+	"comfort/internal/fuzzers"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
+		figure = flag.Int("figure", 0, "regenerate one figure (7-9); 0 = all")
+		cases  = flag.Int("cases", 600, "test-case budget for campaigns")
+		n      = flag.Int("n", 150, "programs per fuzzer for figure 9")
+		seed   = flag.Int64("seed", 2021, "campaign seed")
+		fuzzer = flag.String("fuzzer", "COMFORT", "fuzzer for single-fuzzer campaigns")
+	)
+	flag.Parse()
+
+	needCampaign := *table >= 2 || *figure == 7 ||
+		(*table == 0 && *figure == 0)
+	var res *campaign.Result
+	if needCampaign {
+		f, ok := fuzzers.ByName(*fuzzer)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown fuzzer %q\n", *fuzzer)
+			os.Exit(1)
+		}
+		fmt.Printf("running %s campaign: %d cases over %d testbeds...\n\n",
+			f.Name(), *cases, len(engines.Testbeds()))
+		res = campaign.Run(campaign.Config{
+			Fuzzer:   f,
+			Testbeds: engines.Testbeds(),
+			Cases:    *cases,
+			Seed:     *seed,
+		})
+		fmt.Printf("campaign done: %d cases, %d findings, %d duplicates filtered\n\n",
+			res.CasesRun, len(res.Found), res.DuplicatesFiltered)
+	}
+	found := []*campaign.Defect{}
+	if res != nil {
+		found = res.FoundDefects()
+	}
+
+	show := func(id int, render func() string) {
+		fmt.Println(render())
+	}
+	if *table == 1 || (*table == 0 && *figure == 0) {
+		show(1, campaign.Table1)
+	}
+	if *table == 2 || (*table == 0 && *figure == 0) {
+		show(2, func() string { return campaign.Table2(found) })
+	}
+	if *table == 3 || (*table == 0 && *figure == 0) {
+		show(3, func() string { return campaign.Table3(found) })
+	}
+	if *table == 4 || (*table == 0 && *figure == 0) {
+		show(4, func() string { return campaign.Table4(found) })
+	}
+	if *table == 5 || (*table == 0 && *figure == 0) {
+		show(5, func() string { return campaign.Table5(found) })
+	}
+	if *figure == 7 || (*table == 0 && *figure == 0) {
+		show(7, func() string { return campaign.Figure7(found) })
+	}
+	if *figure == 8 {
+		out, _ := campaign.Figure8(*cases, *seed)
+		fmt.Println(out)
+	}
+	if *figure == 9 {
+		out, _ := campaign.Figure9(*n, *seed)
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,51 @@
+// Command jsreduce shrinks a bug-exposing test case while the divergence
+// between an engine version and the reference persists (Section 3.5).
+//
+// Usage:
+//
+//	jsreduce -engine Rhino -version v1.7.12 testcase.js
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"comfort/internal/engines"
+	"comfort/internal/reduce"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "", "engine family")
+		version = flag.String("version", "", "engine version or build")
+		strict  = flag.Bool("strict", false, "strict-mode testbed")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 || *engine == "" {
+		fmt.Fprintln(os.Stderr, "usage: jsreduce -engine E -version V [-strict] file.js")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	v, ok := engines.FindVersion(*engine, *version)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown engine version %s/%s\n", *engine, *version)
+		os.Exit(1)
+	}
+	tb := engines.Testbed{Version: v, Strict: *strict}
+	opts := engines.RunOptions{Fuel: 500000, Seed: 1}
+	diverges := func(candidate string) bool {
+		return tb.Run(candidate, opts).Key() != engines.Reference(candidate, *strict, opts).Key()
+	}
+	if !diverges(string(src)) {
+		fmt.Fprintln(os.Stderr, "input does not diverge from the reference on that testbed")
+		os.Exit(1)
+	}
+	reduced := reduce.Reduce(string(src), diverges)
+	fmt.Println(reduced)
+	fmt.Fprintf(os.Stderr, "reduced %d bytes -> %d bytes\n", len(src), len(reduced))
+}

@@ -1,0 +1,64 @@
+// Command jsrun executes a JavaScript file on a named engine version (or
+// the defect-free reference), printing the program output and outcome.
+//
+// Usage:
+//
+//	jsrun -engine Rhino -version v1.7.12 script.js
+//	jsrun -strict script.js            # reference engine, strict mode
+//	jsrun -list                        # list engine versions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"comfort/internal/engines"
+)
+
+func main() {
+	var (
+		engine  = flag.String("engine", "", "engine family (empty = reference)")
+		version = flag.String("version", "", "engine version or build")
+		strict  = flag.Bool("strict", false, "run in strict mode")
+		fuel    = flag.Int64("fuel", 2_000_000, "step budget")
+		list    = flag.Bool("list", false, "list engine versions and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range engines.All() {
+			for _, v := range e.Versions {
+				fmt.Printf("%-14s %-12s %-12s (%d seeded defects)\n",
+					e.Name, v.Name, v.Build, len(engines.ActiveDefects(v)))
+			}
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: jsrun [-engine E -version V] [-strict] file.js")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := engines.RunOptions{Fuel: *fuel, Seed: 1}
+	var res engines.ExecResult
+	if *engine == "" {
+		res = engines.Reference(string(src), *strict, opts)
+	} else {
+		v, ok := engines.FindVersion(*engine, *version)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown engine version %s/%s (try -list)\n", *engine, *version)
+			os.Exit(1)
+		}
+		res = engines.Testbed{Version: v, Strict: *strict}.Run(string(src), opts)
+	}
+	fmt.Print(res.Output)
+	if res.Outcome != engines.OutcomePass {
+		fmt.Fprintf(os.Stderr, "[%s] %s\n", res.Outcome, res.Error)
+		os.Exit(1)
+	}
+}

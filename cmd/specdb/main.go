@@ -1,0 +1,54 @@
+// Command specdb runs the ECMA-262 extraction pipeline and dumps the
+// boundary-condition database in the paper's Figure-4(b) JSON shape.
+//
+// Usage:
+//
+//	specdb                      # dump the whole database
+//	specdb -api substr          # one API's rules
+//	specdb -stats               # extraction coverage statistics
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"comfort/internal/spec"
+)
+
+func main() {
+	var (
+		api   = flag.String("api", "", "dump rules for one API (short or canonical name)")
+		stats = flag.Bool("stats", false, "print extraction statistics")
+	)
+	flag.Parse()
+
+	db := spec.Default()
+	if *stats {
+		fmt.Printf("clauses: %d, mined: %d, coverage: %.1f%% (paper reports ~82%%)\n",
+			db.TotalClauses, db.MinedClauses, 100*db.CoverageRate())
+		fmt.Printf("APIs in database: %d\n", len(db.Names()))
+		return
+	}
+	if *api != "" {
+		key, rules, ok := db.LookupMethod(*api)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no rules for %q\n", *api)
+			os.Exit(1)
+		}
+		out, err := json.MarshalIndent(map[string]interface{}{key: rules}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	out, err := json.Marshal(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+}

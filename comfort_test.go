@@ -1,0 +1,68 @@
+package comfort
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPISurface(t *testing.T) {
+	if len(Engines()) != 10 {
+		t.Errorf("engines: %d", len(Engines()))
+	}
+	if len(Testbeds()) != 104 {
+		t.Errorf("testbeds: %d", len(Testbeds()))
+	}
+	if len(Catalog()) != 158 {
+		t.Errorf("catalog: %d", len(Catalog()))
+	}
+	if len(Fuzzers()) != 6 {
+		t.Errorf("fuzzers: %d", len(Fuzzers()))
+	}
+	if SpecDatabase().CoverageRate() < 0.7 {
+		t.Error("spec coverage too low")
+	}
+}
+
+func TestRunReferenceAndTestbed(t *testing.T) {
+	src := `print("Name: Albert".substr(6, undefined));`
+	ref := RunReference(src, false, 100000, 1)
+	if strings.TrimSpace(ref.Output) != "Albert" {
+		t.Errorf("reference output: %q", ref.Output)
+	}
+	var rhino Testbed
+	for _, e := range Engines() {
+		if e.Name == "Rhino" {
+			rhino = Testbed{Version: e.Latest()}
+		}
+	}
+	buggy := RunTestbed(rhino, src, 100000, 1)
+	if buggy.Key() == ref.Key() {
+		t.Error("Rhino latest must exhibit the Figure-2 substr defect")
+	}
+}
+
+func TestMutateTestDataPublic(t *testing.T) {
+	variants := MutateTestData(`print("abcdef".substr(1, 2));`, 8, 1)
+	if len(variants) == 0 {
+		t.Fatal("no variants")
+	}
+}
+
+func TestReduceTestCasePublic(t *testing.T) {
+	src := "var noise = 1;\nprint(\"KEY\");\nvar more = 2;"
+	out := ReduceTestCase(src, func(s string) bool { return strings.Contains(s, "KEY") })
+	if strings.Contains(out, "noise") {
+		t.Errorf("reduction kept noise: %s", out)
+	}
+}
+
+func TestDiffTestPublic(t *testing.T) {
+	var tbs []Testbed
+	for _, e := range Engines() {
+		tbs = append(tbs, Testbed{Version: e.Latest()})
+	}
+	cr := DiffTest(`print(1);`, tbs, 100000, 1)
+	if cr.Verdict.IsBuggy() {
+		t.Errorf("trivial program flagged buggy: %v", cr.Verdict)
+	}
+}

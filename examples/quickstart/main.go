@@ -1,0 +1,37 @@
+// Quickstart: generate JS test programs with the COMFORT pipeline and
+// differentially test them across all engines' latest builds.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"comfort"
+)
+
+func main() {
+	fuzzer := comfort.NewComfortFuzzer()
+	testbeds := []comfort.Testbed{}
+	for _, e := range comfort.Engines() {
+		testbeds = append(testbeds, comfort.Testbed{Version: e.Latest()})
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	fmt.Println("generating and differentially testing 30 test cases...")
+	buggy := 0
+	for i := 0; i < 30; i++ {
+		for _, src := range fuzzer.Next(rng) {
+			cr := comfort.DiffTest(src, testbeds, 150000, 42)
+			if !cr.Verdict.IsBuggy() {
+				continue
+			}
+			buggy++
+			fmt.Printf("\n=== divergence #%d (%s) ===\n", buggy, cr.Verdict)
+			for _, d := range cr.Deviations {
+				fmt.Printf("  deviant: %-40s %s\n", d.Testbed.ID(), d.Result.Outcome)
+			}
+			fmt.Printf("--- test case ---\n%s\n", src)
+		}
+	}
+	fmt.Printf("\n%d divergent test cases found\n", buggy)
+}

@@ -1,0 +1,46 @@
+// reduction: shrink a bug-exposing test case (the paper's Section 3.5)
+// against the V8 defineProperty defect of Listing 1.
+package main
+
+import (
+	"fmt"
+
+	"comfort"
+)
+
+// A deliberately bloated test case that embeds the Listing-1 bug.
+const bloated = `var unrelated = [1, 2, 3].map(function(x) { return x * 2; });
+var alsoUnrelated = "hello".toUpperCase();
+function helper(n) {
+  return n + 1;
+}
+var foo = function() {
+  var counter = 0;
+  for (var i = 0; i < 3; i++) {
+    counter += helper(i);
+  }
+  var arrobj = [0, 1];
+  Object.defineProperty(arrobj, "length", {value: 1, configurable: true});
+  print("no throw");
+  return counter;
+};
+foo();
+print(unrelated.join(","));`
+
+func main() {
+	v8 := comfort.Engines()[0].Latest()
+	tb := comfort.Testbed{Version: v8}
+
+	diverges := func(src string) bool {
+		return comfort.RunTestbed(tb, src, 300000, 1).Key() !=
+			comfort.RunReference(src, false, 300000, 1).Key()
+	}
+	if !diverges(bloated) {
+		fmt.Println("unexpected: the bloated case does not diverge")
+		return
+	}
+	reduced := comfort.ReduceTestCase(bloated, diverges)
+	fmt.Printf("original (%d bytes):\n%s\n\n", len(bloated), bloated)
+	fmt.Printf("reduced (%d bytes):\n%s\n", len(reduced), reduced)
+	fmt.Printf("\nstill diverges on %s: %v\n", tb.ID(), diverges(reduced))
+}

@@ -1,0 +1,168 @@
+// Package campaign orchestrates fuzzing runs: a worker pool executes
+// differential tests across testbeds, findings are deduplicated with the
+// Figure-6 tree, reduced, and attributed to ground-truth catalog defects;
+// report generators then regenerate every table and figure of the paper's
+// evaluation.
+package campaign
+
+import (
+	"math/rand"
+	"sync"
+
+	"comfort/internal/dedup"
+	"comfort/internal/difftest"
+	"comfort/internal/engines"
+	"comfort/internal/fuzzers"
+	"comfort/internal/reduce"
+	"comfort/internal/spec"
+)
+
+// Config parameterises one fuzzing campaign.
+type Config struct {
+	Fuzzer   fuzzers.Fuzzer
+	Testbeds []engines.Testbed
+	// Cases is the number of test cases to execute (the scaled stand-in for
+	// the paper's wall-clock budgets).
+	Cases   int
+	Fuel    int64
+	Seed    int64
+	Workers int
+	// ReduceWitnesses runs test-case reduction on each new finding.
+	ReduceWitnesses bool
+	// DisableDedup turns the Figure-6 filter off (ablation).
+	DisableDedup bool
+}
+
+// Finding is one unique discovered bug, attributed to its seeded defect.
+type Finding struct {
+	Defect   *Defect
+	TestCase string
+	Reduced  string
+	Verdict  difftest.Verdict
+	Engine   string
+}
+
+// Defect aliases the engines type for the public API surface.
+type Defect = engines.Defect
+
+// Result summarises a campaign.
+type Result struct {
+	FuzzerName string
+	CasesRun   int
+	Executed   int // testbed executions
+	Verdicts   map[difftest.Verdict]int
+	// Found maps defect ID → finding for every ground-truth defect the
+	// campaign discovered.
+	Found map[string]*Finding
+	// DuplicatesFiltered counts test cases the dedup tree rejected.
+	DuplicatesFiltered int
+	// UnattributedFindings counts divergences that matched no single seeded
+	// defect in isolation (interaction effects).
+	UnattributedFindings int
+}
+
+// FoundDefects returns the discovered defects.
+func (r *Result) FoundDefects() []*Defect {
+	var out []*Defect
+	for _, f := range r.Found {
+		out = append(out, f.Defect)
+	}
+	return out
+}
+
+// Run executes the campaign.
+func Run(cfg Config) *Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 200000
+	}
+	if len(cfg.Testbeds) == 0 {
+		cfg.Testbeds = engines.LatestTestbeds()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{
+		FuzzerName: cfg.Fuzzer.Name(),
+		Verdicts:   map[difftest.Verdict]int{},
+		Found:      map[string]*Finding{},
+	}
+	tree := dedup.New(dedup.KnownAPIsFromSpec(spec.Default().Names()))
+
+	// Generate the case list sequentially (the RNG is the determinism
+	// anchor), execute differential tests in parallel, then account
+	// findings in order.
+	var cases []string
+	for len(cases) < cfg.Cases {
+		batch := cfg.Fuzzer.Next(rng)
+		for _, src := range batch {
+			if len(cases) < cfg.Cases {
+				cases = append(cases, src)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+	}
+	res.CasesRun = len(cases)
+
+	results := make([]difftest.CaseResult, len(cases))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i, src := range cases {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, src string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = difftest.Run(src, cfg.Testbeds, difftest.Options{Fuel: cfg.Fuel, Seed: cfg.Seed})
+		}(i, src)
+	}
+	wg.Wait()
+
+	for i, cr := range results {
+		res.Executed += len(cfg.Testbeds)
+		res.Verdicts[cr.Verdict]++
+		if !cr.Verdict.IsBuggy() {
+			continue
+		}
+		src := cases[i]
+		api := tree.APIOf(src)
+		for _, dev := range cr.Deviations {
+			engine := dev.Testbed.Version.Engine
+			class := dedup.BehaviourClass(dev.Result.Outcome.String(), dev.Result.ErrName, dev.Result.Output)
+			if !cfg.DisableDedup && tree.SeenOrAdd(engine, api, class) {
+				res.DuplicatesFiltered++
+				continue
+			}
+			attributed := engines.Attribute(src, dev.Testbed,
+				engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed})
+			if len(attributed) == 0 {
+				res.UnattributedFindings++
+				continue
+			}
+			for _, d := range attributed {
+				if _, seen := res.Found[d.ID]; seen {
+					continue
+				}
+				f := &Finding{Defect: d, TestCase: src, Verdict: cr.Verdict, Engine: engine}
+				if cfg.ReduceWitnesses {
+					f.Reduced = reduceFinding(src, dev.Testbed, d, cfg)
+				}
+				res.Found[d.ID] = f
+			}
+		}
+	}
+	return res
+}
+
+// reduceFinding shrinks a bug-exposing test case while the single-defect
+// divergence persists.
+func reduceFinding(src string, tb engines.Testbed, d *engines.Defect, cfg Config) string {
+	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed}
+	return reduce.Reduce(src, func(candidate string) bool {
+		buggy := engines.RunWithDefect(d, candidate, tb.Strict, opts)
+		ref := engines.RunWithDefect(nil, candidate, tb.Strict, opts)
+		return buggy.Key() != ref.Key()
+	})
+}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"comfort/internal/engines"
+	"comfort/internal/fuzzers"
+)
+
+// TestComfortCampaignFindsSeededBugs runs a small COMFORT campaign over the
+// bug-richest testbeds and checks that it discovers seeded defects across
+// several engines — the end-to-end property behind every table.
+func TestComfortCampaignFindsSeededBugs(t *testing.T) {
+	res := Run(Config{
+		Fuzzer:   fuzzers.NewComfort(),
+		Testbeds: figure8Testbeds(),
+		Cases:    300,
+		Seed:     1,
+	})
+	if len(res.Found) < 5 {
+		t.Fatalf("expected at least 5 seeded defects found, got %d", len(res.Found))
+	}
+	enginesHit := map[string]bool{}
+	for _, f := range res.Found {
+		enginesHit[f.Defect.Engine] = true
+	}
+	if len(enginesHit) < 3 {
+		t.Errorf("expected findings across >= 3 engines, got %v", enginesHit)
+	}
+	t.Logf("found %d defects across %d engines (dups filtered: %d)",
+		len(res.Found), len(enginesHit), res.DuplicatesFiltered)
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	cfg := Config{
+		Fuzzer:   fuzzers.NewDIE(),
+		Testbeds: figure8Testbeds()[:6],
+		Cases:    60,
+		Seed:     9,
+	}
+	a := Run(cfg)
+	b := Run(cfg)
+	if len(a.Found) != len(b.Found) {
+		t.Fatalf("campaign not deterministic: %d vs %d findings", len(a.Found), len(b.Found))
+	}
+	for id := range a.Found {
+		if _, ok := b.Found[id]; !ok {
+			t.Errorf("finding %s missing from second run", id)
+		}
+	}
+}
+
+func TestWitnessReplayFindsEveryDefect(t *testing.T) {
+	// Replaying the catalog's own witnesses through the differential
+	// pipeline must rediscover every defect — the completeness bound of
+	// the harness (a fuzzer can never find more than the catalog).
+	found := map[string]bool{}
+	for _, e := range engines.All() {
+		for _, v := range e.Versions {
+			for _, d := range engines.ActiveDefects(v) {
+				if found[d.ID] || d.AttrVersion != v.Name {
+					continue
+				}
+				tb := engines.Testbed{Version: v, Strict: d.WitnessStrict}
+				attr := engines.Attribute(d.Witness, tb, engines.RunOptions{Fuel: 500000, Seed: 1})
+				for _, ad := range attr {
+					found[ad.ID] = true
+				}
+			}
+		}
+	}
+	if len(found) != len(engines.Catalog()) {
+		missing := []string{}
+		for _, d := range engines.Catalog() {
+			if !found[d.ID] {
+				missing = append(missing, d.ID)
+			}
+		}
+		t.Errorf("witness replay found %d/%d defects; missing: %v",
+			len(found), len(engines.Catalog()), missing)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	found := engines.Catalog()[:20]
+	var fd []*Defect
+	fd = append(fd, found...)
+	for name, table := range map[string]string{
+		"t1": Table1(), "t2": Table2(fd), "t3": Table3(fd),
+		"t4": Table4(fd), "t5": Table5(fd), "f7": Figure7(fd),
+	} {
+		if len(strings.Split(table, "\n")) < 4 {
+			t.Errorf("table %s suspiciously short:\n%s", name, table)
+		}
+	}
+	if !strings.Contains(Table2(fd), "158") {
+		t.Error("Table 2 must contain the paper total 158")
+	}
+}

@@ -1,0 +1,143 @@
+// Package dedup implements the tree-based identical-miscompilation filter
+// of the paper's Section 3.6 and Figure 6: a three-layer decision tree
+// (JS engine → API function → differential error class) that recognises
+// test cases triggering already-analysed bugs.
+package dedup
+
+import (
+	"fmt"
+	"hash/fnv"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Tree is the knowledge base. The zero value is not usable; call New.
+type Tree struct {
+	mu sync.Mutex
+	// engines → api function → error class → first-seen flag
+	root map[string]map[string]map[string]bool
+	// hits counts filtered duplicates; leaves counts distinct leaf nodes.
+	hits   int
+	leaves int
+	// apiDetector extracts the API function layer from test sources.
+	knownAPIs []string
+}
+
+// New builds an empty knowledge base. knownAPIs lists the method and global
+// function names the second tree layer can recognise in test sources.
+func New(knownAPIs []string) *Tree {
+	sorted := append([]string(nil), knownAPIs...)
+	sort.Strings(sorted)
+	return &Tree{root: map[string]map[string]map[string]bool{}, knownAPIs: sorted}
+}
+
+var methodCallRe = regexp.MustCompile(`\.(\w+)\s*\(`)
+var globalCallRe = regexp.MustCompile(`\b(\w+)\s*\(`)
+
+// APIOf extracts the API-function layer key from a test source: the first
+// recognised method or global call, or "None" (the Figure-6 None leaf).
+func (t *Tree) APIOf(src string) string {
+	for _, m := range methodCallRe.FindAllStringSubmatch(src, -1) {
+		if t.isKnown(m[1]) {
+			return m[1]
+		}
+	}
+	for _, m := range globalCallRe.FindAllStringSubmatch(src, -1) {
+		if t.isKnown(m[1]) {
+			return m[1]
+		}
+	}
+	return "None"
+}
+
+func (t *Tree) isKnown(name string) bool {
+	i := sort.SearchStrings(t.knownAPIs, name)
+	return i < len(t.knownAPIs) && t.knownAPIs[i] == name
+}
+
+// ErrorClass normalises a differential outcome into the third tree layer:
+// the exception class (TypeError, RangeError, TimeOut, Crash, ...) when one
+// exists, otherwise a digest of the deviant output so distinct wrong-output
+// behaviours occupy distinct leaves (Figure 6 groups leaves by "the
+// differential results").
+func ErrorClass(outcome, errName string) string {
+	if errName != "" {
+		return errName
+	}
+	if outcome == "" {
+		return "WrongOutput"
+	}
+	return outcome
+}
+
+// BehaviourClass builds the full third-layer key from an outcome, error
+// name and the deviant output.
+func BehaviourClass(outcome, errName, output string) string {
+	base := ErrorClass(outcome, errName)
+	if errName != "" || output == "" {
+		return base
+	}
+	h := fnv.New32a()
+	h.Write([]byte(output))
+	return fmt.Sprintf("%s#%08x", base, h.Sum32())
+}
+
+// SeenOrAdd walks the tree for (engine, api, errClass). It returns true if
+// an identical miscompilation was already recorded (the test case should be
+// filtered), and records the new leaf otherwise.
+func (t *Tree) SeenOrAdd(engine, api, errClass string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	apis, ok := t.root[engine]
+	if !ok {
+		apis = map[string]map[string]bool{}
+		t.root[engine] = apis
+	}
+	classes, ok := apis[api]
+	if !ok {
+		classes = map[string]bool{}
+		apis[api] = classes
+	}
+	if classes[errClass] {
+		t.hits++
+		return true
+	}
+	classes[errClass] = true
+	t.leaves++
+	return false
+}
+
+// Stats reports (distinct leaves, filtered duplicates).
+func (t *Tree) Stats() (leaves, filtered int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.leaves, t.hits
+}
+
+// Engines returns the engines with recorded bugs (first tree layer).
+func (t *Tree) Engines() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for e := range t.root {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownAPIsFromSpec is a convenience: the short method names for the
+// detector, derived from canonical spec keys like "String.prototype.substr".
+func KnownAPIsFromSpec(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if i := strings.LastIndex(n, "."); i >= 0 {
+			out = append(out, n[i+1:])
+		} else {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package dedup
+
+import (
+	"testing"
+
+	"comfort/internal/spec"
+)
+
+func newTree() *Tree {
+	return New(KnownAPIsFromSpec(spec.Default().Names()))
+}
+
+func TestSeenOrAdd(t *testing.T) {
+	tr := newTree()
+	if tr.SeenOrAdd("Rhino", "substr", "WrongOutput#1") {
+		t.Error("first report must not be filtered")
+	}
+	if !tr.SeenOrAdd("Rhino", "substr", "WrongOutput#1") {
+		t.Error("identical report must be filtered")
+	}
+	// Different layers create different leaves (Figure 6 structure).
+	if tr.SeenOrAdd("V8", "substr", "WrongOutput#1") {
+		t.Error("different engine is a new leaf")
+	}
+	if tr.SeenOrAdd("Rhino", "toFixed", "WrongOutput#1") {
+		t.Error("different API is a new leaf")
+	}
+	if tr.SeenOrAdd("Rhino", "substr", "TypeError") {
+		t.Error("different error class is a new leaf")
+	}
+	leaves, filtered := tr.Stats()
+	if leaves != 4 || filtered != 1 {
+		t.Errorf("stats: %d leaves %d filtered", leaves, filtered)
+	}
+	if got := tr.Engines(); len(got) != 2 {
+		t.Errorf("engines: %v", got)
+	}
+}
+
+func TestAPIOf(t *testing.T) {
+	tr := newTree()
+	cases := map[string]string{
+		`var x = "s".substr(1, 2);`:      "substr",
+		`print(parseInt("42"));`:         "parseInt",
+		`var a = 1 + 2;`:                 "None",
+		`obj.notAnAPI(); "x".charAt(0);`: "charAt",
+		`eval("1");`:                     "eval",
+	}
+	for src, want := range cases {
+		if got := tr.APIOf(src); got != want {
+			t.Errorf("APIOf(%q) = %q want %q", src, got, want)
+		}
+	}
+}
+
+func TestErrorClass(t *testing.T) {
+	if ErrorClass("exception", "TypeError") != "TypeError" {
+		t.Error("error name wins")
+	}
+	if ErrorClass("timeout", "") != "timeout" {
+		t.Error("outcome fallback")
+	}
+	a := BehaviourClass("pass", "", "output A")
+	b := BehaviourClass("pass", "", "output B")
+	if a == b {
+		t.Error("distinct outputs must hash to distinct behaviour classes")
+	}
+	if BehaviourClass("exception", "RangeError", "x") != "RangeError" {
+		t.Error("exceptions do not hash the output")
+	}
+}

@@ -1,0 +1,261 @@
+// Package difftest implements the differential-testing methodology of the
+// paper's Section 3.4 and Figure 5: execute a test case on many testbeds,
+// check parse consistency, apply the 2× timeout rule over deterministic
+// fuel, and majority-vote on execution behaviour to isolate deviant
+// engines.
+package difftest
+
+import (
+	"sort"
+
+	"comfort/internal/engines"
+)
+
+// Verdict classifies a whole test case (the leaf states of Figure 5).
+type Verdict int
+
+// Test-case verdicts.
+const (
+	// VerdictPass: all testbeds agree on a successful execution.
+	VerdictPass Verdict = iota
+	// VerdictInvalid: every testbed rejects the program (ignored).
+	VerdictInvalid
+	// VerdictParseInconsistent: engines disagree about parseability.
+	VerdictParseInconsistent
+	// VerdictWrongOutput: executions disagree on result/exception.
+	VerdictWrongOutput
+	// VerdictCrash: at least one engine crashed.
+	VerdictCrash
+	// VerdictTimeout: at least one engine violated the 2× fuel rule.
+	VerdictTimeout
+	// VerdictAllTimeout: everything timed out (likely an infinite loop in
+	// the test program; ignored per the paper's ten-minute rule).
+	VerdictAllTimeout
+	// VerdictInconclusive: no majority behaviour exists.
+	VerdictInconclusive
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictInvalid:
+		return "invalid"
+	case VerdictParseInconsistent:
+		return "parse-inconsistent"
+	case VerdictWrongOutput:
+		return "wrong-output"
+	case VerdictCrash:
+		return "crash"
+	case VerdictTimeout:
+		return "timeout"
+	case VerdictAllTimeout:
+		return "all-timeout"
+	default:
+		return "inconclusive"
+	}
+}
+
+// IsBuggy reports whether the verdict indicates anomalous engine behaviour
+// worth reporting.
+func (v Verdict) IsBuggy() bool {
+	switch v {
+	case VerdictParseInconsistent, VerdictWrongOutput, VerdictCrash, VerdictTimeout:
+		return true
+	}
+	return false
+}
+
+// Deviation is one testbed whose behaviour deviates from the majority.
+type Deviation struct {
+	Testbed engines.Testbed
+	Result  engines.ExecResult
+}
+
+// CaseResult is the outcome of differentially testing one program.
+type CaseResult struct {
+	Verdict     Verdict
+	Deviations  []Deviation
+	MajorityKey string
+	Results     map[string]engines.ExecResult // by testbed ID
+}
+
+// Options parameterise a run.
+type Options struct {
+	Fuel int64
+	Seed int64
+}
+
+// Run executes src on all testbeds and classifies the outcome per Figure 5.
+// Normal-mode and strict-mode testbeds vote in separate pools, because the
+// two modes have legitimately different conforming behaviour; the pools'
+// verdicts are then merged.
+func Run(src string, testbeds []engines.Testbed, opts Options) CaseResult {
+	if opts.Fuel == 0 {
+		opts.Fuel = 200000
+	}
+	var normal, strict []engines.Testbed
+	for _, tb := range testbeds {
+		if tb.Strict {
+			strict = append(strict, tb)
+		} else {
+			normal = append(normal, tb)
+		}
+	}
+	if len(normal) == 0 || len(strict) == 0 {
+		return runPool(src, testbeds, opts)
+	}
+	a := runPool(src, normal, opts)
+	b := runPool(src, strict, opts)
+	merged := CaseResult{Results: a.Results, Verdict: a.Verdict, MajorityKey: a.MajorityKey}
+	for k, v := range b.Results {
+		merged.Results[k] = v
+	}
+	if verdictRank(b.Verdict) > verdictRank(a.Verdict) {
+		merged.Verdict = b.Verdict
+		merged.MajorityKey = b.MajorityKey
+	}
+	if a.Verdict.IsBuggy() {
+		merged.Deviations = append(merged.Deviations, a.Deviations...)
+	}
+	if b.Verdict.IsBuggy() {
+		merged.Deviations = append(merged.Deviations, b.Deviations...)
+	}
+	return merged
+}
+
+// verdictRank orders verdicts by how actionable they are for merging.
+func verdictRank(v Verdict) int {
+	switch v {
+	case VerdictCrash:
+		return 7
+	case VerdictTimeout:
+		return 6
+	case VerdictParseInconsistent:
+		return 5
+	case VerdictWrongOutput:
+		return 4
+	case VerdictInconclusive:
+		return 3
+	case VerdictPass:
+		return 2
+	case VerdictAllTimeout:
+		return 1
+	default: // VerdictInvalid
+		return 0
+	}
+}
+
+// runPool applies the Figure-5 classification to one testbed pool.
+func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
+	res := CaseResult{Results: map[string]engines.ExecResult{}}
+	type entry struct {
+		tb engines.Testbed
+		r  engines.ExecResult
+	}
+	entries := make([]entry, 0, len(testbeds))
+	for _, tb := range testbeds {
+		r := tb.Run(src, engines.RunOptions{Fuel: opts.Fuel, Seed: opts.Seed})
+		res.Results[tb.ID()] = r
+		entries = append(entries, entry{tb, r})
+	}
+
+	// Step 1: parse consistency.
+	parseErrs := 0
+	for _, e := range entries {
+		if e.r.Outcome == engines.OutcomeParseError {
+			parseErrs++
+		}
+	}
+	switch {
+	case parseErrs == len(entries):
+		res.Verdict = VerdictInvalid
+		return res
+	case parseErrs > 0:
+		res.Verdict = VerdictParseInconsistent
+		// The minority side is deviant: engines disagreeing with the most
+		// common parse disposition.
+		parseOK := len(entries) - parseErrs
+		deviantIsErr := parseErrs <= parseOK
+		for _, e := range entries {
+			if (e.r.Outcome == engines.OutcomeParseError) == deviantIsErr {
+				res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+			}
+		}
+		return res
+	}
+
+	// Step 2: crashes are of immediate interest.
+	for _, e := range entries {
+		if e.r.Outcome == engines.OutcomeCrash {
+			res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+		}
+	}
+	if len(res.Deviations) > 0 && len(res.Deviations) < len(entries) {
+		res.Verdict = VerdictCrash
+		return res
+	}
+	res.Deviations = nil
+
+	// Step 3: the 2× timeout rule over fuel. An engine that exhausted its
+	// budget while others finished far below it is deviant.
+	var maxFinished int64
+	finished := 0
+	for _, e := range entries {
+		if e.r.Outcome != engines.OutcomeTimeout {
+			finished++
+			if e.r.FuelUsed > maxFinished {
+				maxFinished = e.r.FuelUsed
+			}
+		}
+	}
+	if finished == 0 {
+		res.Verdict = VerdictAllTimeout
+		return res
+	}
+	for _, e := range entries {
+		if e.r.Outcome == engines.OutcomeTimeout && e.r.FuelUsed > 2*maxFinished {
+			res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+		}
+	}
+	if len(res.Deviations) > 0 {
+		res.Verdict = VerdictTimeout
+		return res
+	}
+
+	// Step 4: majority voting over behaviour keys.
+	groups := map[string][]entry{}
+	for _, e := range entries {
+		groups[e.r.Key()] = append(groups[e.r.Key()], e)
+	}
+	if len(groups) == 1 {
+		res.Verdict = VerdictPass
+		res.MajorityKey = entries[0].r.Key()
+		return res
+	}
+	var keys []string
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if len(groups[keys[i]]) != len(groups[keys[j]]) {
+			return len(groups[keys[i]]) > len(groups[keys[j]])
+		}
+		return keys[i] < keys[j]
+	})
+	majority := keys[0]
+	if len(keys) > 1 && len(groups[keys[0]]) == len(groups[keys[1]]) && len(groups) == 2 &&
+		len(groups[keys[0]])*2 == len(entries) {
+		// Perfect split: no majority to vote with.
+		res.Verdict = VerdictInconclusive
+		return res
+	}
+	res.MajorityKey = majority
+	for _, k := range keys[1:] {
+		for _, e := range groups[k] {
+			res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+		}
+	}
+	res.Verdict = VerdictWrongOutput
+	return res
+}

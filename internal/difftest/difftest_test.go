@@ -1,0 +1,147 @@
+package difftest
+
+import (
+	"testing"
+
+	"comfort/internal/engines"
+)
+
+func testbedsFor(t *testing.T, specs ...[2]string) []engines.Testbed {
+	t.Helper()
+	var out []engines.Testbed
+	for _, s := range specs {
+		v, ok := engines.FindVersion(s[0], s[1])
+		if !ok {
+			t.Fatalf("unknown version %v", s)
+		}
+		out = append(out, engines.Testbed{Version: v})
+	}
+	return out
+}
+
+func TestPassVerdict(t *testing.T) {
+	tbs := engines.LatestTestbeds()
+	cr := Run(`print(1 + 1);`, tbs, Options{})
+	if cr.Verdict != VerdictPass {
+		t.Errorf("verdict: %s", cr.Verdict)
+	}
+}
+
+func TestInvalidVerdict(t *testing.T) {
+	tbs := engines.LatestTestbeds()
+	cr := Run(`var = broken(`, tbs, Options{})
+	if cr.Verdict != VerdictInvalid {
+		t.Errorf("verdict: %s", cr.Verdict)
+	}
+}
+
+func TestConsistentExceptionIsPass(t *testing.T) {
+	tbs := engines.LatestTestbeds()
+	cr := Run(`null.x;`, tbs, Options{})
+	if cr.Verdict != VerdictPass {
+		t.Errorf("a uniformly thrown TypeError is a pass, got %s", cr.Verdict)
+	}
+}
+
+func TestWrongOutputIsolatesDeviant(t *testing.T) {
+	// The Figure-2 substr witness on Rhino v1.7.12 vs clean engines.
+	tbs := testbedsFor(t,
+		[2]string{"Rhino", "v1.7.12"},
+		[2]string{"V8", "d891c59"},
+		[2]string{"SpiderMonkey", "v78.0"},
+		[2]string{"QuickJS", "1722758"},
+	)
+	src := `print("Name: Albert".substr(6, undefined));`
+	cr := Run(src, tbs, Options{})
+	if cr.Verdict != VerdictWrongOutput {
+		t.Fatalf("verdict: %s", cr.Verdict)
+	}
+	if len(cr.Deviations) != 1 || cr.Deviations[0].Testbed.Version.Engine != "Rhino" {
+		t.Errorf("deviant should be Rhino alone: %+v", cr.Deviations)
+	}
+}
+
+func TestCrashVerdict(t *testing.T) {
+	// The Listing-9 QuickJS crash.
+	tbs := testbedsFor(t,
+		[2]string{"QuickJS", "9ccefbf"},
+		[2]string{"V8", "d891c59"},
+		[2]string{"SpiderMonkey", "v78.0"},
+	)
+	src := `"".normalize(true);`
+	cr := Run(src, tbs, Options{})
+	if cr.Verdict != VerdictCrash {
+		t.Fatalf("verdict: %s", cr.Verdict)
+	}
+	if len(cr.Deviations) != 1 || cr.Deviations[0].Testbed.Version.Engine != "QuickJS" {
+		t.Errorf("crash deviant: %+v", cr.Deviations)
+	}
+}
+
+func TestTimeoutTwoXRule(t *testing.T) {
+	// The Hermes reverse-fill slowdown against fast engines.
+	tbs := testbedsFor(t,
+		[2]string{"Hermes", "3ed8340"},
+		[2]string{"V8", "d891c59"},
+		[2]string{"SpiderMonkey", "v78.0"},
+	)
+	src := `var foo = function(size) {
+  var array = new Array(size);
+  while (size--) { array[size] = 0; }
+};
+foo(30000);
+print("done");`
+	// The budget must exceed 2× what the conforming engines consume for
+	// the 2× rule to separate the slow engine from ordinary variance.
+	cr := Run(src, tbs, Options{Fuel: 2000000})
+	if cr.Verdict != VerdictTimeout {
+		t.Fatalf("verdict: %s", cr.Verdict)
+	}
+	if len(cr.Deviations) != 1 || cr.Deviations[0].Testbed.Version.Engine != "Hermes" {
+		t.Errorf("timeout deviant: %+v", cr.Deviations)
+	}
+}
+
+func TestAllTimeoutIgnored(t *testing.T) {
+	tbs := engines.LatestTestbeds()[:3]
+	cr := Run(`while (true) {}`, tbs, Options{Fuel: 20000})
+	if cr.Verdict != VerdictAllTimeout {
+		t.Errorf("infinite loops must be ignored, got %s", cr.Verdict)
+	}
+}
+
+func TestParseInconsistency(t *testing.T) {
+	// ChakraCore's parser rejects binary literals (ch-007).
+	tbs := testbedsFor(t,
+		[2]string{"ChakraCore", "v1.11.19"},
+		[2]string{"V8", "d891c59"},
+		[2]string{"QuickJS", "1722758"},
+	)
+	cr := Run(`print(0b101);`, tbs, Options{})
+	if cr.Verdict != VerdictParseInconsistent {
+		t.Fatalf("verdict: %s", cr.Verdict)
+	}
+	if len(cr.Deviations) != 1 || cr.Deviations[0].Testbed.Version.Engine != "ChakraCore" {
+		t.Errorf("parse deviant: %+v", cr.Deviations)
+	}
+}
+
+func TestStrictAndNormalPoolsVoteSeparately(t *testing.T) {
+	// Sloppy/strict behaviour differences are NOT bugs: a program that
+	// legitimately behaves differently in strict mode must not produce
+	// deviants when both modes are present.
+	var tbs []engines.Testbed
+	for _, e := range engines.All() {
+		tbs = append(tbs, engines.Testbed{Version: e.Latest()},
+			engines.Testbed{Version: e.Latest(), Strict: true})
+	}
+	// The this-binding of a plain function call differs legitimately
+	// between modes and touches no seeded-defect site.
+	src := `function f() { return this === undefined; }
+print(f());`
+	cr := Run(src, tbs, Options{})
+	if cr.Verdict.IsBuggy() {
+		t.Errorf("legitimate strict/sloppy difference flagged as bug: %s (%d deviations)",
+			cr.Verdict, len(cr.Deviations))
+	}
+}

@@ -1,0 +1,72 @@
+package engines
+
+import (
+	"comfort/internal/js/builtins"
+	"comfort/internal/js/interp"
+	"comfort/internal/js/parser"
+)
+
+// RunWithDefect executes src with exactly one defect installed — the
+// ground-truth attribution primitive used by the campaign accounting.
+func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResult {
+	cfg := interp.Config{Fuel: opts.Fuel, Seed: opts.Seed, Strict: strict}
+	parseOpts := parser.Options{Strict: strict}
+	if d != nil {
+		if d.Configure != nil {
+			d.Configure(&cfg)
+		}
+		if d.ParserOpts != nil {
+			d.ParserOpts(&parseOpts)
+		}
+		if d.Hook != nil && (!d.StrictOnly || strict) {
+			cfg.Hook = d.Hook
+		}
+		if d.PreParse != nil {
+			if msg := d.PreParse(src); msg != "" {
+				return ExecResult{Outcome: OutcomeParseError, Error: "SyntaxError: " + msg, ErrName: "SyntaxError"}
+			}
+		}
+	}
+	in := builtins.NewRuntime(cfg)
+	prog, err := parser.ParseWith(src, parseOpts)
+	if err != nil {
+		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
+	}
+	runErr := in.Run(prog)
+	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
+	switch e := runErr.(type) {
+	case nil:
+		res.Outcome = OutcomePass
+	case *interp.Throw:
+		res.Outcome = OutcomeException
+		res.Error = e.Error()
+		res.ErrName = interp.ErrorName(e.Val)
+	case *interp.Abort:
+		if e.Kind == interp.AbortCrash {
+			res.Outcome = OutcomeCrash
+			res.ErrName = "crash"
+		} else {
+			res.Outcome = OutcomeTimeout
+			res.ErrName = "timeout"
+		}
+	default:
+		res.Outcome = OutcomeCrash
+		res.ErrName = "crash"
+	}
+	return res
+}
+
+// Attribute identifies which seeded defects of the testbed's version are
+// responsible for a divergence observed on src: each active defect is
+// re-run in isolation against the defect-free reference.
+func Attribute(src string, tb Testbed, opts RunOptions) []*Defect {
+	ref := RunWithDefect(nil, src, tb.Strict, opts)
+	var out []*Defect
+	for _, d := range ActiveDefects(tb.Version) {
+		r := RunWithDefect(d, src, tb.Strict, opts)
+		if r.Key() != ref.Key() {
+			out = append(out, d)
+		}
+	}
+	return out
+}

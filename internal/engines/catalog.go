@@ -1,0 +1,53 @@
+package engines
+
+import "sync"
+
+// The defect catalog is the reproduction's ground truth: 158 seeded
+// conformance defects whose engine / version / component / API-type /
+// channel / triage distributions reproduce the paper's Tables 2-5 and
+// Figure 7 exactly (asserted by catalog_test.go). Each defect carries a
+// witness program proving it is behaviourally triggerable under
+// differential testing.
+
+var (
+	catalogOnce sync.Once
+	catalog     []*Defect
+)
+
+// Catalog returns all seeded defects across all engines.
+func Catalog() []*Defect {
+	catalogOnce.Do(func() {
+		b := &catalogBuilder{}
+		b.v8()
+		b.chakraCore()
+		b.jsc()
+		b.spiderMonkey()
+		b.rhino()
+		b.nashorn()
+		b.hermes()
+		b.jerryScript()
+		b.quickJS()
+		b.graaljs()
+		catalog = b.defects
+	})
+	return catalog
+}
+
+// DefectByID looks up a defect.
+func DefectByID(id string) (*Defect, bool) {
+	for _, d := range Catalog() {
+		if d.ID == id {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+type catalogBuilder struct {
+	defects []*Defect
+}
+
+func (b *catalogBuilder) add(d *Defect) *Defect {
+	b.defects = append(b.defects, d)
+	return d
+}

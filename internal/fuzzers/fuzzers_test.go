@@ -1,0 +1,100 @@
+package fuzzers
+
+import (
+	"math/rand"
+	"testing"
+
+	"comfort/internal/js/lint"
+)
+
+func TestAllFuzzersProduceCases(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			total, valid := 0, 0
+			for i := 0; i < 25; i++ {
+				for _, src := range f.Next(rng) {
+					if src == "" {
+						t.Fatal("empty test case")
+					}
+					total++
+					if lint.Valid(src) {
+						valid++
+					}
+				}
+			}
+			if total == 0 {
+				t.Fatal("no cases produced")
+			}
+			// Every strategy must produce a usable share of parseable code
+			// (DeepSmith's short-context model sits lowest, near the
+			// paper's ~31% LSTM rate).
+			if float64(valid)/float64(total) < 0.1 {
+				t.Errorf("validity too low: %d/%d", valid, total)
+			}
+			t.Logf("%s: %d cases, %d valid", f.Name(), total, valid)
+		})
+	}
+}
+
+func TestFuzzerDeterminism(t *testing.T) {
+	for _, mk := range []func() Fuzzer{
+		func() Fuzzer { return NewDIE() },
+		func() Fuzzer { return NewFuzzilli() },
+		func() Fuzzer { return NewCodeAlchemist() },
+	} {
+		a := mk()
+		b := mk()
+		ra, rb := rand.New(rand.NewSource(5)), rand.New(rand.NewSource(5))
+		for i := 0; i < 10; i++ {
+			ca, cb := a.Next(ra), b.Next(rb)
+			if len(ca) != len(cb) {
+				t.Fatalf("%s: nondeterministic batch size", a.Name())
+			}
+			for j := range ca {
+				if ca[j] != cb[j] {
+					t.Fatalf("%s: nondeterministic output", a.Name())
+				}
+			}
+		}
+	}
+}
+
+// The baselines deliberately emit a share of syntactically invalid output
+// (the paper's Figure 9 measures all of them below a 60% passing rate), so
+// their validity is checked as a band, not a guarantee.
+func TestBaselineValidityBands(t *testing.T) {
+	for _, mk := range []func() Fuzzer{
+		func() Fuzzer { return NewFuzzilli() },
+		func() Fuzzer { return NewCodeAlchemist() },
+		func() Fuzzer { return NewDIE() },
+	} {
+		f := mk()
+		rng := rand.New(rand.NewSource(2))
+		valid, total := 0, 0
+		for i := 0; i < 300; i++ {
+			for _, src := range f.Next(rng) {
+				total++
+				if lint.Valid(src) {
+					valid++
+				}
+			}
+		}
+		rate := float64(valid) / float64(total)
+		if rate < 0.35 || rate > 0.75 {
+			t.Errorf("%s validity %.2f outside the Figure-9 band [0.35, 0.75]", f.Name(), rate)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"COMFORT", "deepsmith", "Fuzzilli", "CodeAlchemist", "DIE", "montage"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown fuzzer resolved")
+	}
+}

@@ -1,0 +1,53 @@
+// Package gen implements the test-program generation stage: sample the
+// language model, lint with the JSHint substitute, and keep 20% of the
+// syntactically invalid programs for parser testing (Section 4.3).
+package gen
+
+import (
+	"math/rand"
+
+	"comfort/internal/js/lint"
+	"comfort/internal/lm"
+)
+
+// Program is one generated test program.
+type Program struct {
+	Source string
+	Valid  bool
+}
+
+// Pipeline couples a trained generator with the lint filter.
+type Pipeline struct {
+	Gen *lm.Generator
+	// KeepInvalid is the fraction of syntactically invalid programs kept
+	// for parser fuzzing (the paper keeps 20%).
+	KeepInvalid float64
+}
+
+// New builds a pipeline with the paper's defaults.
+func New(g *lm.Generator) *Pipeline {
+	return &Pipeline{Gen: g, KeepInvalid: 0.2}
+}
+
+// Next produces the next test program that survives the filter.
+func (p *Pipeline) Next(rng *rand.Rand) Program {
+	for {
+		src := p.Gen.Generate(rng)
+		valid := lint.Valid(src)
+		if valid {
+			return Program{Source: src, Valid: true}
+		}
+		if rng.Float64() < p.KeepInvalid {
+			return Program{Source: src, Valid: false}
+		}
+	}
+}
+
+// Batch produces n filtered programs.
+func (p *Pipeline) Batch(n int, rng *rand.Rand) []Program {
+	out := make([]Program, 0, n)
+	for len(out) < n {
+		out = append(out, p.Next(rng))
+	}
+	return out
+}

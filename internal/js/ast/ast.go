@@ -1,0 +1,424 @@
+// Package ast declares the abstract syntax tree of the JavaScript subset,
+// a generic visitor, and a source printer. Every node carries a small
+// integer ID assigned by the parser; coverage measurement and test-case
+// reduction key off those IDs.
+package ast
+
+import "comfort/internal/js/token"
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+	ID() int
+	setID(int)
+}
+
+// base provides position and ID storage for all nodes.
+type base struct {
+	P  token.Pos
+	id int
+}
+
+func (b *base) Pos() token.Pos { return b.P }
+func (b *base) ID() int        { return b.id }
+func (b *base) setID(n int)    { b.id = n }
+
+// SetID assigns a node ID. Exported for the parser and synthetic-AST
+// builders (fuzzers) only.
+func SetID(n Node, id int) { n.setID(id) }
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// ---------- Statements ----------
+
+// Program is the root node of a parsed source file.
+type Program struct {
+	base
+	Body   []Stmt
+	Strict bool // file-level "use strict" directive
+	// NodeCount is the total number of nodes allocated by the parser,
+	// used to size coverage bitmaps.
+	NodeCount int
+}
+
+// VarKind distinguishes var/let/const declarations.
+type VarKind int
+
+// Declaration kinds.
+const (
+	Var VarKind = iota
+	Let
+	Const
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case Let:
+		return "let"
+	case Const:
+		return "const"
+	default:
+		return "var"
+	}
+}
+
+// Declarator is one name = init pair inside a VarDecl.
+type Declarator struct {
+	Name string
+	Init Expr // may be nil
+}
+
+// VarDecl is a var/let/const statement.
+type VarDecl struct {
+	base
+	Kind  VarKind
+	Decls []Declarator
+}
+
+// FuncDecl is a function declaration statement.
+type FuncDecl struct {
+	base
+	Fn *FuncLit
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	base
+	X Expr
+	// Directive holds the raw string if this statement is a directive
+	// prologue entry such as "use strict".
+	Directive string
+}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	base
+	Body []Stmt
+}
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	base
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// ForStmt is a classic three-clause for loop.
+type ForStmt struct {
+	base
+	Init Node // *VarDecl, Expr, or nil
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// ForInStmt is for (x in obj) — and doubles as for-of when Of is set.
+type ForInStmt struct {
+	base
+	Decl VarKind // declaration kind, or -1 when the target is a plain name
+	Name string
+	Obj  Expr
+	Body Stmt
+	Of   bool
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	base
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	base
+	Body Stmt
+	Cond Expr
+}
+
+// SwitchCase is one case (or default, when Test is nil) clause.
+type SwitchCase struct {
+	base
+	Test Expr // nil for default
+	Body []Stmt
+}
+
+// SwitchStmt is a switch statement.
+type SwitchStmt struct {
+	base
+	Disc  Expr
+	Cases []*SwitchCase
+}
+
+// BreakStmt is break [label].
+type BreakStmt struct {
+	base
+	Label string
+}
+
+// ContinueStmt is continue [label].
+type ContinueStmt struct {
+	base
+	Label string
+}
+
+// ReturnStmt is return [expr].
+type ReturnStmt struct {
+	base
+	X Expr // may be nil
+}
+
+// ThrowStmt is throw expr.
+type ThrowStmt struct {
+	base
+	X Expr
+}
+
+// TryStmt is try/catch/finally. Catch and Finally may each be nil (not both).
+type TryStmt struct {
+	base
+	Block      *BlockStmt
+	CatchParam string
+	Catch      *BlockStmt
+	Finally    *BlockStmt
+}
+
+// LabeledStmt is label: stmt.
+type LabeledStmt struct {
+	base
+	Label string
+	Body  Stmt
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ base }
+
+// DebuggerStmt is the debugger statement (a no-op at run time).
+type DebuggerStmt struct{ base }
+
+func (*VarDecl) stmtNode()      {}
+func (*FuncDecl) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*ForInStmt) stmtNode()    {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode()   {}
+func (*SwitchCase) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ThrowStmt) stmtNode()    {}
+func (*TryStmt) stmtNode()      {}
+func (*LabeledStmt) stmtNode()  {}
+func (*EmptyStmt) stmtNode()    {}
+func (*DebuggerStmt) stmtNode() {}
+func (*Program) stmtNode()      {}
+
+// ---------- Expressions ----------
+
+// Ident is a name reference.
+type Ident struct {
+	base
+	Name string
+}
+
+// NumberLit is a numeric literal; Value is the parsed float64.
+type NumberLit struct {
+	base
+	Value float64
+	Raw   string
+}
+
+// StringLit is a string literal (cooked value).
+type StringLit struct {
+	base
+	Value string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	base
+	Value bool
+}
+
+// NullLit is null.
+type NullLit struct{ base }
+
+// RegexLit is a regular-expression literal.
+type RegexLit struct {
+	base
+	Pattern string
+	Flags   string
+}
+
+// TemplateLit is a template literal with interleaved string parts and
+// substitution expressions: Quasis has len(Exprs)+1 entries.
+type TemplateLit struct {
+	base
+	Quasis []string
+	Exprs  []Expr
+}
+
+// ArrayLit is [a, b, ...]. Nil elements represent elisions.
+type ArrayLit struct {
+	base
+	Elems []Expr
+}
+
+// PropKind distinguishes normal properties from accessors.
+type PropKind int
+
+// Property kinds in object literals.
+const (
+	PropInit PropKind = iota
+	PropGet
+	PropSet
+)
+
+// Property is one entry in an object literal.
+type Property struct {
+	Key      string // used when Computed is false
+	KeyExpr  Expr   // used when Computed is true
+	Computed bool
+	Kind     PropKind
+	Value    Expr
+}
+
+// ObjectLit is { k: v, ... }.
+type ObjectLit struct {
+	base
+	Props []Property
+}
+
+// FuncLit is a function expression/declaration body.
+type FuncLit struct {
+	base
+	Name   string // may be empty
+	Params []string
+	Rest   string // rest parameter name, if any
+	Body   *BlockStmt
+	Arrow  bool
+	// ExprBody is set for arrow functions with expression bodies:
+	// the body is `return ExprBody`.
+	ExprBody Expr
+	Strict   bool // body has a "use strict" directive
+}
+
+func (*FuncLit) exprNode() {}
+
+// UnaryExpr is a prefix operator application (typeof, -, !, void, delete, ~, +).
+type UnaryExpr struct {
+	base
+	Op token.Type
+	X  Expr
+}
+
+// UpdateExpr is ++/-- in prefix or postfix position.
+type UpdateExpr struct {
+	base
+	Op     token.Type // INC or DEC
+	X      Expr
+	Prefix bool
+}
+
+// BinaryExpr is a binary operator application (arithmetic, comparison,
+// bitwise, in, instanceof).
+type BinaryExpr struct {
+	base
+	Op   token.Type
+	L, R Expr
+}
+
+// LogicalExpr is &&, || or ??.
+type LogicalExpr struct {
+	base
+	Op   token.Type
+	L, R Expr
+}
+
+// AssignExpr is an assignment, possibly compound (+=, etc.).
+type AssignExpr struct {
+	base
+	Op   token.Type // ASSIGN or a compound-assign token
+	L, R Expr
+}
+
+// CondExpr is the ternary conditional.
+type CondExpr struct {
+	base
+	Cond, Then, Else Expr
+}
+
+// CallExpr is a function call.
+type CallExpr struct {
+	base
+	Callee Expr
+	Args   []Expr
+}
+
+// NewExpr is new Callee(args).
+type NewExpr struct {
+	base
+	Callee Expr
+	Args   []Expr
+}
+
+// MemberExpr is property access: obj.name or obj[expr].
+type MemberExpr struct {
+	base
+	Obj      Expr
+	Name     string // when not computed
+	Prop     Expr   // when computed
+	Computed bool
+}
+
+// SeqExpr is the comma operator.
+type SeqExpr struct {
+	base
+	Exprs []Expr
+}
+
+// SpreadExpr is ...expr in call arguments or array literals.
+type SpreadExpr struct {
+	base
+	X Expr
+}
+
+// ThisExpr is this.
+type ThisExpr struct{ base }
+
+func (*Ident) exprNode()       {}
+func (*NumberLit) exprNode()   {}
+func (*StringLit) exprNode()   {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*RegexLit) exprNode()    {}
+func (*TemplateLit) exprNode() {}
+func (*ArrayLit) exprNode()    {}
+func (*ObjectLit) exprNode()   {}
+func (*UnaryExpr) exprNode()   {}
+func (*UpdateExpr) exprNode()  {}
+func (*BinaryExpr) exprNode()  {}
+func (*LogicalExpr) exprNode() {}
+func (*AssignExpr) exprNode()  {}
+func (*CondExpr) exprNode()    {}
+func (*CallExpr) exprNode()    {}
+func (*NewExpr) exprNode()     {}
+func (*MemberExpr) exprNode()  {}
+func (*SeqExpr) exprNode()     {}
+func (*SpreadExpr) exprNode()  {}
+func (*ThisExpr) exprNode()    {}

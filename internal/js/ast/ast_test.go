@@ -1,0 +1,98 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"comfort/internal/js/token"
+)
+
+func TestQuoteJS(t *testing.T) {
+	cases := map[string]string{
+		"abc":     `"abc"`,
+		`a"b`:     `"a\"b"`,
+		"a\nb":    `"a\nb"`,
+		"tab\t":   `"tab\t"`,
+		"\x01":    `"\x01"`,
+		"back\\s": `"back\\s"`,
+		"":        `""`,
+	}
+	for in, want := range cases {
+		if got := QuoteJS(in); got != want {
+			t.Errorf("QuoteJS(%q) = %s want %s", in, got, want)
+		}
+	}
+}
+
+// TestQuoteJSNeverBreaksLines: quoted output must stay on one line for any
+// input (the printer relies on it).
+func TestQuoteJSNeverBreaksLines(t *testing.T) {
+	f := func(s string) bool {
+		q := QuoteJS(s)
+		return !strings.ContainsAny(q, "\n\r") && strings.HasPrefix(q, `"`) && strings.HasSuffix(q, `"`)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	// Build a small tree by hand.
+	fn := &FuncLit{Name: "f", Params: []string{"x"},
+		Body: &BlockStmt{Body: []Stmt{
+			&ReturnStmt{X: &BinaryExpr{Op: token.PLUS,
+				L: &Ident{Name: "x"}, R: &NumberLit{Value: 1}}},
+		}}}
+	prog := &Program{Body: []Stmt{
+		&FuncDecl{Fn: fn},
+		&ExprStmt{X: &CallExpr{Callee: &Ident{Name: "f"},
+			Args: []Expr{&NumberLit{Value: 2}}}},
+	}}
+	count := 0
+	Walk(prog, func(Node) bool { count++; return true })
+	// Program, FuncDecl, FuncLit, Block, Return, Binary, Ident, Number,
+	// ExprStmt, Call, Ident, Number = 12
+	if count != 12 {
+		t.Errorf("walk count: %d want 12", count)
+	}
+	if CountNodes(prog) != count {
+		t.Errorf("CountNodes disagrees with Walk")
+	}
+	// Pruned walk stops descending.
+	pruned := 0
+	Walk(prog, func(n Node) bool {
+		pruned++
+		_, isFn := n.(*FuncLit)
+		return !isFn
+	})
+	if pruned >= count {
+		t.Errorf("pruned walk should visit fewer nodes: %d vs %d", pruned, count)
+	}
+}
+
+func TestPrintStatements(t *testing.T) {
+	prog := &Program{Body: []Stmt{
+		&VarDecl{Kind: Var, Decls: []Declarator{{Name: "x", Init: &NumberLit{Value: 1}}}},
+		&IfStmt{Cond: &Ident{Name: "x"},
+			Then: &ExprStmt{X: &CallExpr{Callee: &Ident{Name: "print"},
+				Args: []Expr{&StringLit{Value: "yes"}}}}},
+	}}
+	out := Print(prog)
+	for _, want := range []string{"var x = 1;", "if (x)", `print("yes");`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintParenthesisesStatementExpressions(t *testing.T) {
+	prog := &Program{Body: []Stmt{
+		&ExprStmt{X: &FuncLit{Body: &BlockStmt{}}},
+		&ExprStmt{X: &ObjectLit{Props: []Property{{Key: "a", Value: &NumberLit{Value: 1}}}}},
+	}}
+	out := Print(prog)
+	if !strings.Contains(out, "(function") || !strings.Contains(out, "({") {
+		t.Errorf("statement-position function/object literals need parens:\n%s", out)
+	}
+}

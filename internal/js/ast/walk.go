@@ -1,0 +1,197 @@
+package ast
+
+// Walk traverses the tree rooted at n in depth-first pre-order, calling fn
+// for every non-nil node. If fn returns false the node's children are not
+// visited.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, c := range Children(n) {
+		Walk(c, fn)
+	}
+}
+
+// isNilNode guards against typed-nil interface values.
+func isNilNode(n Node) bool {
+	switch v := n.(type) {
+	case *Program:
+		return v == nil
+	case *BlockStmt:
+		return v == nil
+	case *SwitchCase:
+		return v == nil
+	case *FuncLit:
+		return v == nil
+	}
+	return false
+}
+
+// Children returns the direct child nodes of n in source order.
+// Nil children are omitted.
+func Children(n Node) []Node {
+	var out []Node
+	add := func(c Node) {
+		if c == nil {
+			return
+		}
+		switch v := c.(type) {
+		case *BlockStmt:
+			if v == nil {
+				return
+			}
+		case *FuncLit:
+			if v == nil {
+				return
+			}
+		case *SwitchCase:
+			if v == nil {
+				return
+			}
+		}
+		out = append(out, c)
+	}
+	addE := func(e Expr) {
+		if e != nil {
+			add(e)
+		}
+	}
+	addS := func(s Stmt) {
+		if s != nil {
+			add(s)
+		}
+	}
+	switch v := n.(type) {
+	case *Program:
+		for _, s := range v.Body {
+			addS(s)
+		}
+	case *VarDecl:
+		for _, d := range v.Decls {
+			addE(d.Init)
+		}
+	case *FuncDecl:
+		add(v.Fn)
+	case *ExprStmt:
+		addE(v.X)
+	case *BlockStmt:
+		for _, s := range v.Body {
+			addS(s)
+		}
+	case *IfStmt:
+		addE(v.Cond)
+		addS(v.Then)
+		addS(v.Else)
+	case *ForStmt:
+		if v.Init != nil {
+			add(v.Init)
+		}
+		addE(v.Cond)
+		addE(v.Post)
+		addS(v.Body)
+	case *ForInStmt:
+		addE(v.Obj)
+		addS(v.Body)
+	case *WhileStmt:
+		addE(v.Cond)
+		addS(v.Body)
+	case *DoWhileStmt:
+		addS(v.Body)
+		addE(v.Cond)
+	case *SwitchStmt:
+		addE(v.Disc)
+		for _, c := range v.Cases {
+			add(c)
+		}
+	case *SwitchCase:
+		addE(v.Test)
+		for _, s := range v.Body {
+			addS(s)
+		}
+	case *ReturnStmt:
+		addE(v.X)
+	case *ThrowStmt:
+		addE(v.X)
+	case *TryStmt:
+		add(v.Block)
+		if v.Catch != nil {
+			add(v.Catch)
+		}
+		if v.Finally != nil {
+			add(v.Finally)
+		}
+	case *LabeledStmt:
+		addS(v.Body)
+	case *TemplateLit:
+		for _, e := range v.Exprs {
+			addE(e)
+		}
+	case *ArrayLit:
+		for _, e := range v.Elems {
+			addE(e)
+		}
+	case *ObjectLit:
+		for _, p := range v.Props {
+			if p.Computed {
+				addE(p.KeyExpr)
+			}
+			addE(p.Value)
+		}
+	case *FuncLit:
+		if v.ExprBody != nil {
+			addE(v.ExprBody)
+		}
+		if v.Body != nil {
+			add(v.Body)
+		}
+	case *UnaryExpr:
+		addE(v.X)
+	case *UpdateExpr:
+		addE(v.X)
+	case *BinaryExpr:
+		addE(v.L)
+		addE(v.R)
+	case *LogicalExpr:
+		addE(v.L)
+		addE(v.R)
+	case *AssignExpr:
+		addE(v.L)
+		addE(v.R)
+	case *CondExpr:
+		addE(v.Cond)
+		addE(v.Then)
+		addE(v.Else)
+	case *CallExpr:
+		addE(v.Callee)
+		for _, a := range v.Args {
+			addE(a)
+		}
+	case *NewExpr:
+		addE(v.Callee)
+		for _, a := range v.Args {
+			addE(a)
+		}
+	case *MemberExpr:
+		addE(v.Obj)
+		if v.Computed {
+			addE(v.Prop)
+		}
+	case *SeqExpr:
+		for _, e := range v.Exprs {
+			addE(e)
+		}
+	case *SpreadExpr:
+		addE(v.X)
+	}
+	return out
+}
+
+// CountNodes returns the number of nodes in the tree rooted at n.
+func CountNodes(n Node) int {
+	count := 0
+	Walk(n, func(Node) bool { count++; return true })
+	return count
+}

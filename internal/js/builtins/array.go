@@ -1,0 +1,595 @@
+package builtins
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"comfort/internal/js/interp"
+	"comfort/internal/js/jsnum"
+)
+
+func installArray(r *registry) {
+	in := r.in
+	proto := interp.NewObject(in.Protos["Object"])
+
+	ctorBody := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 1 && args[0].Kind() == interp.KindNumber {
+			n := args[0].Num()
+			u := jsnum.ToUint32(n)
+			if float64(u) != n {
+				return interp.Undefined(), in.RangeErrorf("Invalid array length")
+			}
+			arr := in.NewArray(nil)
+			if err := in.Burn(int64(u) / 16); err != nil {
+				return interp.Undefined(), err
+			}
+			arr.SetArrayElems(make([]interp.Value, u))
+			return interp.ObjValue(arr), nil
+		}
+		return interp.ObjValue(in.NewArray(append([]interp.Value(nil), args...))), nil
+	}
+	ctor := r.ctor("Array", 1, proto, ctorBody, ctorBody)
+
+	r.method(ctor, "Array.isArray", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		v := arg(args, 0)
+		return interp.Bool(v.IsObject() && v.Obj().IsArray()), nil
+	})
+
+	r.method(ctor, "Array.of", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.ObjValue(in.NewArray(append([]interp.Value(nil), args...))), nil
+	})
+
+	r.method(ctor, "Array.from", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		src := arg(args, 0)
+		mapFn := arg(args, 1)
+		var items []interp.Value
+		switch {
+		case src.Kind() == interp.KindString:
+			for _, c := range src.Str() {
+				items = append(items, interp.String(string(c)))
+			}
+		case src.IsObject() && src.Obj().IsArray():
+			items = append(items, src.Obj().ArrayElems()...)
+		case src.IsObject():
+			lenV, err := in.GetPropKey(src, "length")
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			n, err := in.ToInteger(lenV)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			for i := 0; i < int(n); i++ {
+				v, err := in.GetPropKey(src, interp.FormatNumber(float64(i)))
+				if err != nil {
+					return interp.Undefined(), err
+				}
+				items = append(items, v)
+			}
+		case src.IsNullish():
+			return interp.Undefined(), in.TypeErrorf("Array.from requires an array-like object")
+		}
+		if mapFn.IsObject() && mapFn.Obj().IsCallable() {
+			for i, item := range items {
+				v, err := in.Call(mapFn.Obj(), interp.Undefined(),
+					[]interp.Value{item, interp.Number(float64(i))})
+				if err != nil {
+					return interp.Undefined(), err
+				}
+				items[i] = v
+			}
+		}
+		return interp.ObjValue(in.NewArray(items)), nil
+	})
+
+	// thisArray coerces the receiver to an Array object or errors.
+	thisArray := func(in *interp.Interp, this interp.Value, method string) (*interp.Object, error) {
+		if this.IsObject() && this.Obj().IsArray() {
+			return this.Obj(), nil
+		}
+		return nil, in.TypeErrorf("%s called on non-array receiver", method)
+	}
+
+	r.method(proto, "Array.prototype.push", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.push")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		for _, a := range args {
+			o.AppendElem(a)
+		}
+		return interp.Number(float64(o.ArrayLength())), nil
+	})
+
+	r.method(proto, "Array.prototype.pop", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.pop")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		if len(elems) == 0 {
+			o.SetArrayLength(0)
+			return interp.Undefined(), nil
+		}
+		last := elems[len(elems)-1]
+		o.SetArrayElems(elems[:len(elems)-1])
+		return last, nil
+	})
+
+	r.method(proto, "Array.prototype.shift", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.shift")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		if len(elems) == 0 {
+			o.SetArrayLength(0)
+			return interp.Undefined(), nil
+		}
+		first := elems[0]
+		if err := in.Burn(int64(len(elems)) / 8); err != nil {
+			return interp.Undefined(), err
+		}
+		o.SetArrayElems(append([]interp.Value(nil), elems[1:]...))
+		return first, nil
+	})
+
+	r.method(proto, "Array.prototype.unshift", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.unshift")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		if err := in.Burn(int64(len(elems)) / 8); err != nil {
+			return interp.Undefined(), err
+		}
+		o.SetArrayElems(append(append([]interp.Value(nil), args...), elems...))
+		return interp.Number(float64(o.ArrayLength())), nil
+	})
+
+	r.method(proto, "Array.prototype.slice", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.slice")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		start, end, err := sliceRange(in, args, len(elems))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.ObjValue(in.NewArray(append([]interp.Value(nil), elems[start:end]...))), nil
+	})
+
+	r.method(proto, "Array.prototype.splice", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.splice")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		n := len(elems)
+		startF, err := in.ToInteger(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		start := clampIndex(startF, n)
+		delCount := n - start
+		if len(args) >= 2 {
+			dcF, err := in.ToInteger(arg(args, 1))
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			delCount = int(math.Max(0, math.Min(float64(n-start), dcF)))
+		}
+		removed := append([]interp.Value(nil), elems[start:start+delCount]...)
+		var inserted []interp.Value
+		if len(args) > 2 {
+			inserted = args[2:]
+		}
+		out := make([]interp.Value, 0, n-delCount+len(inserted))
+		out = append(out, elems[:start]...)
+		out = append(out, inserted...)
+		out = append(out, elems[start+delCount:]...)
+		o.SetArrayElems(out)
+		return interp.ObjValue(in.NewArray(removed)), nil
+	})
+
+	r.method(proto, "Array.prototype.concat", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.concat")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		out := append([]interp.Value(nil), o.ArrayElems()...)
+		for _, a := range args {
+			if a.IsObject() && a.Obj().IsArray() {
+				out = append(out, a.Obj().ArrayElems()...)
+			} else {
+				out = append(out, a)
+			}
+		}
+		return interp.ObjValue(in.NewArray(out)), nil
+	})
+
+	join := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.join")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		sep := ","
+		if s := arg(args, 0); !s.IsUndefined() {
+			sep, err = in.ToString(s)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+		}
+		var b strings.Builder
+		for i, e := range o.ArrayElems() {
+			if i > 0 {
+				b.WriteString(sep)
+			}
+			if e.IsNullish() {
+				continue
+			}
+			s, err := in.ToString(e)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			b.WriteString(s)
+		}
+		return interp.String(b.String()), nil
+	}
+	r.method(proto, "Array.prototype.join", 1, join)
+	r.method(proto, "Array.prototype.toString", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if this.IsObject() && this.Obj().IsArray() {
+			return join(in, this, nil)
+		}
+		s, err := in.ToString(this)
+		return interp.String(s), err
+	})
+
+	r.method(proto, "Array.prototype.indexOf", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.indexOf")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		target := arg(args, 0)
+		elems := o.ArrayElems()
+		start := 0
+		if len(args) > 1 {
+			f, err := in.ToInteger(args[1])
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			start = clampIndex(f, len(elems))
+		}
+		for i := start; i < len(elems); i++ {
+			if interp.SameValueStrict(elems[i], target) {
+				return interp.Number(float64(i)), nil
+			}
+		}
+		return interp.Number(-1), nil
+	})
+
+	r.method(proto, "Array.prototype.lastIndexOf", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.lastIndexOf")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		target := arg(args, 0)
+		elems := o.ArrayElems()
+		for i := len(elems) - 1; i >= 0; i-- {
+			if interp.SameValueStrict(elems[i], target) {
+				return interp.Number(float64(i)), nil
+			}
+		}
+		return interp.Number(-1), nil
+	})
+
+	r.method(proto, "Array.prototype.includes", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.includes")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		target := arg(args, 0)
+		for _, e := range o.ArrayElems() {
+			if interp.SameValueStrict(e, target) {
+				return interp.Bool(true), nil
+			}
+			// SameValueZero: NaN matches NaN.
+			if e.Kind() == interp.KindNumber && target.Kind() == interp.KindNumber &&
+				math.IsNaN(e.Num()) && math.IsNaN(target.Num()) {
+				return interp.Bool(true), nil
+			}
+		}
+		return interp.Bool(false), nil
+	})
+
+	// iterCallback factors the forEach/map/filter/find/some/every loops.
+	iterCallback := func(method string) func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			o, err := thisArray(in, this, method)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			cb := arg(args, 0)
+			if !cb.IsObject() || !cb.Obj().IsCallable() {
+				return interp.Undefined(), in.TypeErrorf("%v is not a function", interp.DebugString(cb))
+			}
+			thisArg := arg(args, 1)
+			elems := o.ArrayElems()
+			var mapped []interp.Value
+			var filtered []interp.Value
+			for i := 0; i < len(elems) && i < int(o.ArrayLength()); i++ {
+				v, err := in.Call(cb.Obj(), thisArg,
+					[]interp.Value{elems[i], interp.Number(float64(i)), this})
+				if err != nil {
+					return interp.Undefined(), err
+				}
+				switch method {
+				case "Array.prototype.forEach":
+				case "Array.prototype.map":
+					mapped = append(mapped, v)
+				case "Array.prototype.filter":
+					if interp.ToBoolean(v) {
+						filtered = append(filtered, elems[i])
+					}
+				case "Array.prototype.find":
+					if interp.ToBoolean(v) {
+						return elems[i], nil
+					}
+				case "Array.prototype.findIndex":
+					if interp.ToBoolean(v) {
+						return interp.Number(float64(i)), nil
+					}
+				case "Array.prototype.some":
+					if interp.ToBoolean(v) {
+						return interp.Bool(true), nil
+					}
+				case "Array.prototype.every":
+					if !interp.ToBoolean(v) {
+						return interp.Bool(false), nil
+					}
+				}
+			}
+			switch method {
+			case "Array.prototype.map":
+				return interp.ObjValue(in.NewArray(mapped)), nil
+			case "Array.prototype.filter":
+				return interp.ObjValue(in.NewArray(filtered)), nil
+			case "Array.prototype.find":
+				return interp.Undefined(), nil
+			case "Array.prototype.findIndex":
+				return interp.Number(-1), nil
+			case "Array.prototype.some":
+				return interp.Bool(false), nil
+			case "Array.prototype.every":
+				return interp.Bool(true), nil
+			}
+			return interp.Undefined(), nil
+		}
+	}
+	for _, m := range []string{"forEach", "map", "filter", "find", "findIndex", "some", "every"} {
+		r.method(proto, "Array.prototype."+m, 1, iterCallback("Array.prototype."+m))
+	}
+
+	reduce := func(method string, fromRight bool) interp.NativeFunc {
+		return func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			o, err := thisArray(in, this, method)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			cb := arg(args, 0)
+			if !cb.IsObject() || !cb.Obj().IsCallable() {
+				return interp.Undefined(), in.TypeErrorf("%v is not a function", interp.DebugString(cb))
+			}
+			elems := append([]interp.Value(nil), o.ArrayElems()...)
+			idx := make([]int, len(elems))
+			for i := range idx {
+				idx[i] = i
+			}
+			if fromRight {
+				for i, j := 0, len(elems)-1; i < j; i, j = i+1, j-1 {
+					elems[i], elems[j] = elems[j], elems[i]
+					idx[i], idx[j] = idx[j], idx[i]
+				}
+			}
+			var acc interp.Value
+			start := 0
+			if len(args) >= 2 {
+				acc = args[1]
+			} else {
+				if len(elems) == 0 {
+					return interp.Undefined(), in.TypeErrorf("Reduce of empty array with no initial value")
+				}
+				acc = elems[0]
+				start = 1
+			}
+			for i := start; i < len(elems); i++ {
+				acc, err = in.Call(cb.Obj(), interp.Undefined(),
+					[]interp.Value{acc, elems[i], interp.Number(float64(idx[i])), this})
+				if err != nil {
+					return interp.Undefined(), err
+				}
+			}
+			return acc, nil
+		}
+	}
+	r.method(proto, "Array.prototype.reduce", 1, reduce("Array.prototype.reduce", false))
+	r.method(proto, "Array.prototype.reduceRight", 1, reduce("Array.prototype.reduceRight", true))
+
+	r.method(proto, "Array.prototype.reverse", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.reverse")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		for i, j := 0, len(elems)-1; i < j; i, j = i+1, j-1 {
+			elems[i], elems[j] = elems[j], elems[i]
+		}
+		return this, nil
+	})
+
+	r.method(proto, "Array.prototype.sort", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.sort")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		cmp := arg(args, 0)
+		elems := o.ArrayElems()
+		if err := in.Burn(int64(len(elems))); err != nil {
+			return interp.Undefined(), err
+		}
+		var sortErr error
+		sort.SliceStable(elems, func(i, j int) bool {
+			if sortErr != nil {
+				return false
+			}
+			a, b := elems[i], elems[j]
+			if a.IsUndefined() {
+				return false
+			}
+			if b.IsUndefined() {
+				return true
+			}
+			if cmp.IsObject() && cmp.Obj().IsCallable() {
+				v, err := in.Call(cmp.Obj(), interp.Undefined(), []interp.Value{a, b})
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				n, err := in.ToNumber(v)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				return n < 0
+			}
+			sa, err := in.ToString(a)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			sb, err := in.ToString(b)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			return sa < sb
+		})
+		if sortErr != nil {
+			return interp.Undefined(), sortErr
+		}
+		return this, nil
+	})
+
+	r.method(proto, "Array.prototype.fill", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.fill")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		start, end, err := sliceRange(in, restArgs(args, 1), len(elems))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		for i := start; i < end; i++ {
+			elems[i] = arg(args, 0)
+		}
+		return this, nil
+	})
+
+	r.method(proto, "Array.prototype.flat", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.flat")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		depth := 1.0
+		if d := arg(args, 0); !d.IsUndefined() {
+			depth, err = in.ToInteger(d)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+		}
+		var flatten func(elems []interp.Value, d float64) []interp.Value
+		flatten = func(elems []interp.Value, d float64) []interp.Value {
+			var out []interp.Value
+			for _, e := range elems {
+				if d >= 1 && e.IsObject() && e.Obj().IsArray() {
+					out = append(out, flatten(e.Obj().ArrayElems(), d-1)...)
+				} else {
+					out = append(out, e)
+				}
+			}
+			return out
+		}
+		return interp.ObjValue(in.NewArray(flatten(o.ArrayElems(), depth))), nil
+	})
+
+	r.method(proto, "Array.prototype.copyWithin", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o, err := thisArray(in, this, "Array.prototype.copyWithin")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		elems := o.ArrayElems()
+		n := len(elems)
+		tF, err := in.ToInteger(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		target := clampIndex(tF, n)
+		start, end, err := sliceRange(in, restArgs(args, 1), n)
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		src := append([]interp.Value(nil), elems[start:end]...)
+		for i, v := range src {
+			if target+i >= n {
+				break
+			}
+			elems[target+i] = v
+		}
+		return this, nil
+	})
+}
+
+// sliceRange resolves (start, end) arguments against a length per the
+// shared ECMA-262 relative-index rules.
+func sliceRange(in *interp.Interp, args []interp.Value, n int) (int, int, error) {
+	start, end := 0, n
+	if len(args) >= 1 && !args[0].IsUndefined() {
+		f, err := in.ToInteger(args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		start = clampIndex(f, n)
+	}
+	if len(args) >= 2 && !args[1].IsUndefined() {
+		f, err := in.ToInteger(args[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		end = clampIndex(f, n)
+	}
+	if end < start {
+		end = start
+	}
+	return start, end, nil
+}
+
+// clampIndex maps a possibly-negative relative index into [0, n]. NaN maps
+// to 0 per ToIntegerOrInfinity.
+func clampIndex(f float64, n int) int {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f < 0 {
+		f += float64(n)
+	}
+	if f < 0 {
+		return 0
+	}
+	if f > float64(n) {
+		return n
+	}
+	return int(f)
+}

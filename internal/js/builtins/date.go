@@ -1,0 +1,215 @@
+package builtins
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"comfort/internal/js/interp"
+	"comfort/internal/js/jsnum"
+)
+
+func installDate(r *registry) {
+	in := r.in
+	proto := interp.NewObject(in.Protos["Object"])
+	proto.Class = "Date"
+
+	newDate := func(in *interp.Interp, ms float64) *interp.Object {
+		o := interp.NewObject(in.Protos["Date"])
+		o.Class = "Date"
+		o.Prim, o.HasPrim = interp.Number(ms), true
+		return o
+	}
+
+	construct := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		switch len(args) {
+		case 0:
+			in.Now++ // the deterministic clock ticks on observation
+			return interp.ObjValue(newDate(in, in.Now)), nil
+		case 1:
+			if args[0].Kind() == interp.KindString {
+				t, err := time.Parse(time.RFC3339, args[0].Str())
+				if err != nil {
+					return interp.ObjValue(newDate(in, math.NaN())), nil
+				}
+				return interp.ObjValue(newDate(in, float64(t.UnixMilli()))), nil
+			}
+			n, err := in.ToNumber(args[0])
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			return interp.ObjValue(newDate(in, jsnum.ToInteger(n))), nil
+		default:
+			// new Date(y, m, d, h, min, s, ms) in UTC for determinism.
+			get := func(i int, dflt float64) (float64, error) {
+				if i >= len(args) {
+					return dflt, nil
+				}
+				return in.ToInteger(args[i])
+			}
+			y, err := get(0, 1970)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			mo, err := get(1, 0)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			d, err := get(2, 1)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			h, err := get(3, 0)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			mi, err := get(4, 0)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			sec, err := get(5, 0)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			ms, err := get(6, 0)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			t := time.Date(int(y), time.Month(int(mo)+1), int(d), int(h), int(mi), int(sec), int(ms)*1e6, time.UTC)
+			return interp.ObjValue(newDate(in, float64(t.UnixMilli()))), nil
+		}
+	}
+	call := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		in.Now++
+		return interp.String(formatDate(in.Now)), nil
+	}
+	ctor := r.ctor("Date", 7, proto, call, construct)
+
+	r.method(ctor, "Date.now", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		in.Now++
+		return interp.Number(in.Now), nil
+	})
+
+	r.method(ctor, "Date.parse", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		s, err := in.ToString(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return interp.Number(math.NaN()), nil
+		}
+		return interp.Number(float64(t.UnixMilli())), nil
+	})
+
+	r.method(ctor, "Date.UTC", 7, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		v, err := construct(in, this, args)
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return v.Obj().Prim, nil
+	})
+
+	thisDate := func(in *interp.Interp, this interp.Value, method string) (float64, error) {
+		if this.IsObject() && this.Obj().Class == "Date" && this.Obj().HasPrim {
+			return this.Obj().Prim.Num(), nil
+		}
+		return 0, in.TypeErrorf("%s called on incompatible receiver", method)
+	}
+
+	num := func(name string, f func(t time.Time) float64) {
+		r.method(proto, name, 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			ms, err := thisDate(in, this, name)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			if math.IsNaN(ms) {
+				return interp.Number(math.NaN()), nil
+			}
+			return interp.Number(f(time.UnixMilli(int64(ms)).UTC())), nil
+		})
+	}
+
+	r.method(proto, "Date.prototype.getTime", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		ms, err := thisDate(in, this, "Date.prototype.getTime")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Number(ms), nil
+	})
+	r.method(proto, "Date.prototype.valueOf", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		ms, err := thisDate(in, this, "Date.prototype.valueOf")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Number(ms), nil
+	})
+
+	num("Date.prototype.getFullYear", func(t time.Time) float64 { return float64(t.Year()) })
+	num("Date.prototype.getMonth", func(t time.Time) float64 { return float64(int(t.Month()) - 1) })
+	num("Date.prototype.getDate", func(t time.Time) float64 { return float64(t.Day()) })
+	num("Date.prototype.getDay", func(t time.Time) float64 { return float64(int(t.Weekday())) })
+	num("Date.prototype.getHours", func(t time.Time) float64 { return float64(t.Hour()) })
+	num("Date.prototype.getMinutes", func(t time.Time) float64 { return float64(t.Minute()) })
+	num("Date.prototype.getSeconds", func(t time.Time) float64 { return float64(t.Second()) })
+	num("Date.prototype.getMilliseconds", func(t time.Time) float64 { return float64(t.Nanosecond() / 1e6) })
+	num("Date.prototype.getUTCFullYear", func(t time.Time) float64 { return float64(t.Year()) })
+	num("Date.prototype.getUTCMonth", func(t time.Time) float64 { return float64(int(t.Month()) - 1) })
+	num("Date.prototype.getUTCDate", func(t time.Time) float64 { return float64(t.Day()) })
+	num("Date.prototype.getUTCHours", func(t time.Time) float64 { return float64(t.Hour()) })
+	num("Date.prototype.getTimezoneOffset", func(t time.Time) float64 { return 0 })
+
+	r.method(proto, "Date.prototype.toISOString", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		ms, err := thisDate(in, this, "Date.prototype.toISOString")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		if math.IsNaN(ms) {
+			return interp.Undefined(), in.RangeErrorf("Invalid time value")
+		}
+		t := time.UnixMilli(int64(ms)).UTC()
+		return interp.String(t.Format("2006-01-02T15:04:05.000Z")), nil
+	})
+
+	r.method(proto, "Date.prototype.toJSON", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		ms, err := thisDate(in, this, "Date.prototype.toJSON")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		if math.IsNaN(ms) {
+			return interp.Null(), nil
+		}
+		t := time.UnixMilli(int64(ms)).UTC()
+		return interp.String(t.Format("2006-01-02T15:04:05.000Z")), nil
+	})
+
+	r.method(proto, "Date.prototype.toString", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		ms, err := thisDate(in, this, "Date.prototype.toString")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.String(formatDate(ms)), nil
+	})
+
+	r.method(proto, "Date.prototype.setTime", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if _, err := thisDate(in, this, "Date.prototype.setTime"); err != nil {
+			return interp.Undefined(), err
+		}
+		n, err := in.ToNumber(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		this.Obj().Prim = interp.Number(jsnum.ToInteger(n))
+		return this.Obj().Prim, nil
+	})
+}
+
+func formatDate(ms float64) string {
+	if math.IsNaN(ms) {
+		return "Invalid Date"
+	}
+	t := time.UnixMilli(int64(ms)).UTC()
+	return fmt.Sprintf("%s %s %02d %d %02d:%02d:%02d GMT+0000 (Coordinated Universal Time)",
+		t.Weekday().String()[:3], t.Month().String()[:3], t.Day(), t.Year(),
+		t.Hour(), t.Minute(), t.Second())
+}

@@ -1,0 +1,78 @@
+package builtins
+
+import "comfort/internal/js/interp"
+
+// errorKinds lists the standard native error constructors.
+var errorKinds = []string{
+	"Error", "TypeError", "RangeError", "SyntaxError", "ReferenceError",
+	"EvalError", "URIError", "InternalError",
+}
+
+func installErrors(r *registry) {
+	in := r.in
+	base := interp.NewObject(in.Protos["Object"])
+	base.Class = "Error"
+	base.SetSlot("name", interp.String("Error"), interp.Writable|interp.Configurable)
+	base.SetSlot("message", interp.String(""), interp.Writable|interp.Configurable)
+
+	r.method(base, "Error.prototype.toString", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if !this.IsObject() {
+			return interp.Undefined(), in.TypeErrorf("Error.prototype.toString called on non-object")
+		}
+		nameV, err := in.GetPropKey(this, "name")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		name := "Error"
+		if !nameV.IsUndefined() {
+			name, err = in.ToString(nameV)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+		}
+		msgV, err := in.GetPropKey(this, "message")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		msg := ""
+		if !msgV.IsUndefined() {
+			msg, err = in.ToString(msgV)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+		}
+		switch {
+		case msg == "":
+			return interp.String(name), nil
+		case name == "":
+			return interp.String(msg), nil
+		default:
+			return interp.String(name + ": " + msg), nil
+		}
+	})
+
+	makeCtor := func(kind string, proto *interp.Object) {
+		body := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			o := interp.NewObject(proto)
+			o.Class = "Error"
+			if msg := arg(args, 0); !msg.IsUndefined() {
+				s, err := in.ToString(msg)
+				if err != nil {
+					return interp.Undefined(), err
+				}
+				o.SetSlot("message", interp.String(s), interp.Writable|interp.Configurable)
+			}
+			return interp.ObjValue(o), nil
+		}
+		r.ctor(kind, 1, proto, body, body)
+	}
+
+	makeCtor("Error", base)
+	for _, kind := range errorKinds[1:] {
+		proto := interp.NewObject(base)
+		proto.Class = "Error"
+		proto.SetSlot("name", interp.String(kind), interp.Writable|interp.Configurable)
+		proto.SetSlot("message", interp.String(""), interp.Writable|interp.Configurable)
+		makeCtor(kind, proto)
+	}
+}

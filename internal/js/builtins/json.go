@@ -1,0 +1,440 @@
+package builtins
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+
+	"comfort/internal/js/interp"
+	"comfort/internal/js/jsnum"
+)
+
+func installJSON(r *registry) {
+	in := r.in
+	j := interp.NewObject(in.Protos["Object"])
+	j.Class = "JSON"
+	r.global("JSON", interp.ObjValue(j))
+
+	r.method(j, "JSON.stringify", 3, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		indent := ""
+		if sp := arg(args, 2); !sp.IsUndefined() {
+			switch sp.Kind() {
+			case interp.KindNumber:
+				n := int(jsnum.ToInteger(sp.Num()))
+				if n > 10 {
+					n = 10
+				}
+				if n > 0 {
+					indent = strings.Repeat(" ", n)
+				}
+			case interp.KindString:
+				indent = sp.Str()
+				if len(indent) > 10 {
+					indent = indent[:10]
+				}
+			}
+		}
+		s, ok, err := jsonStringify(in, arg(args, 0), indent, "", map[*interp.Object]bool{})
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		if !ok {
+			return interp.Undefined(), nil
+		}
+		return interp.String(s), nil
+	})
+
+	r.method(j, "JSON.parse", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		src, err := in.ToString(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		p := &jsonParser{in: in, src: src}
+		p.skipWS()
+		v, err := p.value()
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		p.skipWS()
+		if p.pos != len(p.src) {
+			return interp.Undefined(), in.SyntaxErrorf("Unexpected token in JSON at position %d", p.pos)
+		}
+		return v, nil
+	})
+}
+
+// jsonStringify implements SerializeJSONProperty; ok=false means the value
+// is not serialisable (undefined / function).
+func jsonStringify(in *interp.Interp, v interp.Value, indent, cur string,
+	seen map[*interp.Object]bool) (string, bool, error) {
+	// toJSON support (Date).
+	if v.IsObject() {
+		toJSON, err := in.GetPropKey(v, "toJSON")
+		if err != nil {
+			return "", false, err
+		}
+		if toJSON.IsObject() && toJSON.Obj().IsCallable() {
+			v, err = in.Call(toJSON.Obj(), v, nil)
+			if err != nil {
+				return "", false, err
+			}
+		}
+	}
+	switch v.Kind() {
+	case interp.KindUndefined:
+		return "", false, nil
+	case interp.KindNull:
+		return "null", true, nil
+	case interp.KindBool:
+		if v.BoolVal() {
+			return "true", true, nil
+		}
+		return "false", true, nil
+	case interp.KindNumber:
+		if math.IsNaN(v.Num()) || math.IsInf(v.Num(), 0) {
+			return "null", true, nil
+		}
+		return jsnum.Format(v.Num()), true, nil
+	case interp.KindString:
+		return quoteJSON(v.Str()), true, nil
+	}
+	o := v.Obj()
+	if o.IsCallable() {
+		return "", false, nil
+	}
+	// Unwrap primitive wrappers.
+	if o.HasPrim {
+		switch o.Class {
+		case "String":
+			return quoteJSON(o.Prim.Str()), true, nil
+		case "Number":
+			return jsonStringify(in, o.Prim, indent, cur, seen)
+		case "Boolean":
+			return jsonStringify(in, o.Prim, indent, cur, seen)
+		}
+	}
+	if seen[o] {
+		return "", false, in.TypeErrorf("Converting circular structure to JSON")
+	}
+	seen[o] = true
+	defer delete(seen, o)
+	if err := in.Burn(4); err != nil {
+		return "", false, err
+	}
+	inner := cur + indent
+	nl, sp := "", ""
+	if indent != "" {
+		nl, sp = "\n", " "
+	}
+	if o.IsArray() {
+		elems := o.ArrayElems()
+		if len(elems) == 0 {
+			return "[]", true, nil
+		}
+		var parts []string
+		for _, e := range elems {
+			s, ok, err := jsonStringify(in, e, indent, inner, seen)
+			if err != nil {
+				return "", false, err
+			}
+			if !ok {
+				s = "null"
+			}
+			parts = append(parts, inner+s)
+		}
+		return "[" + nl + strings.Join(parts, ","+nl) + nl + cur + "]", true, nil
+	}
+	var parts []string
+	for _, k := range o.EnumerableKeys() {
+		pv, err := in.GetPropKey(v, k)
+		if err != nil {
+			return "", false, err
+		}
+		s, ok, err := jsonStringify(in, pv, indent, inner, seen)
+		if err != nil {
+			return "", false, err
+		}
+		if !ok {
+			continue
+		}
+		parts = append(parts, inner+quoteJSON(k)+":"+sp+s)
+	}
+	if len(parts) == 0 {
+		return "{}", true, nil
+	}
+	return "{" + nl + strings.Join(parts, ","+nl) + nl + cur + "}", true, nil
+}
+
+func quoteJSON(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\b':
+			b.WriteString(`\b`)
+		case '\f':
+			b.WriteString(`\f`)
+		default:
+			if r < 0x20 {
+				b.WriteString("\\u")
+				hex := strconv.FormatInt(int64(r), 16)
+				for len(hex) < 4 {
+					hex = "0" + hex
+				}
+				b.WriteString(hex)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// jsonParser is a small standalone JSON reader producing JS values.
+type jsonParser struct {
+	in  *interp.Interp
+	src string
+	pos int
+}
+
+func (p *jsonParser) skipWS() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) fail() error {
+	return p.in.SyntaxErrorf("Unexpected token in JSON at position %d", p.pos)
+}
+
+func (p *jsonParser) value() (interp.Value, error) {
+	if err := p.in.Burn(1); err != nil {
+		return interp.Undefined(), err
+	}
+	if p.pos >= len(p.src) {
+		return interp.Undefined(), p.in.SyntaxErrorf("Unexpected end of JSON input")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '{':
+		return p.object()
+	case c == '[':
+		return p.array()
+	case c == '"':
+		s, err := p.str()
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.String(s), nil
+	case c == 't':
+		if strings.HasPrefix(p.src[p.pos:], "true") {
+			p.pos += 4
+			return interp.Bool(true), nil
+		}
+		return interp.Undefined(), p.fail()
+	case c == 'f':
+		if strings.HasPrefix(p.src[p.pos:], "false") {
+			p.pos += 5
+			return interp.Bool(false), nil
+		}
+		return interp.Undefined(), p.fail()
+	case c == 'n':
+		if strings.HasPrefix(p.src[p.pos:], "null") {
+			p.pos += 4
+			return interp.Null(), nil
+		}
+		return interp.Undefined(), p.fail()
+	case c == '-' || (c >= '0' && c <= '9'):
+		return p.number()
+	default:
+		return interp.Undefined(), p.fail()
+	}
+}
+
+func (p *jsonParser) number() (interp.Value, error) {
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '.' {
+		p.pos++
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	if p.pos < len(p.src) && (p.src[p.pos] == 'e' || p.src[p.pos] == 'E') {
+		p.pos++
+		if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return interp.Undefined(), p.fail()
+	}
+	return interp.Number(f), nil
+}
+
+func (p *jsonParser) str() (string, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '"':
+			p.pos++
+			return b.String(), nil
+		case c == '\\':
+			p.pos++
+			if p.pos >= len(p.src) {
+				return "", p.fail()
+			}
+			switch p.src[p.pos] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case '/':
+				b.WriteByte('/')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case 'u':
+				if p.pos+4 >= len(p.src) {
+					return "", p.fail()
+				}
+				u, err := strconv.ParseUint(p.src[p.pos+1:p.pos+5], 16, 32)
+				if err != nil {
+					return "", p.fail()
+				}
+				p.pos += 4
+				r := rune(u)
+				// Surrogate pair handling.
+				if utf16.IsSurrogate(r) && p.pos+6 < len(p.src) &&
+					p.src[p.pos+1] == '\\' && p.src[p.pos+2] == 'u' {
+					u2, err := strconv.ParseUint(p.src[p.pos+3:p.pos+7], 16, 32)
+					if err == nil {
+						if dec := utf16.DecodeRune(r, rune(u2)); dec != 0xFFFD {
+							r = dec
+							p.pos += 6
+						}
+					}
+				}
+				b.WriteRune(r)
+			default:
+				return "", p.fail()
+			}
+			p.pos++
+		case c < 0x20:
+			return "", p.fail()
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return "", p.in.SyntaxErrorf("Unexpected end of JSON input")
+}
+
+func (p *jsonParser) object() (interp.Value, error) {
+	p.pos++ // '{'
+	o := interp.NewObject(p.in.Protos["Object"])
+	p.skipWS()
+	if p.pos < len(p.src) && p.src[p.pos] == '}' {
+		p.pos++
+		return interp.ObjValue(o), nil
+	}
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+			return interp.Undefined(), p.fail()
+		}
+		k, err := p.str()
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		p.skipWS()
+		if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+			return interp.Undefined(), p.fail()
+		}
+		p.pos++
+		p.skipWS()
+		v, err := p.value()
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		o.SetSlot(k, v, interp.DefaultAttr)
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return interp.Undefined(), p.in.SyntaxErrorf("Unexpected end of JSON input")
+		}
+		if p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		if p.src[p.pos] == '}' {
+			p.pos++
+			return interp.ObjValue(o), nil
+		}
+		return interp.Undefined(), p.fail()
+	}
+}
+
+func (p *jsonParser) array() (interp.Value, error) {
+	p.pos++ // '['
+	arr := p.in.NewArray(nil)
+	p.skipWS()
+	if p.pos < len(p.src) && p.src[p.pos] == ']' {
+		p.pos++
+		return interp.ObjValue(arr), nil
+	}
+	for {
+		p.skipWS()
+		v, err := p.value()
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		arr.AppendElem(v)
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return interp.Undefined(), p.in.SyntaxErrorf("Unexpected end of JSON input")
+		}
+		if p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		if p.src[p.pos] == ']' {
+			p.pos++
+			return interp.ObjValue(arr), nil
+		}
+		return interp.Undefined(), p.fail()
+	}
+}

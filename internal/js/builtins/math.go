@@ -1,0 +1,161 @@
+package builtins
+
+import (
+	"math"
+
+	"comfort/internal/js/interp"
+)
+
+func installMath(r *registry) {
+	in := r.in
+	m := interp.NewObject(in.Protos["Object"])
+	m.Class = "Math"
+	r.global("Math", interp.ObjValue(m))
+
+	m.SetSlot("PI", interp.Number(math.Pi), 0)
+	m.SetSlot("E", interp.Number(math.E), 0)
+	m.SetSlot("LN2", interp.Number(math.Ln2), 0)
+	m.SetSlot("LN10", interp.Number(math.Log(10)), 0)
+	m.SetSlot("LOG2E", interp.Number(1/math.Ln2), 0)
+	m.SetSlot("LOG10E", interp.Number(1/math.Log(10)), 0)
+	m.SetSlot("SQRT2", interp.Number(math.Sqrt2), 0)
+	m.SetSlot("SQRT1_2", interp.Number(math.Sqrt(0.5)), 0)
+
+	unary := func(name string, f func(float64) float64) {
+		r.method(m, "Math."+name, 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			n, err := in.ToNumber(arg(args, 0))
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			return interp.Number(f(n)), nil
+		})
+	}
+	unary("abs", math.Abs)
+	unary("floor", math.Floor)
+	unary("ceil", math.Ceil)
+	unary("trunc", math.Trunc)
+	unary("sqrt", math.Sqrt)
+	unary("cbrt", math.Cbrt)
+	unary("exp", math.Exp)
+	unary("expm1", math.Expm1)
+	unary("log", math.Log)
+	unary("log2", math.Log2)
+	unary("log10", math.Log10)
+	unary("log1p", math.Log1p)
+	unary("sin", math.Sin)
+	unary("cos", math.Cos)
+	unary("tan", math.Tan)
+	unary("asin", math.Asin)
+	unary("acos", math.Acos)
+	unary("atan", math.Atan)
+	unary("sinh", math.Sinh)
+	unary("cosh", math.Cosh)
+	unary("tanh", math.Tanh)
+	unary("asinh", math.Asinh)
+	unary("acosh", math.Acosh)
+	unary("atanh", math.Atanh)
+	unary("fround", func(f float64) float64 { return float64(float32(f)) })
+	unary("sign", func(f float64) float64 {
+		switch {
+		case math.IsNaN(f):
+			return f
+		case f > 0:
+			return 1
+		case f < 0:
+			return -1
+		default:
+			return f // ±0 preserved
+		}
+	})
+	unary("round", func(f float64) float64 {
+		// JS Math.round: halves round toward +Infinity.
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return f
+		}
+		return math.Floor(f + 0.5)
+	})
+	unary("clz32", func(f float64) float64 {
+		u := uint32(int64(math.Trunc(math.Mod(f, 4294967296))))
+		n := 0
+		for i := 31; i >= 0; i-- {
+			if u&(1<<uint(i)) != 0 {
+				break
+			}
+			n++
+		}
+		return float64(n)
+	})
+
+	r.method(m, "Math.pow", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		a, err := in.ToNumber(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		b, err := in.ToNumber(arg(args, 1))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Number(math.Pow(a, b)), nil
+	})
+
+	r.method(m, "Math.atan2", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		a, err := in.ToNumber(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		b, err := in.ToNumber(arg(args, 1))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Number(math.Atan2(a, b)), nil
+	})
+
+	r.method(m, "Math.hypot", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		sum := 0.0
+		for _, a := range args {
+			n, err := in.ToNumber(a)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			sum += n * n
+		}
+		return interp.Number(math.Sqrt(sum)), nil
+	})
+
+	r.method(m, "Math.imul", 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		a, err := in.ToNumber(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		b, err := in.ToNumber(arg(args, 1))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Number(float64(int32(int64(a)) * int32(int64(b)))), nil
+	})
+
+	minmax := func(name string, better func(a, b float64) bool, empty float64) {
+		r.method(m, "Math."+name, 2, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			best := empty
+			for _, a := range args {
+				n, err := in.ToNumber(a)
+				if err != nil {
+					return interp.Undefined(), err
+				}
+				if math.IsNaN(n) {
+					return interp.Number(math.NaN()), nil
+				}
+				if better(n, best) {
+					best = n
+				}
+			}
+			return interp.Number(best), nil
+		})
+	}
+	minmax("max", func(a, b float64) bool { return a > b }, math.Inf(-1))
+	minmax("min", func(a, b float64) bool { return a < b }, math.Inf(1))
+
+	r.method(m, "Math.random", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.Number(in.Rand.Float64()), nil
+	})
+}

@@ -1,0 +1,252 @@
+package builtins
+
+import (
+	"math"
+	"strconv"
+
+	"comfort/internal/js/interp"
+	"comfort/internal/js/jsnum"
+)
+
+func installNumber(r *registry) {
+	in := r.in
+	proto := interp.NewObject(in.Protos["Object"])
+	proto.Class = "Number"
+	proto.Prim, proto.HasPrim = interp.Number(0), true
+
+	call := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Number(0), nil
+		}
+		n, err := in.ToNumber(args[0])
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Number(n), nil
+	}
+	construct := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		v, err := call(in, this, args)
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		o := interp.NewObject(in.Protos["Number"])
+		o.Class = "Number"
+		o.Prim, o.HasPrim = v, true
+		return interp.ObjValue(o), nil
+	}
+	ctor := r.ctor("Number", 1, proto, call, construct)
+
+	ctor.SetSlot("MAX_SAFE_INTEGER", interp.Number(9007199254740991), 0)
+	ctor.SetSlot("MIN_SAFE_INTEGER", interp.Number(-9007199254740991), 0)
+	ctor.SetSlot("MAX_VALUE", interp.Number(math.MaxFloat64), 0)
+	ctor.SetSlot("MIN_VALUE", interp.Number(5e-324), 0)
+	ctor.SetSlot("EPSILON", interp.Number(2.220446049250313e-16), 0)
+	ctor.SetSlot("POSITIVE_INFINITY", interp.Number(math.Inf(1)), 0)
+	ctor.SetSlot("NEGATIVE_INFINITY", interp.Number(math.Inf(-1)), 0)
+	ctor.SetSlot("NaN", interp.Number(math.NaN()), 0)
+
+	r.method(ctor, "Number.isInteger", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		v := arg(args, 0)
+		return interp.Bool(v.Kind() == interp.KindNumber && !math.IsNaN(v.Num()) &&
+			!math.IsInf(v.Num(), 0) && v.Num() == math.Trunc(v.Num())), nil
+	})
+	r.method(ctor, "Number.isFinite", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		v := arg(args, 0)
+		return interp.Bool(v.Kind() == interp.KindNumber && !math.IsNaN(v.Num()) && !math.IsInf(v.Num(), 0)), nil
+	})
+	r.method(ctor, "Number.isNaN", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		v := arg(args, 0)
+		return interp.Bool(v.Kind() == interp.KindNumber && math.IsNaN(v.Num())), nil
+	})
+	r.method(ctor, "Number.isSafeInteger", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		v := arg(args, 0)
+		ok := v.Kind() == interp.KindNumber && !math.IsNaN(v.Num()) && !math.IsInf(v.Num(), 0) &&
+			v.Num() == math.Trunc(v.Num()) && math.Abs(v.Num()) <= 9007199254740991
+		return interp.Bool(ok), nil
+	})
+	r.method(ctor, "Number.parseInt", 2, parseIntImpl)
+	r.method(ctor, "Number.parseFloat", 1, parseFloatImpl)
+
+	thisNum := func(in *interp.Interp, this interp.Value, method string) (float64, error) {
+		if this.Kind() == interp.KindNumber {
+			return this.Num(), nil
+		}
+		if this.IsObject() && this.Obj().Class == "Number" && this.Obj().HasPrim {
+			return this.Obj().Prim.Num(), nil
+		}
+		return 0, in.TypeErrorf("%s requires that 'this' be a Number", method)
+	}
+
+	r.method(proto, "Number.prototype.toString", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		n, err := thisNum(in, this, "Number.prototype.toString")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		radix := 10.0
+		if rv := arg(args, 0); !rv.IsUndefined() {
+			radix, err = in.ToInteger(rv)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+		}
+		if radix < 2 || radix > 36 {
+			return interp.Undefined(), in.RangeErrorf("toString() radix must be between 2 and 36")
+		}
+		return interp.String(jsnum.FormatRadix(n, int(radix))), nil
+	})
+
+	r.method(proto, "Number.prototype.valueOf", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		n, err := thisNum(in, this, "Number.prototype.valueOf")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Number(n), nil
+	})
+
+	r.method(proto, "Number.prototype.toFixed", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		n, err := thisNum(in, this, "Number.prototype.toFixed")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		digitsF, err := in.ToInteger(arg(args, 0))
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		// ECMA-262: digits must be in [0, 100] (20 before ES2018); outside
+		// the range a RangeError is thrown — the Rhino Listing-4 rule.
+		if digitsF < 0 || digitsF > 100 {
+			return interp.Undefined(), in.RangeErrorf("toFixed() digits argument must be between 0 and 100")
+		}
+		if math.IsNaN(n) {
+			return interp.String("NaN"), nil
+		}
+		if math.Abs(n) >= 1e21 {
+			return interp.String(jsnum.Format(n)), nil
+		}
+		return interp.String(toFixedString(n, int(digitsF))), nil
+	})
+
+	r.method(proto, "Number.prototype.toPrecision", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		n, err := thisNum(in, this, "Number.prototype.toPrecision")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		pv := arg(args, 0)
+		if pv.IsUndefined() {
+			return interp.String(jsnum.Format(n)), nil
+		}
+		pF, err := in.ToInteger(pv)
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		if pF < 1 || pF > 100 {
+			return interp.Undefined(), in.RangeErrorf("toPrecision() argument must be between 1 and 100")
+		}
+		if math.IsNaN(n) {
+			return interp.String("NaN"), nil
+		}
+		s := strconv.FormatFloat(n, 'g', int(pF), 64)
+		return interp.String(s), nil
+	})
+
+	r.method(proto, "Number.prototype.toExponential", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		n, err := thisNum(in, this, "Number.prototype.toExponential")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		digits := 6
+		if dv := arg(args, 0); !dv.IsUndefined() {
+			dF, err := in.ToInteger(dv)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			if dF < 0 || dF > 100 {
+				return interp.Undefined(), in.RangeErrorf("toExponential() argument must be between 0 and 100")
+			}
+			digits = int(dF)
+		}
+		if math.IsNaN(n) {
+			return interp.String("NaN"), nil
+		}
+		s := strconv.FormatFloat(n, 'e', digits, 64)
+		return interp.String(s), nil
+	})
+
+	r.method(proto, "Number.prototype.toLocaleString", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		n, err := thisNum(in, this, "Number.prototype.toLocaleString")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.String(jsnum.Format(n)), nil
+	})
+}
+
+// toFixedString implements the Number.prototype.toFixed digit algorithm:
+// pick the integer n minimising |n/10^f - x|, breaking ties toward the
+// larger n (unlike Go's round-half-to-even formatting).
+func toFixedString(x float64, digits int) string {
+	neg := math.Signbit(x)
+	a := math.Abs(x)
+	pow := math.Pow(10, float64(digits))
+	scaled := a * pow
+	i := math.Floor(scaled)
+	if scaled-i >= 0.5 {
+		i++
+	}
+	s := strconv.FormatFloat(i, 'f', 0, 64)
+	for len(s) <= digits {
+		s = "0" + s
+	}
+	if digits > 0 {
+		s = s[:len(s)-digits] + "." + s[len(s)-digits:]
+	}
+	if neg && i != 0 {
+		s = "-" + s
+	}
+	return s
+}
+
+func installBoolean(r *registry) {
+	in := r.in
+	proto := interp.NewObject(in.Protos["Object"])
+	proto.Class = "Boolean"
+	proto.Prim, proto.HasPrim = interp.Bool(false), true
+
+	call := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.Bool(interp.ToBoolean(arg(args, 0))), nil
+	}
+	construct := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o := interp.NewObject(in.Protos["Boolean"])
+		o.Class = "Boolean"
+		o.Prim, o.HasPrim = interp.Bool(interp.ToBoolean(arg(args, 0))), true
+		return interp.ObjValue(o), nil
+	}
+	r.ctor("Boolean", 1, proto, call, construct)
+
+	thisBool := func(in *interp.Interp, this interp.Value, method string) (bool, error) {
+		if this.Kind() == interp.KindBool {
+			return this.BoolVal(), nil
+		}
+		if this.IsObject() && this.Obj().Class == "Boolean" && this.Obj().HasPrim {
+			return this.Obj().Prim.BoolVal(), nil
+		}
+		return false, in.TypeErrorf("%s requires that 'this' be a Boolean", method)
+	}
+	r.method(proto, "Boolean.prototype.toString", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		b, err := thisBool(in, this, "Boolean.prototype.toString")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		if b {
+			return interp.String("true"), nil
+		}
+		return interp.String("false"), nil
+	})
+	r.method(proto, "Boolean.prototype.valueOf", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		b, err := thisBool(in, this, "Boolean.prototype.valueOf")
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		return interp.Bool(b), nil
+	})
+}

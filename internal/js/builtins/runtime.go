@@ -1,0 +1,125 @@
+// Package builtins installs the ECMAScript standard library into an
+// interpreter instance: Object, Function, Array, String, Number, Boolean,
+// Math, JSON, RegExp, Date, the Error hierarchy, typed arrays, DataView,
+// eval and the global functions. Every builtin carries a canonical spec key
+// (e.g. "String.prototype.substr") through which engine defects intercept it
+// and the dedup tree classifies bug reports.
+package builtins
+
+import (
+	"comfort/internal/js/interp"
+)
+
+// NewRuntime creates an interpreter with the full standard library.
+func NewRuntime(cfg interp.Config) *interp.Interp {
+	in := interp.New(cfg)
+	Install(in)
+	return in
+}
+
+// Install wires the standard library into in. It is idempotent per
+// interpreter.
+func Install(in *interp.Interp) {
+	r := &registry{in: in}
+
+	// Bootstrap Object.prototype and Function.prototype first: everything
+	// else hangs off them.
+	objProto := interp.NewObject(nil)
+	in.Protos["Object"] = objProto
+	fnProto := interp.NewObject(objProto)
+	fnProto.Class = "Function"
+	in.Protos["Function"] = fnProto
+
+	installObject(r)
+	installFunction(r)
+	installErrors(r)
+	installArray(r)
+	installString(r)
+	installNumber(r)
+	installBoolean(r)
+	installMath(r)
+	installJSON(r)
+	installRegExp(r)
+	installDate(r)
+	installTypedArrays(r)
+	installGlobals(r)
+}
+
+// registry carries shared helpers for the install functions.
+type registry struct {
+	in *interp.Interp
+}
+
+// fn creates a native function object with the canonical spec key name.
+func (r *registry) fn(name string, arity int, f interp.NativeFunc) *interp.Object {
+	o := interp.NewObject(r.in.Protos["Function"])
+	o.Class = "Function"
+	o.Native = f
+	o.NativeName = name
+	short := name
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			short = name[i+1:]
+			break
+		}
+	}
+	o.SetSlot("length", interp.Number(float64(arity)), interp.Configurable)
+	o.SetSlot("name", interp.String(short), interp.Configurable)
+	return o
+}
+
+// method attaches a native method to obj under its short name.
+func (r *registry) method(obj *interp.Object, name string, arity int, f interp.NativeFunc) {
+	fo := r.fn(name, arity, f)
+	short := name
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '.' {
+			short = name[i+1:]
+			break
+		}
+	}
+	obj.SetSlot(short, interp.ObjValue(fo), interp.Writable|interp.Configurable)
+}
+
+// global binds a value on the global object.
+func (r *registry) global(name string, v interp.Value) {
+	r.in.Global.SetSlot(name, v, interp.Writable|interp.Configurable)
+}
+
+// ctor creates a constructor function wired to a prototype object, registers
+// both in the realm tables, and exposes the constructor globally.
+func (r *registry) ctor(name string, arity int, proto *interp.Object,
+	call, construct interp.NativeFunc) *interp.Object {
+	c := r.fn(name, arity, call)
+	c.Construct = construct
+	c.SetSlot("prototype", interp.ObjValue(proto), 0)
+	proto.SetSlot("constructor", interp.ObjValue(c), interp.Writable|interp.Configurable)
+	r.in.Protos[name] = proto
+	r.in.Ctors[name] = c
+	r.global(name, interp.ObjValue(c))
+	return c
+}
+
+// restArgs returns args[i:] or nil when fewer arguments were passed.
+func restArgs(args []interp.Value, i int) []interp.Value {
+	if i >= len(args) {
+		return nil
+	}
+	return args[i:]
+}
+
+// arg returns args[i] or undefined.
+func arg(args []interp.Value, i int) interp.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return interp.Undefined()
+}
+
+// requireObjectCoercible throws TypeError for null/undefined receivers.
+func requireObjectCoercible(in *interp.Interp, v interp.Value, method string) error {
+	if v.IsNullish() {
+		return in.TypeErrorf("%s called on null or undefined", method)
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package builtins
+
+import (
+	"strings"
+	"testing"
+
+	"comfort/internal/js/interp"
+	"comfort/internal/js/parser"
+)
+
+// run executes src on a fresh runtime and returns printed output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	out, err := runErr(src)
+	if err != nil {
+		t.Fatalf("run(%q): %v", src, err)
+	}
+	return out
+}
+
+// runErr executes src and returns output and any error.
+func runErr(src string) (string, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	in := NewRuntime(interp.Config{Seed: 1})
+	err = in.Run(prog)
+	return in.Out.String(), err
+}
+
+// expectOut asserts that running src prints want (lines joined by \n).
+func expectOut(t *testing.T, src, want string) {
+	t.Helper()
+	got := strings.TrimRight(run(t, src), "\n")
+	if got != want {
+		t.Errorf("source %q:\n got %q\nwant %q", src, got, want)
+	}
+}
+
+// expectThrow asserts that running src throws an error whose name is kind.
+func expectThrow(t *testing.T, src, kind string) {
+	t.Helper()
+	_, err := runErr(src)
+	if err == nil {
+		t.Fatalf("source %q: expected %s, ran normally", src, kind)
+	}
+	th, ok := interp.IsThrow(err)
+	if !ok {
+		t.Fatalf("source %q: expected %s, got %v", src, kind, err)
+	}
+	if name := interp.ErrorName(th.Val); name != kind {
+		t.Errorf("source %q: expected %s, threw %s (%v)", src, kind, name, err)
+	}
+}
+
+func TestBasicEvaluation(t *testing.T) {
+	expectOut(t, `print(1 + 2);`, "3")
+	expectOut(t, `print("a" + 1);`, "a1")
+	expectOut(t, `print(1 + "a");`, "1a")
+	expectOut(t, `var x = 10; x += 5; print(x);`, "15")
+	expectOut(t, `print(7 % 3, 2 ** 10, 7 / 2);`, "1 1024 3.5")
+	expectOut(t, `print(1 < 2, "a" < "b", 2 <= 2, 3 > 4);`, "true true true false")
+	expectOut(t, `print(5 & 3, 5 | 3, 5 ^ 3, ~5, 1 << 4, -16 >> 2, -16 >>> 28);`,
+		"1 7 6 -6 16 -4 15")
+	expectOut(t, `print(typeof 1, typeof "s", typeof undefined, typeof null, typeof {}, typeof print);`,
+		"number string undefined object object function")
+	expectOut(t, `print(0.1 + 0.2);`, "0.30000000000000004")
+	expectOut(t, `print(1e21, 1e-7, -0);`, "1e+21 1e-7 0")
+	expectOut(t, `print(NaN === NaN, null == undefined, null === undefined);`,
+		"false true false")
+	expectOut(t, `print("5" == 5, "5" === 5, true == 1, [] == "");`,
+		"true false true true")
+}
+
+func TestControlFlow(t *testing.T) {
+	expectOut(t, `var s = 0; for (var i = 0; i < 5; i++) { s += i; } print(s);`, "10")
+	expectOut(t, `var s = ""; var o = {a: 1, b: 2}; for (var k in o) { s += k; } print(s);`, "ab")
+	expectOut(t, `var s = 0; for (var v of [1, 2, 3]) { s += v; } print(s);`, "6")
+	expectOut(t, `var i = 0; while (i < 3) { i++; } print(i);`, "3")
+	expectOut(t, `var i = 0; do { i++; } while (i < 3); print(i);`, "3")
+	expectOut(t, `
+var s = "";
+switch (2) {
+  case 1: s += "one";
+  case 2: s += "two";
+  case 3: s += "three"; break;
+  default: s += "other";
+}
+print(s);`, "twothree")
+	expectOut(t, `
+outer: for (var i = 0; i < 3; i++) {
+  for (var j = 0; j < 3; j++) {
+    if (j === 1) continue outer;
+    if (i === 2) break outer;
+    print(i, j);
+  }
+}`, "0 0\n1 0")
+	expectOut(t, `
+try { throw new TypeError("boom"); }
+catch (e) { print(e instanceof TypeError, e.message); }
+finally { print("done"); }`, "true boom\ndone")
+}
+
+func TestFunctions(t *testing.T) {
+	expectOut(t, `function add(a, b) { return a + b; } print(add(2, 3));`, "5")
+	expectOut(t, `var f = function(x) { return x * 2; }; print(f(21));`, "42")
+	expectOut(t, `var f = (x) => x + 1; print(f(1));`, "2")
+	expectOut(t, `var f = x => { return x * 3; }; print(f(2));`, "6")
+	expectOut(t, `
+function counter() {
+  var n = 0;
+  return function() { n++; return n; };
+}
+var c = counter();
+c(); c();
+print(c());`, "3")
+	expectOut(t, `function f() { return arguments.length + ":" + arguments[1]; } print(f(9, 8, 7));`, "3:8")
+	expectOut(t, `function f(a, ...rest) { return rest.join("-"); } print(f(1, 2, 3, 4));`, "2-3-4")
+	expectOut(t, `function f(x) { return this.v + x; } print(f.call({v: 10}, 5), f.apply({v: 1}, [2]));`, "15 3")
+	expectOut(t, `function f(x, y) { return this.v + x + y; } var g = f.bind({v: 100}, 10); print(g(1));`, "111")
+	expectOut(t, `
+function Point(x, y) { this.x = x; this.y = y; }
+Point.prototype.norm = function() { return this.x * this.x + this.y * this.y; };
+var p = new Point(3, 4);
+print(p.norm(), p instanceof Point);`, "25 true")
+	expectOut(t, `print((function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); })(10));`, "3628800")
+}
+
+func TestStringBuiltins(t *testing.T) {
+	expectOut(t, `print("Name: Albert".substr(6, undefined));`, "Albert")
+	expectOut(t, `print("hello".substr(1, 3), "hello".substr(-3));`, "ell llo")
+	expectOut(t, `print("hello".slice(1, -1), "hello".substring(3, 1));`, "ell el")
+	expectOut(t, `print("a-b-c".split("-").length, "abc".split("").join(","));`, "3 a,b,c")
+	expectOut(t, `print("anA".split(/^A/));`, "anA")
+	expectOut(t, `print("aXbXc".replace(/X/g, "-"), "aXbXc".replace("X", "-"));`, "a-b-c a-bXc")
+	expectOut(t, `print("a1b22c".replace(/\d+/g, function(m) { return "[" + m + "]"; }));`, "a[1]b[22]c")
+	expectOut(t, `print("hello world".indexOf("world"), "abcabc".lastIndexOf("b"));`, "6 4")
+	expectOut(t, `print("HeLLo".toLowerCase(), "hi".toUpperCase());`, "hello HI")
+	expectOut(t, `print("  pad  ".trim(), "5".padStart(3, "0"), "ab".repeat(3));`, "pad 005 ababab")
+	expectOut(t, `print("abc".charAt(1), "abc".charCodeAt(0), String.fromCharCode(74, 83));`, "b 97 JS")
+	expectOut(t, `print("café".length, "tested".includes("est"), "ab".startsWith("a"));`, "4 true true")
+	expectOut(t, `var m = "2021-06-20".match(/(\d+)-(\d+)/); print(m[0], m[1], m[2], m.index);`, "2021-06 2021 06 0")
+	expectOut(t, `print("".normalize(), "x".normalize("NFC"));`, " x")
+	expectThrow(t, `"".normalize(true);`, "RangeError")
+	expectThrow(t, `String.prototype.big.call(null);`, "TypeError")
+	expectOut(t, `print("s".big());`, "<big>s</big>")
+}
+
+func TestArrayBuiltins(t *testing.T) {
+	// Note: print stringifies its object arguments after all arguments are
+	// evaluated, so the popped element is already gone from a.
+	expectOut(t, `var a = [1, 2, 3]; a.push(4); print(a, a.length, a.pop(), a.length);`, "1,2,3 4 4 3")
+	expectOut(t, `var a = [3, 1, 2]; print(a.sort(), [10, 9, 1].sort());`, "1,2,3 1,10,9")
+	expectOut(t, `print([3, 1, 2].sort(function(x, y) { return x - y; }));`, "1,2,3")
+	expectOut(t, `print([1, 2, 3].map(function(x) { return x * x; }));`, "1,4,9")
+	expectOut(t, `print([1, 2, 3, 4].filter(function(x) { return x % 2 === 0; }));`, "2,4")
+	expectOut(t, `print([1, 2, 3].reduce(function(a, b) { return a + b; }, 10));`, "16")
+	expectOut(t, `print([1, 2, 3].indexOf(2), [1, 2].includes(3), [[1, [2]], 3].flat(2));`, "1 false 1,2,3")
+	expectOut(t, `var a = [1, 2, 3, 4, 5]; print(a.slice(1, 3), a.splice(1, 2), a);`, "2,3 2,3 1,4,5")
+	expectOut(t, `print([1, 2].concat([3], 4), ["b", "a"].reverse().join(""));`, "1,2,3,4 ab")
+	expectOut(t, `print(Array.isArray([]), Array.isArray("no"), Array.of(1, 2).length);`, "true false 2")
+	expectOut(t, `print(Array.from("abc"), Array.from([1, 2], function(x) { return x * 2; }));`, "a,b,c 2,4")
+	expectOut(t, `var a = new Array(3); print(a.length); a[5] = 1; print(a.length);`, "3\n6")
+	expectOut(t, `var a = [1, 2, 5]; a[true] = 10; print(a); print(a[true]);`, "1,2,5\n10")
+	expectOut(t, `print([1, 2, 3].find(function(x) { return x > 1; }), [1, 2].some(function(x) { return x > 1; }), [1, 2].every(function(x) { return x > 0; }));`, "2 true true")
+}
+
+func TestObjectBuiltins(t *testing.T) {
+	expectOut(t, `print(Object.keys({a: 1, b: 2}), Object.values({a: 1, b: 2}));`, "a,b 1,2")
+	expectOut(t, `var o = {}; Object.defineProperty(o, "x", {value: 42}); print(o.x);`, "42")
+	expectThrow(t, `
+var arrobj = [0, 1];
+Object.defineProperty(arrobj, "length", {value: 1, configurable: true});`, "TypeError")
+	expectOut(t, `
+var arrobj = [0, 1, 2];
+Object.defineProperty(arrobj, "length", {value: 1});
+print(arrobj.length, arrobj);`, "1 0")
+	expectOut(t, `var o = Object.freeze({a: 1}); o.a = 2; print(o.a, Object.isFrozen(o));`, "1 true")
+	expectOut(t, `var o = {a: 1}; print(o.hasOwnProperty("a"), o.hasOwnProperty("b"), "a" in o);`, "true false true")
+	expectOut(t, `var o = Object.create({inherited: 7}); print(o.inherited, Object.getPrototypeOf(o).inherited);`, "7 7")
+	expectOut(t, `print(Object.assign({}, {a: 1}, {b: 2}).b);`, "2")
+	expectOut(t, `var o = {get x() { return 9; }, set x(v) { this.y = v; }}; print(o.x); o.x = 3; print(o.y);`, "9\n3")
+	expectOut(t, `print(({}).toString(), [].toString(), Object.prototype.toString.call([]));`, "[object Object]  [object Array]")
+	expectOut(t, `delete Object.prototype; print(typeof Object.prototype);`, "object")
+}
+
+func TestNumberMathJSON(t *testing.T) {
+	expectOut(t, `print((255).toString(16), (8).toString(2));`, "ff 1000")
+	expectOut(t, `print((3.14159).toFixed(2), (0.5).toFixed(0));`, "3.14 1")
+	expectThrow(t, `(-634619).toFixed(-2);`, "RangeError")
+	expectOut(t, `print(Number.isInteger(5), Number.isInteger(5.5), Number.MAX_SAFE_INTEGER);`,
+		"true false 9007199254740991")
+	expectOut(t, `print(parseInt("42px"), parseInt("0x1f"), parseInt("11", 2), parseFloat("3.5e2x"));`,
+		"42 31 3 350")
+	expectOut(t, `print(Math.max(1, 5, 3), Math.min(-1, 2), Math.abs(-7), Math.floor(2.7), Math.round(2.5), Math.round(-2.5));`,
+		"5 -1 7 2 3 -2")
+	expectOut(t, `print(Math.sqrt(16), Math.pow(2, 8), Math.sign(-3));`, "4 256 -1")
+	expectOut(t, `print(JSON.stringify({a: [1, "x", null], b: true}));`, `{"a":[1,"x",null],"b":true}`)
+	expectOut(t, `var o = JSON.parse('{"a": [1, 2], "b": "s"}'); print(o.a[1], o.b);`, "2 s")
+	expectOut(t, `print(JSON.stringify(undefined), JSON.stringify(function() {}));`, "undefined undefined")
+	expectThrow(t, `JSON.parse("{bad}");`, "SyntaxError")
+	expectOut(t, `print(JSON.stringify({a:1}, null, 2));`, "{\n  \"a\": 1\n}")
+}
+
+func TestTypedArraysAndEval(t *testing.T) {
+	expectOut(t, `var a = new Uint32Array(3.14); print(a.length);`, "3")
+	expectOut(t, `var A = new Uint8Array(5); A.set("123"); print(A);`, "1,2,3,0,0")
+	expectOut(t, `var a = new Int8Array([200, -1]); print(a[0], a[1]);`, "-56 -1")
+	expectOut(t, `var b = new ArrayBuffer(4); var dv = new DataView(b); dv.setUint16(0, 513); print(dv.getUint8(0), dv.getUint8(1));`, "2 1")
+	expectOut(t, `var f = new Float64Array(1); f[0] = 0.5; print(f[0]);`, "0.5")
+	expectOut(t, `print(eval("1 + 2"), eval("'str'"));`, "3 str")
+	expectThrow(t, `eval("for(;false;)");`, "SyntaxError")
+	expectOut(t, `eval("var evalVar = 99;"); print(evalVar);`, "99")
+}
+
+func TestRegExpBuiltins(t *testing.T) {
+	expectOut(t, `print(/ab+c/.test("xabbbc"), /^a/.test("ba"));`, "true false")
+	expectOut(t, `var m = /(\w+)@(\w+)/.exec("mail: bob@host"); print(m[1], m[2], m.index);`, "bob host 6")
+	expectOut(t, `var re = /a/g; re.exec("aa"); print(re.lastIndex);`, "1")
+	expectOut(t, `print("aAbBcC".match(/[a-c]/gi).length);`, "6")
+	expectOut(t, `print(new RegExp("x+").test("axxb"), String(/a/gi));`, "true /a/gi")
+	expectOut(t, `print("abc".search(/c/), "abc".search(/z/));`, "2 -1")
+	expectThrow(t, `new RegExp("(");`, "SyntaxError")
+}
+
+func TestStrictModeSemantics(t *testing.T) {
+	expectThrow(t, `"use strict"; undeclared = 5;`, "ReferenceError")
+	expectOut(t, `undeclared = 5; print(undeclared);`, "5")
+	expectThrow(t, `"use strict"; var o = Object.freeze({a: 1}); o.a = 2;`, "TypeError")
+	expectOut(t, `"use strict"; function f() { return this; } print(f() === undefined);`, "true")
+	expectOut(t, `function f() { return this; } print(f() === globalThis);`, "true")
+}
+
+func TestBugWitnessBaseline(t *testing.T) {
+	// The paper's bug-exposing listings must all behave per spec on the
+	// reference (defect-free) runtime.
+	expectOut(t, `
+function foo(str, start, len) { var ret = str.substr(start, len); return ret; }
+var s = "Name: Albert";
+var pre = "Name: ";
+var len = undefined;
+var name = foo(s, pre.length, len);
+print(name);`, "Albert") // Listing: Rhino substr conformance bug
+	expectOut(t, `
+var foo = function() {
+  var e = '123';
+  A = new Uint8Array(5);
+  A.set(e);
+  print(A);
+};
+foo();`, "1,2,3,0,0") // Listing 5: JSC TypedArray.set
+	expectOut(t, `
+var foo = function() {
+  var property = true;
+  var obj = [1, 2, 5];
+  obj[property] = 10;
+  print(obj);
+  print(obj[property]);
+};
+foo();`, "1,2,5\n10") // Listing 6: QuickJS array property
+	expectOut(t, `
+(function v1() {
+  v1 = 20;
+  print(v1 !== 20);
+  print(typeof v1);
+}());`, "true\nfunction") // Montage IIFE-name case
+}
+
+func TestDeterminism(t *testing.T) {
+	src := `var a = []; for (var i = 0; i < 5; i++) a.push(Math.random()); print(a.join(","));`
+	first := run(t, src)
+	second := run(t, src)
+	if first != second {
+		t.Errorf("Math.random not deterministic across runs:\n%s\n%s", first, second)
+	}
+}
+
+func TestFuelTimeout(t *testing.T) {
+	prog, err := parser.Parse(`while (true) {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewRuntime(interp.Config{Fuel: 10000})
+	err = in.Run(prog)
+	abort, ok := interp.IsAbort(err)
+	if !ok || abort.Kind != interp.AbortTimeout {
+		t.Fatalf("expected timeout abort, got %v", err)
+	}
+	if in.FuelUsed() < 9000 {
+		t.Errorf("expected fuel to be consumed, used %d", in.FuelUsed())
+	}
+}

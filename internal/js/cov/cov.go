@@ -1,0 +1,115 @@
+// Package cov is the Istanbul substitute: it computes the statement,
+// function and branch coverage of a JS program execution, using the node
+// IDs the parser assigns and the raw hit sets the interpreter records.
+package cov
+
+import (
+	"comfort/internal/js/ast"
+	"comfort/internal/js/interp"
+)
+
+// Profile summarises one program's coverage totals.
+type Profile struct {
+	StmtTotal, StmtHit     int
+	FuncTotal, FuncHit     int
+	BranchTotal, BranchHit int
+}
+
+// StmtRate returns statement coverage in [0,1] (1 when there is nothing to
+// cover, matching Istanbul's convention).
+func (p Profile) StmtRate() float64 { return rate(p.StmtHit, p.StmtTotal) }
+
+// FuncRate returns function coverage.
+func (p Profile) FuncRate() float64 { return rate(p.FuncHit, p.FuncTotal) }
+
+// BranchRate returns branch coverage.
+func (p Profile) BranchRate() float64 { return rate(p.BranchHit, p.BranchTotal) }
+
+func rate(hit, total int) float64 {
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
+// Measure combines the statically countable coverage points of prog with
+// the dynamic hit sets from a run.
+func Measure(prog *ast.Program, c *interp.Coverage) Profile {
+	var p Profile
+	stmtIDs := map[int]bool{}
+	funcIDs := map[int]bool{}
+	branchArms := map[[2]int]bool{}
+
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case ast.Stmt:
+			if _, isProg := n.(*ast.Program); !isProg {
+				stmtIDs[n.ID()] = true
+			}
+			switch s := v.(type) {
+			case *ast.IfStmt:
+				branchArms[[2]int{s.ID(), 0}] = true
+				branchArms[[2]int{s.ID(), 1}] = true
+			case *ast.WhileStmt:
+				branchArms[[2]int{s.ID(), 0}] = true
+				branchArms[[2]int{s.ID(), 1}] = true
+			case *ast.ForStmt:
+				if s.Cond != nil {
+					branchArms[[2]int{s.ID(), 0}] = true
+					branchArms[[2]int{s.ID(), 1}] = true
+				}
+			case *ast.SwitchStmt:
+				for i := range s.Cases {
+					branchArms[[2]int{s.ID(), i}] = true
+				}
+			}
+		case *ast.FuncLit:
+			if v.Body != nil {
+				funcIDs[v.ID()] = true
+			}
+		case *ast.CondExpr:
+			branchArms[[2]int{v.ID(), 0}] = true
+			branchArms[[2]int{v.ID(), 1}] = true
+		case *ast.LogicalExpr:
+			branchArms[[2]int{v.ID(), 0}] = true
+			branchArms[[2]int{v.ID(), 1}] = true
+		}
+		return true
+	})
+
+	p.StmtTotal = len(stmtIDs)
+	p.FuncTotal = len(funcIDs)
+	p.BranchTotal = len(branchArms)
+	if c == nil {
+		return p
+	}
+	for id := range c.Stmts {
+		if stmtIDs[id] {
+			p.StmtHit++
+		}
+	}
+	for id := range c.Funcs {
+		if funcIDs[id] {
+			p.FuncHit++
+		}
+	}
+	for arm := range c.Branches {
+		if branchArms[arm] {
+			p.BranchHit++
+		}
+	}
+	return p
+}
+
+// Merge accumulates b into a (summing totals and hits across programs, the
+// way the paper averages per-fuzzer coverage).
+func Merge(a, b Profile) Profile {
+	return Profile{
+		StmtTotal:   a.StmtTotal + b.StmtTotal,
+		StmtHit:     a.StmtHit + b.StmtHit,
+		FuncTotal:   a.FuncTotal + b.FuncTotal,
+		FuncHit:     a.FuncHit + b.FuncHit,
+		BranchTotal: a.BranchTotal + b.BranchTotal,
+		BranchHit:   a.BranchHit + b.BranchHit,
+	}
+}

@@ -1,0 +1,66 @@
+package cov
+
+import (
+	"testing"
+
+	"comfort/internal/engines"
+	"comfort/internal/js/interp"
+	"comfort/internal/js/parser"
+)
+
+func measure(t *testing.T, src string) Profile {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := interp.NewCoverage()
+	res := engines.Reference(src, false, engines.RunOptions{Fuel: 200000, Seed: 1, Cov: c})
+	if res.Outcome != engines.OutcomePass {
+		t.Fatalf("reference run failed: %s %s", res.Outcome, res.Error)
+	}
+	return Measure(prog, c)
+}
+
+func TestFullCoverage(t *testing.T) {
+	p := measure(t, `var x = 1; print(x + 1);`)
+	if p.StmtRate() != 1 {
+		t.Errorf("straight-line code must be 100%% covered: %+v", p)
+	}
+}
+
+func TestBranchCoverage(t *testing.T) {
+	p := measure(t, `var x = 1;
+if (x > 0) { print("pos"); } else { print("neg"); }`)
+	// Only the then-arm executes: 1 of 2 branch arms.
+	if p.BranchTotal != 2 || p.BranchHit != 1 {
+		t.Errorf("branch accounting: %+v", p)
+	}
+	if p.StmtRate() == 1 {
+		t.Error("the else arm's statement must be uncovered")
+	}
+}
+
+func TestFunctionCoverage(t *testing.T) {
+	p := measure(t, `function used() { return 1; }
+function unused() { return 2; }
+print(used());`)
+	if p.FuncTotal != 2 || p.FuncHit != 1 {
+		t.Errorf("function accounting: %+v", p)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Profile{StmtTotal: 10, StmtHit: 5, FuncTotal: 2, FuncHit: 1, BranchTotal: 4, BranchHit: 2}
+	m := Merge(a, a)
+	if m.StmtTotal != 20 || m.StmtHit != 10 || m.FuncRate() != 0.5 || m.BranchRate() != 0.5 {
+		t.Errorf("merge: %+v", m)
+	}
+}
+
+func TestEmptyProfileRates(t *testing.T) {
+	var p Profile
+	if p.StmtRate() != 1 || p.FuncRate() != 1 || p.BranchRate() != 1 {
+		t.Error("nothing-to-cover must report full coverage (Istanbul convention)")
+	}
+}

@@ -1,0 +1,51 @@
+package interp
+
+import "math"
+
+// Little-endian byte-buffer helpers for typed arrays and DataView.
+
+func le32(d []byte) uint32 {
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+}
+
+func le64(d []byte) uint64 {
+	return uint64(le32(d)) | uint64(le32(d[4:]))<<32
+}
+
+func putLE32(d []byte, v uint32) {
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	d[2] = byte(v >> 16)
+	d[3] = byte(v >> 24)
+}
+
+func putLE64(d []byte, v uint64) {
+	putLE32(d, uint32(v))
+	putLE32(d[4:], uint32(v>>32))
+}
+
+func bits32(f float32) uint32     { return math.Float32bits(f) }
+func fromBits32(u uint32) float32 { return math.Float32frombits(u) }
+func bits64(f float64) uint64     { return math.Float64bits(f) }
+func fromBits64(u uint64) float64 { return math.Float64frombits(u) }
+
+// toInt64 converts per ECMA-262 ToIntegerOrInfinity then wraps, matching
+// the modulo behaviour of typed-array element conversion.
+func toInt64(f float64) int64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return int64(math.Trunc(math.Mod(f, 18446744073709551616)))
+}
+
+func clampUint8(f float64) byte {
+	if math.IsNaN(f) || f <= 0 {
+		return 0
+	}
+	if f >= 255 {
+		return 255
+	}
+	// Round half to even per the Uint8ClampedArray spec.
+	r := math.RoundToEven(f)
+	return byte(r)
+}

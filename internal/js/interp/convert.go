@@ -1,0 +1,248 @@
+package interp
+
+import (
+	"math"
+	"strings"
+
+	"comfort/internal/js/jsnum"
+)
+
+// ToPrimitive implements ECMA-262 ToPrimitive with the given preferred type
+// ("number", "string", or "" for default).
+func (in *Interp) ToPrimitive(v Value, hint string) (Value, error) {
+	if !v.IsObject() {
+		return v, nil
+	}
+	o := v.Obj()
+	order := []string{"valueOf", "toString"}
+	if hint == "string" {
+		order = []string{"toString", "valueOf"}
+	}
+	if hint == "" && o.Class == "Date" {
+		order = []string{"toString", "valueOf"}
+	}
+	for _, name := range order {
+		fn, err := in.GetProp(v, name)
+		if err != nil {
+			return Undefined(), err
+		}
+		if fn.IsObject() && fn.Obj().IsCallable() {
+			res, err := in.Call(fn.Obj(), v, nil)
+			if err != nil {
+				return Undefined(), err
+			}
+			if !res.IsObject() {
+				return res, nil
+			}
+		}
+	}
+	return Undefined(), in.TypeErrorf("Cannot convert object to primitive value")
+}
+
+// ToNumber implements ECMA-262 ToNumber.
+func (in *Interp) ToNumber(v Value) (float64, error) {
+	switch v.Kind() {
+	case KindUndefined:
+		return math.NaN(), nil
+	case KindNull:
+		return 0, nil
+	case KindBool:
+		if v.BoolVal() {
+			return 1, nil
+		}
+		return 0, nil
+	case KindNumber:
+		return v.Num(), nil
+	case KindString:
+		return jsnum.Parse(v.Str()), nil
+	default:
+		prim, err := in.ToPrimitive(v, "number")
+		if err != nil {
+			return 0, err
+		}
+		return in.ToNumber(prim)
+	}
+}
+
+// ToInteger applies ToNumber then ToInteger.
+func (in *Interp) ToInteger(v Value) (float64, error) {
+	f, err := in.ToNumber(v)
+	if err != nil {
+		return 0, err
+	}
+	return jsnum.ToInteger(f), nil
+}
+
+// ToString implements ECMA-262 ToString.
+func (in *Interp) ToString(v Value) (string, error) {
+	switch v.Kind() {
+	case KindUndefined:
+		return "undefined", nil
+	case KindNull:
+		return "null", nil
+	case KindBool:
+		if v.BoolVal() {
+			return "true", nil
+		}
+		return "false", nil
+	case KindNumber:
+		return jsnum.Format(v.Num()), nil
+	case KindString:
+		return v.Str(), nil
+	default:
+		prim, err := in.ToPrimitive(v, "string")
+		if err != nil {
+			return "", err
+		}
+		return in.ToString(prim)
+	}
+}
+
+// ToPropertyKey converts v to a property key string.
+func (in *Interp) ToPropertyKey(v Value) (string, error) {
+	return in.ToString(v)
+}
+
+// ToObject implements ECMA-262 ToObject (primitive boxing).
+func (in *Interp) ToObject(v Value) (*Object, error) {
+	switch v.Kind() {
+	case KindUndefined, KindNull:
+		return nil, in.TypeErrorf("Cannot convert %s to object", v.Kind())
+	case KindObject:
+		return v.Obj(), nil
+	case KindString:
+		o := NewObject(in.Protos["String"])
+		o.Class = "String"
+		o.Prim, o.HasPrim = v, true
+		return o, nil
+	case KindNumber:
+		o := NewObject(in.Protos["Number"])
+		o.Class = "Number"
+		o.Prim, o.HasPrim = v, true
+		return o, nil
+	default:
+		o := NewObject(in.Protos["Boolean"])
+		o.Class = "Boolean"
+		o.Prim, o.HasPrim = v, true
+		return o, nil
+	}
+}
+
+// LooseEquals implements the == algorithm.
+func (in *Interp) LooseEquals(a, b Value) (bool, error) {
+	if a.Kind() == b.Kind() {
+		return SameValueStrict(a, b), nil
+	}
+	switch {
+	case a.IsNullish() && b.IsNullish():
+		return true, nil
+	case a.Kind() == KindNumber && b.Kind() == KindString:
+		return a.Num() == jsnum.Parse(b.Str()), nil
+	case a.Kind() == KindString && b.Kind() == KindNumber:
+		return jsnum.Parse(a.Str()) == b.Num(), nil
+	case a.Kind() == KindBool:
+		n := 0.0
+		if a.BoolVal() {
+			n = 1
+		}
+		return in.LooseEquals(Number(n), b)
+	case b.Kind() == KindBool:
+		n := 0.0
+		if b.BoolVal() {
+			n = 1
+		}
+		return in.LooseEquals(a, Number(n))
+	case (a.Kind() == KindNumber || a.Kind() == KindString) && b.IsObject():
+		prim, err := in.ToPrimitive(b, "")
+		if err != nil {
+			return false, err
+		}
+		return in.LooseEquals(a, prim)
+	case a.IsObject() && (b.Kind() == KindNumber || b.Kind() == KindString):
+		prim, err := in.ToPrimitive(a, "")
+		if err != nil {
+			return false, err
+		}
+		return in.LooseEquals(prim, b)
+	}
+	return false, nil
+}
+
+// Compare implements the abstract relational comparison; op is one of
+// "<", ">", "<=", ">=".
+func (in *Interp) Compare(op string, a, b Value) (bool, error) {
+	pa, err := in.ToPrimitive(a, "number")
+	if err != nil {
+		return false, err
+	}
+	pb, err := in.ToPrimitive(b, "number")
+	if err != nil {
+		return false, err
+	}
+	if pa.Kind() == KindString && pb.Kind() == KindString {
+		sa, sb := pa.Str(), pb.Str()
+		switch op {
+		case "<":
+			return sa < sb, nil
+		case ">":
+			return sa > sb, nil
+		case "<=":
+			return sa <= sb, nil
+		default:
+			return sa >= sb, nil
+		}
+	}
+	na, err := in.ToNumber(pa)
+	if err != nil {
+		return false, err
+	}
+	nb, err := in.ToNumber(pb)
+	if err != nil {
+		return false, err
+	}
+	if math.IsNaN(na) || math.IsNaN(nb) {
+		return false, nil
+	}
+	switch op {
+	case "<":
+		return na < nb, nil
+	case ">":
+		return na > nb, nil
+	case "<=":
+		return na <= nb, nil
+	default:
+		return na >= nb, nil
+	}
+}
+
+// DebugString renders a value for diagnostics without invoking JS code.
+func DebugString(v Value) string {
+	switch v.Kind() {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.BoolVal() {
+			return "true"
+		}
+		return "false"
+	case KindNumber:
+		return jsnum.Format(v.Num())
+	case KindString:
+		return "\"" + v.Str() + "\""
+	default:
+		o := v.Obj()
+		if o.IsCallable() {
+			return "[Function]"
+		}
+		if o.IsArray() {
+			var parts []string
+			for _, e := range o.elems {
+				parts = append(parts, DebugString(e))
+			}
+			return "[" + strings.Join(parts, ", ") + "]"
+		}
+		return "[object " + o.Class + "]"
+	}
+}

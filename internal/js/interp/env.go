@@ -1,0 +1,64 @@
+package interp
+
+// Env is a lexical environment: a chain of binding frames. Function-level
+// frames absorb var declarations from nested blocks (var hoisting).
+type Env struct {
+	vars   map[string]*binding
+	parent *Env
+	isFunc bool // var-scope boundary
+}
+
+type binding struct {
+	v       Value
+	mutable bool
+	// silent marks immutable bindings whose sloppy-mode assignment is a
+	// silent no-op rather than a TypeError (function self-names).
+	silent bool
+}
+
+// NewEnv creates a child environment.
+func NewEnv(parent *Env, isFunc bool) *Env {
+	return &Env{vars: map[string]*binding{}, parent: parent, isFunc: isFunc}
+}
+
+// lookup finds the binding for name, walking outward.
+func (e *Env) lookup(name string) (*binding, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if b, ok := cur.vars[name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// declareVar creates a var-scoped binding on the nearest function frame.
+func (e *Env) declareVar(name string, v Value) {
+	fn := e
+	for fn.parent != nil && !fn.isFunc {
+		fn = fn.parent
+	}
+	if b, ok := fn.vars[name]; ok {
+		if v.Kind() != KindUndefined {
+			b.v = v
+		}
+		return
+	}
+	fn.vars[name] = &binding{v: v, mutable: true}
+}
+
+// declareLexical creates a block-scoped binding on this frame.
+func (e *Env) declareLexical(name string, v Value, mutable bool) {
+	e.vars[name] = &binding{v: v, mutable: mutable}
+}
+
+// declareFuncSelfName creates the immutable (but sloppy-silent) binding of a
+// named function expression's own name inside its body.
+func (e *Env) declareFuncSelfName(name string, v Value) {
+	e.vars[name] = &binding{v: v, mutable: false, silent: true}
+}
+
+// Has reports whether name resolves in this environment chain.
+func (e *Env) Has(name string) bool {
+	_, ok := e.lookup(name)
+	return ok
+}

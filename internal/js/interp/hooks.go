@@ -1,0 +1,111 @@
+package interp
+
+// HookSite identifies the interception point of an engine defect.
+type HookSite int
+
+// Hook sites. These correspond to the places where real engines diverge:
+// builtin dispatch, property stores, (eval) parsing, array growth, regex
+// execution, and tier-up recompilation.
+const (
+	HookBuiltin HookSite = iota
+	HookPropSet
+	HookEvalParse
+	HookArrayGrow
+	HookRegexExec
+	HookFuncTier
+)
+
+func (s HookSite) String() string {
+	switch s {
+	case HookBuiltin:
+		return "builtin"
+	case HookPropSet:
+		return "propset"
+	case HookEvalParse:
+		return "evalparse"
+	case HookArrayGrow:
+		return "arraygrow"
+	case HookRegexExec:
+		return "regexexec"
+	case HookFuncTier:
+		return "functier"
+	default:
+		return "unknown"
+	}
+}
+
+// HookCtx carries the interception context to a Hook.
+type HookCtx struct {
+	Site HookSite
+	In   *Interp
+
+	// HookBuiltin and HookRegexExec.
+	Name string // canonical builtin key, e.g. "String.prototype.substr"
+	This Value
+	Args []Value
+
+	// HookPropSet.
+	Obj *Object
+	Key Value
+	Val Value
+
+	// HookEvalParse.
+	Src string
+
+	// HookRegexExec.
+	Pattern string
+	Flags   string
+
+	// HookArrayGrow: the array being written and the index.
+	Index uint32
+
+	// HookFuncTier: the invocation count of the function being entered.
+	Tier int
+	Fn   *Object
+}
+
+// Override tells the interpreter how a hook altered behaviour.
+type Override struct {
+	// Replace short-circuits the operation with Return/Err.
+	Replace bool
+	Return  Value
+	Err     error
+
+	// Post transforms the operation's natural result (builtin sites only).
+	Post func(res Value, err error) (Value, error)
+
+	// Handled suppresses the default property store (HookPropSet only).
+	Handled bool
+
+	// CostExtra burns additional fuel, simulating performance defects.
+	CostExtra int64
+}
+
+// Hook is the defect interception function installed by engine variants.
+// A nil return means "no interference".
+type Hook func(*HookCtx) *Override
+
+// applyHook runs the installed hook for a builtin-like site and merges the
+// result with the default behaviour produced by run().
+func (in *Interp) applyHook(ctx *HookCtx, run func() (Value, error)) (Value, error) {
+	if in.Hook == nil {
+		return run()
+	}
+	ov := in.Hook(ctx)
+	if ov == nil {
+		return run()
+	}
+	if ov.CostExtra > 0 {
+		if err := in.charge(ov.CostExtra); err != nil {
+			return Undefined(), err
+		}
+	}
+	if ov.Replace {
+		return ov.Return, ov.Err
+	}
+	res, err := run()
+	if ov.Post != nil {
+		res, err = ov.Post(res, err)
+	}
+	return res, err
+}

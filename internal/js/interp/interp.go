@@ -1,0 +1,1806 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"comfort/internal/js/ast"
+	"comfort/internal/js/jsnum"
+	"comfort/internal/js/regex"
+	"comfort/internal/js/token"
+)
+
+// Config parameterises an interpreter instance.
+type Config struct {
+	// Fuel is the step budget standing in for wall-clock time; 0 means the
+	// default budget.
+	Fuel int64
+	// Strict forces strict mode for the whole run (the "strict testbed").
+	Strict bool
+	// Hook intercepts operations for seeded engine defects.
+	Hook Hook
+	// Seed drives Math.random and Date.now determinism.
+	Seed int64
+	// MaxDepth bounds JS call recursion (RangeError beyond it).
+	MaxDepth int
+	// MutableFuncName makes a named function expression's self-name binding
+	// writable — a seeded conformance defect (the paper's Listing 13).
+	MutableFuncName bool
+	// SloppyStrictAssign makes strict-mode assignment to undeclared
+	// identifiers create globals silently — a seeded Strict Mode defect.
+	SloppyStrictAssign bool
+}
+
+// DefaultFuel is the default step budget per program run.
+const DefaultFuel = 2_000_000
+
+// Coverage accumulates statement / function / branch coverage for one or
+// more runs (the Istanbul substitute's raw data).
+type Coverage struct {
+	Stmts    map[int]bool
+	Funcs    map[int]bool
+	Branches map[[2]int]bool
+}
+
+// NewCoverage allocates an empty coverage recorder.
+func NewCoverage() *Coverage {
+	return &Coverage{
+		Stmts:    map[int]bool{},
+		Funcs:    map[int]bool{},
+		Branches: map[[2]int]bool{},
+	}
+}
+
+// Interp is one JavaScript runtime instance (one testbed execution).
+type Interp struct {
+	Global    *Object
+	GlobalEnv *Env
+	// Protos and Ctors are populated by the builtins package.
+	Protos map[string]*Object
+	Ctors  map[string]*Object
+
+	Strict bool
+	Hook   Hook
+	Cov    *Coverage
+	// MutableFuncName mirrors Config.MutableFuncName.
+	MutableFuncName bool
+	// SloppyStrictAssign mirrors Config.SloppyStrictAssign.
+	SloppyStrictAssign bool
+
+	// Out receives print() output.
+	Out strings.Builder
+
+	// Rand drives Math.random deterministically.
+	Rand *rand.Rand
+	// Now is the deterministic Date.now clock (milliseconds).
+	Now float64
+
+	fuel     int64
+	fuelCap  int64
+	depth    int
+	maxDepth int
+
+	thisStack []Value
+	// pendingLabel carries a statement label into the next loop statement so
+	// labelled continue/break can match it.
+	pendingLabel string
+}
+
+// New creates an interpreter without the standard library; callers normally
+// use builtins.NewRuntime instead.
+func New(cfg Config) *Interp {
+	fuel := cfg.Fuel
+	if fuel <= 0 {
+		fuel = DefaultFuel
+	}
+	maxDepth := cfg.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 256
+	}
+	in := &Interp{
+		Protos:             map[string]*Object{},
+		Ctors:              map[string]*Object{},
+		Strict:             cfg.Strict,
+		Hook:               cfg.Hook,
+		MutableFuncName:    cfg.MutableFuncName,
+		SloppyStrictAssign: cfg.SloppyStrictAssign,
+		Rand:               rand.New(rand.NewSource(cfg.Seed + 1)),
+		Now:                1_600_000_000_000,
+		fuel:               fuel,
+		fuelCap:            fuel,
+		maxDepth:           maxDepth,
+	}
+	in.Global = NewObject(nil)
+	in.GlobalEnv = NewEnv(nil, true)
+	return in
+}
+
+// FuelUsed reports consumed steps — the deterministic time axis used by the
+// differential tester's 2× timeout rule.
+func (in *Interp) FuelUsed() int64 { return in.fuelCap - in.fuel }
+
+// charge consumes n steps and reports a timeout abort when exhausted.
+func (in *Interp) charge(n int64) error {
+	in.fuel -= n
+	if in.fuel <= 0 {
+		return &Abort{Kind: AbortTimeout, Msg: "step budget exhausted"}
+	}
+	return nil
+}
+
+// Burn exposes fuel charging to builtins whose cost scales with input size.
+func (in *Interp) Burn(n int64) error { return in.charge(n) }
+
+func (in *Interp) coverStmt(id int) {
+	if in.Cov != nil {
+		in.Cov.Stmts[id] = true
+	}
+}
+
+func (in *Interp) coverFunc(id int) {
+	if in.Cov != nil {
+		in.Cov.Funcs[id] = true
+	}
+}
+
+func (in *Interp) coverBranch(id, arm int) {
+	if in.Cov != nil {
+		in.Cov.Branches[[2]int{id, arm}] = true
+	}
+}
+
+// Print appends a line to the captured output (the print builtin).
+func (in *Interp) Print(s string) {
+	in.Out.WriteString(s)
+	in.Out.WriteByte('\n')
+}
+
+// ---------- control flow ----------
+
+type ctrlKind int
+
+const (
+	ctrlNormal ctrlKind = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type ctrl struct {
+	kind  ctrlKind
+	label string
+	val   Value
+}
+
+var ctrlOK = ctrl{}
+
+// Run executes a parsed program in the global scope.
+func (in *Interp) Run(prog *ast.Program) error {
+	strict := in.Strict || prog.Strict
+	env := in.GlobalEnv
+	in.hoist(prog.Body, env, true, strict)
+	for _, s := range prog.Body {
+		c, err := in.execStmt(s, env, strict)
+		if err != nil {
+			return err
+		}
+		if c.kind != ctrlNormal {
+			break
+		}
+	}
+	return nil
+}
+
+// RunInEnv executes statements in the given environment (used by eval).
+func (in *Interp) RunInEnv(prog *ast.Program, env *Env, strict bool) (Value, error) {
+	strict = strict || prog.Strict
+	in.hoist(prog.Body, env, env == in.GlobalEnv, strict)
+	last := Undefined()
+	for _, s := range prog.Body {
+		c, err := in.execStmt(s, env, strict)
+		if err != nil {
+			return Undefined(), err
+		}
+		if es, ok := s.(*ast.ExprStmt); ok {
+			_ = es
+			last = c.val
+		}
+		if c.kind != ctrlNormal {
+			break
+		}
+	}
+	return last, nil
+}
+
+// hoist performs var and function-declaration hoisting into env; top-level
+// hoisting additionally mirrors bindings onto the global object.
+func (in *Interp) hoist(body []ast.Stmt, env *Env, topLevel bool, strict bool) {
+	var walk func(ss []ast.Stmt)
+	declare := func(name string, v Value) {
+		if topLevel {
+			in.Global.SetSlot(name, v, Writable|Enumerable)
+			return
+		}
+		env.declareVar(name, v)
+	}
+	walk = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *ast.VarDecl:
+				if st.Kind == ast.Var {
+					for _, d := range st.Decls {
+						if topLevel {
+							if !in.Global.HasOwn(d.Name) {
+								declare(d.Name, Undefined())
+							}
+						} else {
+							declare(d.Name, Undefined())
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				fn := in.MakeFunction(st.Fn, env, strict)
+				declare(st.Fn.Name, ObjValue(fn))
+			case *ast.BlockStmt:
+				walk(st.Body)
+			case *ast.IfStmt:
+				walk([]ast.Stmt{st.Then})
+				if st.Else != nil {
+					walk([]ast.Stmt{st.Else})
+				}
+			case *ast.ForStmt:
+				if vd, ok := st.Init.(*ast.VarDecl); ok && vd.Kind == ast.Var {
+					for _, d := range vd.Decls {
+						declare(d.Name, Undefined())
+					}
+				}
+				walk([]ast.Stmt{st.Body})
+			case *ast.ForInStmt:
+				if st.Decl == ast.Var {
+					declare(st.Name, Undefined())
+				}
+				walk([]ast.Stmt{st.Body})
+			case *ast.WhileStmt:
+				walk([]ast.Stmt{st.Body})
+			case *ast.DoWhileStmt:
+				walk([]ast.Stmt{st.Body})
+			case *ast.SwitchStmt:
+				for _, c := range st.Cases {
+					walk(c.Body)
+				}
+			case *ast.TryStmt:
+				walk(st.Block.Body)
+				if st.Catch != nil {
+					walk(st.Catch.Body)
+				}
+				if st.Finally != nil {
+					walk(st.Finally.Body)
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{st.Body})
+			}
+		}
+	}
+	walk(body)
+}
+
+// MakeFunction builds a function object for a literal closed over env.
+func (in *Interp) MakeFunction(lit *ast.FuncLit, env *Env, strict bool) *Object {
+	fn := NewObject(in.Protos["Function"])
+	fn.Class = "Function"
+	fn.Fn = &FuncDef{Lit: lit, Env: env}
+	fn.SetSlot("length", Number(float64(len(lit.Params))), Configurable)
+	fn.SetSlot("name", String(lit.Name), Configurable)
+	if !lit.Arrow {
+		proto := NewObject(in.Protos["Object"])
+		proto.SetSlot("constructor", ObjValue(fn), Writable|Configurable)
+		fn.SetSlot("prototype", ObjValue(proto), Writable)
+	}
+	if strict || lit.Strict {
+		fn.SetSlot("__strict__", Bool(true), 0)
+	}
+	if lit.Arrow {
+		this := in.currentThis()
+		fn.BoundThis = this
+		fn.SetSlot("__arrow__", Bool(true), 0)
+	}
+	return fn
+}
+
+func (in *Interp) currentThis() Value {
+	if n := len(in.thisStack); n > 0 {
+		return in.thisStack[n-1]
+	}
+	if in.Strict {
+		return Undefined()
+	}
+	return ObjValue(in.Global)
+}
+
+// ---------- statements ----------
+
+func (in *Interp) execStmt(s ast.Stmt, env *Env, strict bool) (ctrl, error) {
+	if err := in.charge(1); err != nil {
+		return ctrlOK, err
+	}
+	in.coverStmt(s.ID())
+	switch st := s.(type) {
+	case *ast.VarDecl:
+		return in.execVarDecl(st, env, strict)
+	case *ast.FuncDecl:
+		// Hoisted; nothing to do at execution time.
+		return ctrlOK, nil
+	case *ast.ExprStmt:
+		v, err := in.evalExpr(st.X, env, strict)
+		if err != nil {
+			return ctrlOK, err
+		}
+		return ctrl{val: v}, nil
+	case *ast.BlockStmt:
+		inner := NewEnv(env, false)
+		return in.execStmts(st.Body, inner, strict)
+	case *ast.EmptyStmt, *ast.DebuggerStmt:
+		return ctrlOK, nil
+	case *ast.IfStmt:
+		cond, err := in.evalExpr(st.Cond, env, strict)
+		if err != nil {
+			return ctrlOK, err
+		}
+		if ToBoolean(cond) {
+			in.coverBranch(st.ID(), 0)
+			return in.execStmt(st.Then, env, strict)
+		}
+		in.coverBranch(st.ID(), 1)
+		if st.Else != nil {
+			return in.execStmt(st.Else, env, strict)
+		}
+		return ctrlOK, nil
+	case *ast.WhileStmt:
+		return in.execLoop(env, strict, nil, st.Cond, nil, st.Body, st.ID(), false)
+	case *ast.DoWhileStmt:
+		return in.execLoop(env, strict, nil, st.Cond, nil, st.Body, st.ID(), true)
+	case *ast.ForStmt:
+		label := in.pendingLabel
+		in.pendingLabel = ""
+		loopEnv := NewEnv(env, false)
+		switch init := st.Init.(type) {
+		case *ast.VarDecl:
+			if _, err := in.execVarDecl(init, loopEnv, strict); err != nil {
+				return ctrlOK, err
+			}
+		case ast.Expr:
+			if _, err := in.evalExpr(init, loopEnv, strict); err != nil {
+				return ctrlOK, err
+			}
+		}
+		in.pendingLabel = label
+		return in.execLoop(loopEnv, strict, nil, st.Cond, st.Post, st.Body, st.ID(), false)
+	case *ast.ForInStmt:
+		return in.execForIn(st, env, strict)
+	case *ast.SwitchStmt:
+		return in.execSwitch(st, env, strict)
+	case *ast.BreakStmt:
+		return ctrl{kind: ctrlBreak, label: st.Label}, nil
+	case *ast.ContinueStmt:
+		return ctrl{kind: ctrlContinue, label: st.Label}, nil
+	case *ast.ReturnStmt:
+		v := Undefined()
+		if st.X != nil {
+			var err error
+			v, err = in.evalExpr(st.X, env, strict)
+			if err != nil {
+				return ctrlOK, err
+			}
+		}
+		return ctrl{kind: ctrlReturn, val: v}, nil
+	case *ast.ThrowStmt:
+		v, err := in.evalExpr(st.X, env, strict)
+		if err != nil {
+			return ctrlOK, err
+		}
+		return ctrlOK, &Throw{Val: v}
+	case *ast.TryStmt:
+		return in.execTry(st, env, strict)
+	case *ast.LabeledStmt:
+		in.pendingLabel = st.Label
+		c, err := in.execStmt(st.Body, env, strict)
+		in.pendingLabel = ""
+		if err != nil {
+			return ctrlOK, err
+		}
+		if c.kind == ctrlBreak && c.label == st.Label {
+			return ctrlOK, nil
+		}
+		if c.kind == ctrlContinue && c.label == st.Label {
+			return ctrlOK, nil
+		}
+		return c, nil
+	default:
+		return ctrlOK, in.Throwf("InternalError", "unsupported statement %T", s)
+	}
+}
+
+func (in *Interp) execStmts(body []ast.Stmt, env *Env, strict bool) (ctrl, error) {
+	for _, s := range body {
+		c, err := in.execStmt(s, env, strict)
+		if err != nil {
+			return ctrlOK, err
+		}
+		if c.kind != ctrlNormal {
+			return c, nil
+		}
+	}
+	return ctrlOK, nil
+}
+
+func (in *Interp) execVarDecl(st *ast.VarDecl, env *Env, strict bool) (ctrl, error) {
+	for _, d := range st.Decls {
+		var v Value
+		if d.Init != nil {
+			var err error
+			v, err = in.evalExpr(d.Init, env, strict)
+			if err != nil {
+				return ctrlOK, err
+			}
+			if fn, ok := d.Init.(*ast.FuncLit); ok && fn.Name == "" && v.IsObject() {
+				v.Obj().SetSlot("name", String(d.Name), Configurable)
+			}
+		}
+		switch st.Kind {
+		case ast.Var:
+			if env == in.GlobalEnv {
+				in.Global.SetSlot(d.Name, v, Writable|Enumerable)
+			} else {
+				env.declareVar(d.Name, v)
+			}
+		case ast.Let:
+			env.declareLexical(d.Name, v, true)
+		case ast.Const:
+			env.declareLexical(d.Name, v, false)
+		}
+	}
+	return ctrlOK, nil
+}
+
+// execLoop runs while/do-while/for bodies with break/continue handling.
+func (in *Interp) execLoop(env *Env, strict bool, _ ast.Expr, cond, post ast.Expr,
+	body ast.Stmt, nodeID int, doWhile bool) (ctrl, error) {
+	myLabel := in.pendingLabel
+	in.pendingLabel = ""
+	first := true
+	for {
+		if err := in.charge(1); err != nil {
+			return ctrlOK, err
+		}
+		if !(doWhile && first) && cond != nil {
+			cv, err := in.evalExpr(cond, env, strict)
+			if err != nil {
+				return ctrlOK, err
+			}
+			if !ToBoolean(cv) {
+				in.coverBranch(nodeID, 1)
+				return ctrlOK, nil
+			}
+			in.coverBranch(nodeID, 0)
+		}
+		first = false
+		c, err := in.execStmt(body, env, strict)
+		if err != nil {
+			return ctrlOK, err
+		}
+		switch c.kind {
+		case ctrlBreak:
+			if c.label == "" || c.label == myLabel {
+				return ctrlOK, nil
+			}
+			return c, nil
+		case ctrlContinue:
+			if c.label != "" && c.label != myLabel {
+				return c, nil
+			}
+		case ctrlReturn:
+			return c, nil
+		}
+		if doWhile && cond != nil {
+			cv, err := in.evalExpr(cond, env, strict)
+			if err != nil {
+				return ctrlOK, err
+			}
+			if !ToBoolean(cv) {
+				return ctrlOK, nil
+			}
+			// Re-enter loop without re-testing at top.
+			first = true
+		}
+		if post != nil {
+			if _, err := in.evalExpr(post, env, strict); err != nil {
+				return ctrlOK, err
+			}
+		}
+	}
+}
+
+func (in *Interp) execForIn(st *ast.ForInStmt, env *Env, strict bool) (ctrl, error) {
+	myLabel := in.pendingLabel
+	in.pendingLabel = ""
+	obj, err := in.evalExpr(st.Obj, env, strict)
+	if err != nil {
+		return ctrlOK, err
+	}
+	loopEnv := NewEnv(env, false)
+	assign := func(v Value) error {
+		switch st.Decl {
+		case ast.Let, ast.Const:
+			loopEnv.declareLexical(st.Name, v, true)
+			return nil
+		case ast.Var:
+			loopEnv.declareVar(st.Name, v)
+			return nil
+		default:
+			return in.assignIdent(st.Name, v, loopEnv, strict)
+		}
+	}
+	var items []Value
+	if st.Of {
+		items, err = in.iterate(obj)
+		if err != nil {
+			return ctrlOK, err
+		}
+	} else {
+		if obj.IsNullish() {
+			return ctrlOK, nil
+		}
+		o, err := in.ToObject(obj)
+		if err != nil {
+			return ctrlOK, err
+		}
+		seen := map[string]bool{}
+		for cur := o; cur != nil; cur = cur.Proto {
+			for _, k := range cur.EnumerableKeys() {
+				if !seen[k] {
+					seen[k] = true
+					items = append(items, String(k))
+				}
+			}
+		}
+	}
+	for _, item := range items {
+		if err := in.charge(1); err != nil {
+			return ctrlOK, err
+		}
+		if err := assign(item); err != nil {
+			return ctrlOK, err
+		}
+		c, err := in.execStmt(st.Body, loopEnv, strict)
+		if err != nil {
+			return ctrlOK, err
+		}
+		switch c.kind {
+		case ctrlBreak:
+			if c.label == "" || c.label == myLabel {
+				return ctrlOK, nil
+			}
+			return c, nil
+		case ctrlContinue:
+			if c.label != "" && c.label != myLabel {
+				return c, nil
+			}
+		case ctrlReturn:
+			return c, nil
+		}
+	}
+	return ctrlOK, nil
+}
+
+// iterate implements for-of over the iterable kinds the subset supports.
+func (in *Interp) iterate(v Value) ([]Value, error) {
+	if v.Kind() == KindString {
+		var out []Value
+		for _, r := range v.Str() {
+			out = append(out, String(string(r)))
+		}
+		return out, nil
+	}
+	if v.IsObject() {
+		o := v.Obj()
+		if o.IsArray() {
+			return append([]Value(nil), o.elems...), nil
+		}
+		if o.ElemKind != ElemNone && o.Class != "DataView" {
+			var out []Value
+			for i := 0; i < o.ArrayLen; i++ {
+				out = append(out, Number(o.typedGet(i)))
+			}
+			return out, nil
+		}
+		if o.Class == "String" && o.HasPrim {
+			return in.iterate(o.Prim)
+		}
+	}
+	return nil, in.TypeErrorf("%s is not iterable", TypeOf(v))
+}
+
+func (in *Interp) execSwitch(st *ast.SwitchStmt, env *Env, strict bool) (ctrl, error) {
+	disc, err := in.evalExpr(st.Disc, env, strict)
+	if err != nil {
+		return ctrlOK, err
+	}
+	inner := NewEnv(env, false)
+	matched := -1
+	for i, c := range st.Cases {
+		if c.Test == nil {
+			continue
+		}
+		tv, err := in.evalExpr(c.Test, inner, strict)
+		if err != nil {
+			return ctrlOK, err
+		}
+		if SameValueStrict(disc, tv) {
+			matched = i
+			break
+		}
+	}
+	if matched < 0 {
+		for i, c := range st.Cases {
+			if c.Test == nil {
+				matched = i
+				break
+			}
+		}
+	}
+	if matched < 0 {
+		return ctrlOK, nil
+	}
+	in.coverBranch(st.ID(), matched)
+	for i := matched; i < len(st.Cases); i++ {
+		for _, s := range st.Cases[i].Body {
+			c, err := in.execStmt(s, inner, strict)
+			if err != nil {
+				return ctrlOK, err
+			}
+			switch c.kind {
+			case ctrlBreak:
+				if c.label == "" {
+					return ctrlOK, nil
+				}
+				return c, nil
+			case ctrlContinue, ctrlReturn:
+				return c, nil
+			}
+		}
+	}
+	return ctrlOK, nil
+}
+
+func (in *Interp) execTry(st *ast.TryStmt, env *Env, strict bool) (ctrl, error) {
+	c, err := in.execStmts(st.Block.Body, NewEnv(env, false), strict)
+	if err != nil {
+		if t, ok := IsThrow(err); ok && st.Catch != nil {
+			catchEnv := NewEnv(env, false)
+			if st.CatchParam != "" {
+				catchEnv.declareLexical(st.CatchParam, t.Val, true)
+			}
+			c, err = in.execStmts(st.Catch.Body, catchEnv, strict)
+		}
+	}
+	if st.Finally != nil {
+		fc, ferr := in.execStmts(st.Finally.Body, NewEnv(env, false), strict)
+		if ferr != nil {
+			return ctrlOK, ferr
+		}
+		if fc.kind != ctrlNormal {
+			return fc, nil
+		}
+	}
+	return c, err
+}
+
+// ---------- expressions ----------
+
+func (in *Interp) evalExpr(e ast.Expr, env *Env, strict bool) (Value, error) {
+	if err := in.charge(1); err != nil {
+		return Undefined(), err
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return in.lookupIdent(x.Name, env)
+	case *ast.NumberLit:
+		return Number(x.Value), nil
+	case *ast.StringLit:
+		return String(x.Value), nil
+	case *ast.BoolLit:
+		return Bool(x.Value), nil
+	case *ast.NullLit:
+		return Null(), nil
+	case *ast.ThisExpr:
+		return in.currentThis(), nil
+	case *ast.RegexLit:
+		return in.NewRegExp(x.Pattern, x.Flags)
+	case *ast.TemplateLit:
+		var b strings.Builder
+		for i, q := range x.Quasis {
+			b.WriteString(q)
+			if i < len(x.Exprs) {
+				v, err := in.evalExpr(x.Exprs[i], env, strict)
+				if err != nil {
+					return Undefined(), err
+				}
+				s, err := in.ToString(v)
+				if err != nil {
+					return Undefined(), err
+				}
+				b.WriteString(s)
+			}
+		}
+		return String(b.String()), nil
+	case *ast.ArrayLit:
+		arr := in.NewArray(nil)
+		for _, el := range x.Elems {
+			if el == nil {
+				arr.AppendElem(Undefined())
+				continue
+			}
+			if sp, ok := el.(*ast.SpreadExpr); ok {
+				sv, err := in.evalExpr(sp.X, env, strict)
+				if err != nil {
+					return Undefined(), err
+				}
+				items, err := in.iterate(sv)
+				if err != nil {
+					return Undefined(), err
+				}
+				for _, item := range items {
+					arr.AppendElem(item)
+				}
+				continue
+			}
+			v, err := in.evalExpr(el, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			arr.AppendElem(v)
+		}
+		return ObjValue(arr), nil
+	case *ast.ObjectLit:
+		return in.evalObjectLit(x, env, strict)
+	case *ast.FuncLit:
+		return ObjValue(in.MakeFunction(x, env, strict)), nil
+	case *ast.UnaryExpr:
+		return in.evalUnary(x, env, strict)
+	case *ast.UpdateExpr:
+		return in.evalUpdate(x, env, strict)
+	case *ast.BinaryExpr:
+		return in.evalBinary(x, env, strict)
+	case *ast.LogicalExpr:
+		return in.evalLogical(x, env, strict)
+	case *ast.AssignExpr:
+		return in.evalAssign(x, env, strict)
+	case *ast.CondExpr:
+		cv, err := in.evalExpr(x.Cond, env, strict)
+		if err != nil {
+			return Undefined(), err
+		}
+		if ToBoolean(cv) {
+			in.coverBranch(x.ID(), 0)
+			return in.evalExpr(x.Then, env, strict)
+		}
+		in.coverBranch(x.ID(), 1)
+		return in.evalExpr(x.Else, env, strict)
+	case *ast.CallExpr:
+		return in.evalCall(x, env, strict)
+	case *ast.NewExpr:
+		return in.evalNew(x, env, strict)
+	case *ast.MemberExpr:
+		obj, key, err := in.evalMemberParts(x, env, strict)
+		if err != nil {
+			return Undefined(), err
+		}
+		return in.GetPropKey(obj, key)
+	case *ast.SeqExpr:
+		var last Value
+		for _, sub := range x.Exprs {
+			var err error
+			last, err = in.evalExpr(sub, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+		}
+		return last, nil
+	case *ast.SpreadExpr:
+		return Undefined(), in.SyntaxErrorf("unexpected spread element")
+	default:
+		return Undefined(), in.Throwf("InternalError", "unsupported expression %T", e)
+	}
+}
+
+func (in *Interp) evalObjectLit(x *ast.ObjectLit, env *Env, strict bool) (Value, error) {
+	o := NewObject(in.Protos["Object"])
+	for _, prop := range x.Props {
+		key := prop.Key
+		if prop.Computed {
+			kv, err := in.evalExpr(prop.KeyExpr, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			key, err = in.ToPropertyKey(kv)
+			if err != nil {
+				return Undefined(), err
+			}
+		}
+		switch prop.Kind {
+		case ast.PropInit:
+			v, err := in.evalExpr(prop.Value, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			o.SetSlot(key, v, DefaultAttr)
+		case ast.PropGet, ast.PropSet:
+			fnLit := prop.Value.(*ast.FuncLit)
+			fn := in.MakeFunction(fnLit, env, strict)
+			existing, ok := o.props[key]
+			if !ok || !existing.Accessor {
+				existing = &Property{Accessor: true, Attr: Enumerable | Configurable}
+				o.DefineOwn(key, existing)
+			}
+			if prop.Kind == ast.PropGet {
+				existing.Get = fn
+			} else {
+				existing.Set = fn
+			}
+		}
+	}
+	return ObjValue(o), nil
+}
+
+func (in *Interp) lookupIdent(name string, env *Env) (Value, error) {
+	if b, ok := env.lookup(name); ok {
+		return b.v, nil
+	}
+	if name == "undefined" {
+		return Undefined(), nil
+	}
+	if name == "globalThis" {
+		return ObjValue(in.Global), nil
+	}
+	// Fall back to the global object (including its prototype chain).
+	if v, ok, err := in.getPropOnObject(in.Global, name); err != nil {
+		return Undefined(), err
+	} else if ok {
+		return v, nil
+	}
+	return Undefined(), in.ReferenceErrorf("%s is not defined", name)
+}
+
+func (in *Interp) assignIdent(name string, v Value, env *Env, strict bool) error {
+	if b, ok := env.lookup(name); ok {
+		if !b.mutable {
+			if b.silent && !strict && !in.MutableFuncName {
+				return nil // sloppy-mode write to a function self-name
+			}
+			if b.silent && in.MutableFuncName {
+				// Seeded defect (Montage Listing-13 case): the engine treats
+				// the function self-name binding as an ordinary variable.
+				b.v = v
+				return nil
+			}
+			return in.TypeErrorf("Assignment to constant variable.")
+		}
+		b.v = v
+		return nil
+	}
+	if in.Global.HasOwn(name) {
+		return in.SetProp(ObjValue(in.Global), name, v, strict)
+	}
+	if strict && !in.SloppyStrictAssign {
+		return in.ReferenceErrorf("%s is not defined", name)
+	}
+	in.Global.SetSlot(name, v, DefaultAttr)
+	return nil
+}
+
+func (in *Interp) evalMemberParts(x *ast.MemberExpr, env *Env, strict bool) (Value, string, error) {
+	obj, err := in.evalExpr(x.Obj, env, strict)
+	if err != nil {
+		return Undefined(), "", err
+	}
+	if !x.Computed {
+		return obj, x.Name, nil
+	}
+	kv, err := in.evalExpr(x.Prop, env, strict)
+	if err != nil {
+		return Undefined(), "", err
+	}
+	key, err := in.ToPropertyKey(kv)
+	if err != nil {
+		return Undefined(), "", err
+	}
+	return obj, key, nil
+}
+
+func (in *Interp) evalUnary(x *ast.UnaryExpr, env *Env, strict bool) (Value, error) {
+	if x.Op == token.TYPEOF {
+		if id, ok := x.X.(*ast.Ident); ok {
+			if !env.Has(id.Name) && !in.hasGlobal(id.Name) &&
+				id.Name != "undefined" && id.Name != "globalThis" {
+				return String("undefined"), nil
+			}
+		}
+		v, err := in.evalExpr(x.X, env, strict)
+		if err != nil {
+			return Undefined(), err
+		}
+		return String(TypeOf(v)), nil
+	}
+	if x.Op == token.DELETE {
+		if m, ok := x.X.(*ast.MemberExpr); ok {
+			obj, key, err := in.evalMemberParts(m, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			if !obj.IsObject() {
+				return Bool(true), nil
+			}
+			ok := obj.Obj().DeleteOwn(key)
+			if !ok && strict {
+				return Undefined(), in.TypeErrorf("Cannot delete property '%s'", key)
+			}
+			return Bool(ok), nil
+		}
+		if id, ok := x.X.(*ast.Ident); ok {
+			if env.Has(id.Name) {
+				return Bool(false), nil
+			}
+			return Bool(in.Global.DeleteOwn(id.Name)), nil
+		}
+		// delete of a non-reference evaluates the operand and returns true.
+		if _, err := in.evalExpr(x.X, env, strict); err != nil {
+			return Undefined(), err
+		}
+		return Bool(true), nil
+	}
+	v, err := in.evalExpr(x.X, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	switch x.Op {
+	case token.NOT:
+		return Bool(!ToBoolean(v)), nil
+	case token.MINUS:
+		n, err := in.ToNumber(v)
+		if err != nil {
+			return Undefined(), err
+		}
+		return Number(-n), nil
+	case token.PLUS:
+		n, err := in.ToNumber(v)
+		if err != nil {
+			return Undefined(), err
+		}
+		return Number(n), nil
+	case token.BNOT:
+		n, err := in.ToNumber(v)
+		if err != nil {
+			return Undefined(), err
+		}
+		return Number(float64(^jsnum.ToInt32(n))), nil
+	case token.VOID:
+		return Undefined(), nil
+	}
+	return Undefined(), in.Throwf("InternalError", "unsupported unary %s", x.Op)
+}
+
+func (in *Interp) hasGlobal(name string) bool {
+	for cur := in.Global; cur != nil; cur = cur.Proto {
+		if cur.HasOwn(name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Interp) evalUpdate(x *ast.UpdateExpr, env *Env, strict bool) (Value, error) {
+	old, setter, err := in.evalRef(x.X, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	n, err := in.ToNumber(old)
+	if err != nil {
+		return Undefined(), err
+	}
+	delta := 1.0
+	if x.Op == token.DEC {
+		delta = -1
+	}
+	nv := Number(n + delta)
+	if err := setter(nv); err != nil {
+		return Undefined(), err
+	}
+	if x.Prefix {
+		return nv, nil
+	}
+	return Number(n), nil
+}
+
+// evalRef evaluates an assignable expression to its current value plus a
+// setter closure.
+func (in *Interp) evalRef(e ast.Expr, env *Env, strict bool) (Value, func(Value) error, error) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		v, err := in.lookupIdent(t.Name, env)
+		if err != nil {
+			if _, isThrow := IsThrow(err); !isThrow {
+				return Undefined(), nil, err
+			}
+			// Unresolved identifier: reads throw, but the setter may create
+			// a global in sloppy mode.
+			if strict {
+				return Undefined(), nil, err
+			}
+			v = Undefined()
+			err = nil
+		}
+		return v, func(nv Value) error { return in.assignIdent(t.Name, nv, env, strict) }, nil
+	case *ast.MemberExpr:
+		obj, key, err := in.evalMemberParts(t, env, strict)
+		if err != nil {
+			return Undefined(), nil, err
+		}
+		cur, err := in.GetPropKey(obj, key)
+		if err != nil {
+			return Undefined(), nil, err
+		}
+		return cur, func(nv Value) error { return in.SetProp(obj, key, nv, strict) }, nil
+	}
+	return Undefined(), nil, in.SyntaxErrorf("invalid assignment target")
+}
+
+func (in *Interp) evalAssign(x *ast.AssignExpr, env *Env, strict bool) (Value, error) {
+	// Plain assignment evaluates RHS after resolving the reference.
+	if x.Op == token.ASSIGN {
+		switch t := x.L.(type) {
+		case *ast.Ident:
+			v, err := in.evalExpr(x.R, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			if fn, ok := x.R.(*ast.FuncLit); ok && fn.Name == "" && v.IsObject() {
+				v.Obj().SetSlot("name", String(t.Name), Configurable)
+			}
+			if err := in.assignIdent(t.Name, v, env, strict); err != nil {
+				return Undefined(), err
+			}
+			return v, nil
+		case *ast.MemberExpr:
+			obj, key, err := in.evalMemberParts(t, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			v, err := in.evalExpr(x.R, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			if err := in.SetProp(obj, key, v, strict); err != nil {
+				return Undefined(), err
+			}
+			return v, nil
+		default:
+			return Undefined(), in.SyntaxErrorf("invalid assignment target")
+		}
+	}
+	// Logical assignment short-circuits.
+	switch x.Op {
+	case token.LOGANDASSIGN, token.LOGORASSIGN, token.NULLISHASSIGN:
+		cur, setter, err := in.evalRef(x.L, env, strict)
+		if err != nil {
+			return Undefined(), err
+		}
+		doAssign := false
+		switch x.Op {
+		case token.LOGANDASSIGN:
+			doAssign = ToBoolean(cur)
+		case token.LOGORASSIGN:
+			doAssign = !ToBoolean(cur)
+		case token.NULLISHASSIGN:
+			doAssign = cur.IsNullish()
+		}
+		if !doAssign {
+			return cur, nil
+		}
+		v, err := in.evalExpr(x.R, env, strict)
+		if err != nil {
+			return Undefined(), err
+		}
+		return v, setter(v)
+	}
+	cur, setter, err := in.evalRef(x.L, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	rhs, err := in.evalExpr(x.R, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	var binOp token.Type
+	switch x.Op {
+	case token.PLUSASSIGN:
+		binOp = token.PLUS
+	case token.MINUSASSIGN:
+		binOp = token.MINUS
+	case token.STARASSIGN:
+		binOp = token.STAR
+	case token.SLASHASSIGN:
+		binOp = token.SLASH
+	case token.PERCENTASSIGN:
+		binOp = token.PERCENT
+	case token.POWASSIGN:
+		binOp = token.POW
+	case token.SHLASSIGN:
+		binOp = token.SHL
+	case token.SHRASSIGN:
+		binOp = token.SHR
+	case token.USHRASSIGN:
+		binOp = token.USHR
+	case token.ANDASSIGN:
+		binOp = token.AND
+	case token.ORASSIGN:
+		binOp = token.OR
+	case token.XORASSIGN:
+		binOp = token.XOR
+	default:
+		return Undefined(), in.SyntaxErrorf("unsupported assignment operator")
+	}
+	v, err := in.applyBinary(binOp, cur, rhs)
+	if err != nil {
+		return Undefined(), err
+	}
+	return v, setter(v)
+}
+
+func (in *Interp) evalLogical(x *ast.LogicalExpr, env *Env, strict bool) (Value, error) {
+	l, err := in.evalExpr(x.L, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	switch x.Op {
+	case token.LOGAND:
+		if !ToBoolean(l) {
+			in.coverBranch(x.ID(), 1)
+			return l, nil
+		}
+	case token.LOGOR:
+		if ToBoolean(l) {
+			in.coverBranch(x.ID(), 1)
+			return l, nil
+		}
+	case token.NULLISH:
+		if !l.IsNullish() {
+			in.coverBranch(x.ID(), 1)
+			return l, nil
+		}
+	}
+	in.coverBranch(x.ID(), 0)
+	return in.evalExpr(x.R, env, strict)
+}
+
+func (in *Interp) evalBinary(x *ast.BinaryExpr, env *Env, strict bool) (Value, error) {
+	l, err := in.evalExpr(x.L, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	r, err := in.evalExpr(x.R, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	return in.applyBinary(x.Op, l, r)
+}
+
+func (in *Interp) applyBinary(op token.Type, l, r Value) (Value, error) {
+	switch op {
+	case token.PLUS:
+		lp, err := in.ToPrimitive(l, "")
+		if err != nil {
+			return Undefined(), err
+		}
+		rp, err := in.ToPrimitive(r, "")
+		if err != nil {
+			return Undefined(), err
+		}
+		if lp.Kind() == KindString || rp.Kind() == KindString {
+			ls, err := in.ToString(lp)
+			if err != nil {
+				return Undefined(), err
+			}
+			rs, err := in.ToString(rp)
+			if err != nil {
+				return Undefined(), err
+			}
+			return String(ls + rs), nil
+		}
+		ln, err := in.ToNumber(lp)
+		if err != nil {
+			return Undefined(), err
+		}
+		rn, err := in.ToNumber(rp)
+		if err != nil {
+			return Undefined(), err
+		}
+		return Number(ln + rn), nil
+	case token.MINUS, token.STAR, token.SLASH, token.PERCENT, token.POW:
+		ln, err := in.ToNumber(l)
+		if err != nil {
+			return Undefined(), err
+		}
+		rn, err := in.ToNumber(r)
+		if err != nil {
+			return Undefined(), err
+		}
+		switch op {
+		case token.MINUS:
+			return Number(ln - rn), nil
+		case token.STAR:
+			return Number(ln * rn), nil
+		case token.SLASH:
+			return Number(ln / rn), nil
+		case token.PERCENT:
+			return Number(math.Mod(ln, rn)), nil
+		default:
+			return Number(math.Pow(ln, rn)), nil
+		}
+	case token.EQ:
+		eq, err := in.LooseEquals(l, r)
+		if err != nil {
+			return Undefined(), err
+		}
+		return Bool(eq), nil
+	case token.NEQ:
+		eq, err := in.LooseEquals(l, r)
+		if err != nil {
+			return Undefined(), err
+		}
+		return Bool(!eq), nil
+	case token.STRICTEQ:
+		return Bool(SameValueStrict(l, r)), nil
+	case token.STRICTNE:
+		return Bool(!SameValueStrict(l, r)), nil
+	case token.LT:
+		b, err := in.Compare("<", l, r)
+		return Bool(b), err
+	case token.GT:
+		b, err := in.Compare(">", l, r)
+		return Bool(b), err
+	case token.LE:
+		b, err := in.Compare("<=", l, r)
+		return Bool(b), err
+	case token.GE:
+		b, err := in.Compare(">=", l, r)
+		return Bool(b), err
+	case token.AND, token.OR, token.XOR, token.SHL, token.SHR:
+		ln, err := in.ToNumber(l)
+		if err != nil {
+			return Undefined(), err
+		}
+		rn, err := in.ToNumber(r)
+		if err != nil {
+			return Undefined(), err
+		}
+		li := jsnum.ToInt32(ln)
+		shift := uint32(jsnum.ToUint32(rn)) & 31
+		switch op {
+		case token.AND:
+			return Number(float64(li & jsnum.ToInt32(rn))), nil
+		case token.OR:
+			return Number(float64(li | jsnum.ToInt32(rn))), nil
+		case token.XOR:
+			return Number(float64(li ^ jsnum.ToInt32(rn))), nil
+		case token.SHL:
+			return Number(float64(li << shift)), nil
+		default:
+			return Number(float64(li >> shift)), nil
+		}
+	case token.USHR:
+		ln, err := in.ToNumber(l)
+		if err != nil {
+			return Undefined(), err
+		}
+		rn, err := in.ToNumber(r)
+		if err != nil {
+			return Undefined(), err
+		}
+		return Number(float64(jsnum.ToUint32(ln) >> (jsnum.ToUint32(rn) & 31))), nil
+	case token.IN:
+		if !r.IsObject() {
+			return Undefined(), in.TypeErrorf("Cannot use 'in' operator to search in %s", TypeOf(r))
+		}
+		key, err := in.ToPropertyKey(l)
+		if err != nil {
+			return Undefined(), err
+		}
+		for cur := r.Obj(); cur != nil; cur = cur.Proto {
+			if cur.HasOwn(key) {
+				return Bool(true), nil
+			}
+		}
+		return Bool(false), nil
+	case token.INSTANCEOF:
+		if !r.IsObject() || !r.Obj().IsCallable() {
+			return Undefined(), in.TypeErrorf("Right-hand side of 'instanceof' is not callable")
+		}
+		if !l.IsObject() {
+			return Bool(false), nil
+		}
+		protoV, err := in.GetProp(r, "prototype")
+		if err != nil {
+			return Undefined(), err
+		}
+		if !protoV.IsObject() {
+			return Undefined(), in.TypeErrorf("Function has non-object prototype")
+		}
+		target := protoV.Obj()
+		for cur := l.Obj().Proto; cur != nil; cur = cur.Proto {
+			if cur == target {
+				return Bool(true), nil
+			}
+		}
+		return Bool(false), nil
+	}
+	return Undefined(), in.Throwf("InternalError", "unsupported binary operator %s", op)
+}
+
+// ---------- calls ----------
+
+func (in *Interp) evalCall(x *ast.CallExpr, env *Env, strict bool) (Value, error) {
+	var thisVal Value
+	var fnVal Value
+	var err error
+	if m, ok := x.Callee.(*ast.MemberExpr); ok {
+		obj, key, err2 := in.evalMemberParts(m, env, strict)
+		if err2 != nil {
+			return Undefined(), err2
+		}
+		fnVal, err = in.GetPropKey(obj, key)
+		if err != nil {
+			return Undefined(), err
+		}
+		thisVal = obj
+	} else {
+		fnVal, err = in.evalExpr(x.Callee, env, strict)
+		if err != nil {
+			return Undefined(), err
+		}
+		if in.Strict || strict {
+			thisVal = Undefined()
+		} else {
+			thisVal = ObjValue(in.Global)
+		}
+	}
+	args, err := in.evalArgs(x.Args, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	if !fnVal.IsObject() || !fnVal.Obj().IsCallable() {
+		name := describeCallee(x.Callee)
+		return Undefined(), in.TypeErrorf("%s is not a function", name)
+	}
+	return in.Call(fnVal.Obj(), thisVal, args)
+}
+
+func describeCallee(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.MemberExpr:
+		if !t.Computed {
+			return describeCallee(t.Obj) + "." + t.Name
+		}
+		return describeCallee(t.Obj) + "[...]"
+	default:
+		return "expression"
+	}
+}
+
+func (in *Interp) evalArgs(exprs []ast.Expr, env *Env, strict bool) ([]Value, error) {
+	var args []Value
+	for _, a := range exprs {
+		if sp, ok := a.(*ast.SpreadExpr); ok {
+			sv, err := in.evalExpr(sp.X, env, strict)
+			if err != nil {
+				return nil, err
+			}
+			items, err := in.iterate(sv)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, items...)
+			continue
+		}
+		v, err := in.evalExpr(a, env, strict)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+// Call invokes fn with the given this and arguments.
+func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
+	if err := in.charge(4); err != nil {
+		return Undefined(), err
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > in.maxDepth {
+		return Undefined(), in.RangeErrorf("Maximum call stack size exceeded")
+	}
+	if fn.BoundTarget != nil {
+		return in.Call(fn.BoundTarget, fn.BoundThis, append(append([]Value(nil), fn.BoundArgs...), args...))
+	}
+	if fn.Native != nil {
+		ctx := &HookCtx{Site: HookBuiltin, In: in, Name: fn.NativeName, This: this, Args: args}
+		return in.applyHook(ctx, func() (Value, error) {
+			return fn.Native(in, this, args)
+		})
+	}
+	if fn.Fn == nil {
+		return Undefined(), in.TypeErrorf("object is not callable")
+	}
+	fn.Invocations++
+	if in.Hook != nil {
+		ov := in.Hook(&HookCtx{Site: HookFuncTier, In: in, Tier: fn.Invocations, Fn: fn})
+		if ov != nil {
+			if ov.CostExtra > 0 {
+				if err := in.charge(ov.CostExtra); err != nil {
+					return Undefined(), err
+				}
+			}
+			if ov.Replace {
+				return ov.Return, ov.Err
+			}
+		}
+	}
+	lit := fn.Fn.Lit
+	strict := lit.Strict || in.Strict || fn.HasOwn("__strict__")
+	callEnv := NewEnv(fn.Fn.Env, true)
+	for i, p := range lit.Params {
+		if i < len(args) {
+			callEnv.declareLexical(p, args[i], true)
+		} else {
+			callEnv.declareLexical(p, Undefined(), true)
+		}
+	}
+	if lit.Rest != "" {
+		rest := in.NewArray(nil)
+		for i := len(lit.Params); i < len(args); i++ {
+			rest.AppendElem(args[i])
+		}
+		callEnv.declareLexical(lit.Rest, ObjValue(rest), true)
+	}
+	// this binding.
+	var thisVal Value
+	if lit.Arrow {
+		thisVal = fn.BoundThis
+	} else {
+		thisVal = this
+		if !strict {
+			if thisVal.IsNullish() {
+				thisVal = ObjValue(in.Global)
+			} else if !thisVal.IsObject() {
+				boxed, err := in.ToObject(thisVal)
+				if err != nil {
+					return Undefined(), err
+				}
+				thisVal = ObjValue(boxed)
+			}
+		}
+		// arguments object.
+		argsObj := NewObject(in.Protos["Object"])
+		argsObj.Class = "Arguments"
+		for i, a := range args {
+			argsObj.SetSlot(jsnum.Format(float64(i)), a, DefaultAttr)
+		}
+		argsObj.SetSlot("length", Number(float64(len(args))), Writable|Configurable)
+		callEnv.declareLexical("arguments", ObjValue(argsObj), true)
+		if lit.Name != "" && !callEnv.Has(lit.Name) {
+			callEnv.declareFuncSelfName(lit.Name, ObjValue(fn))
+		}
+	}
+	in.thisStack = append(in.thisStack, thisVal)
+	defer func() { in.thisStack = in.thisStack[:len(in.thisStack)-1] }()
+
+	if lit.ExprBody != nil {
+		return in.evalExpr(lit.ExprBody, callEnv, strict)
+	}
+	in.coverFunc(lit.ID())
+	in.hoist(lit.Body.Body, callEnv, false, strict)
+	c, err := in.execStmts(lit.Body.Body, callEnv, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	if c.kind == ctrlReturn {
+		return c.val, nil
+	}
+	return Undefined(), nil
+}
+
+func (in *Interp) evalNew(x *ast.NewExpr, env *Env, strict bool) (Value, error) {
+	fnVal, err := in.evalExpr(x.Callee, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	args, err := in.evalArgs(x.Args, env, strict)
+	if err != nil {
+		return Undefined(), err
+	}
+	if !fnVal.IsObject() || !fnVal.Obj().IsCallable() {
+		return Undefined(), in.TypeErrorf("%s is not a constructor", describeCallee(x.Callee))
+	}
+	return in.Construct(fnVal.Obj(), args)
+}
+
+// Construct implements the new operator.
+func (in *Interp) Construct(fn *Object, args []Value) (Value, error) {
+	if fn.BoundTarget != nil {
+		return in.Construct(fn.BoundTarget, append(append([]Value(nil), fn.BoundArgs...), args...))
+	}
+	if fn.Construct != nil {
+		ctx := &HookCtx{Site: HookBuiltin, In: in, Name: "new " + fn.NativeName, Args: args}
+		return in.applyHook(ctx, func() (Value, error) {
+			return fn.Construct(in, Undefined(), args)
+		})
+	}
+	if fn.Native != nil {
+		ctx := &HookCtx{Site: HookBuiltin, In: in, Name: "new " + fn.NativeName, Args: args}
+		return in.applyHook(ctx, func() (Value, error) {
+			return fn.Native(in, Undefined(), args)
+		})
+	}
+	if fn.Fn == nil || fn.Fn.Lit.Arrow {
+		return Undefined(), in.TypeErrorf("not a constructor")
+	}
+	protoV, err := in.GetProp(ObjValue(fn), "prototype")
+	if err != nil {
+		return Undefined(), err
+	}
+	proto := in.Protos["Object"]
+	if protoV.IsObject() {
+		proto = protoV.Obj()
+	}
+	obj := NewObject(proto)
+	res, err := in.Call(fn, ObjValue(obj), args)
+	if err != nil {
+		return Undefined(), err
+	}
+	if res.IsObject() {
+		return res, nil
+	}
+	return ObjValue(obj), nil
+}
+
+// ---------- property access ----------
+
+// GetProp reads property key from any value (boxing primitives virtually).
+func (in *Interp) GetProp(v Value, key string) (Value, error) {
+	return in.GetPropKey(v, key)
+}
+
+// GetPropKey reads a property with a precomputed key.
+func (in *Interp) GetPropKey(v Value, key string) (Value, error) {
+	if err := in.charge(1); err != nil {
+		return Undefined(), err
+	}
+	switch v.Kind() {
+	case KindUndefined, KindNull:
+		return Undefined(), in.TypeErrorf("Cannot read properties of %s (reading '%s')", v.Kind(), key)
+	case KindObject:
+		val, ok, err := in.getPropOnObject(v.Obj(), key)
+		if err != nil {
+			return Undefined(), err
+		}
+		if ok {
+			return val, nil
+		}
+		return Undefined(), nil
+	case KindString:
+		runes := []rune(v.Str())
+		if key == "length" {
+			return Number(float64(len(runes))), nil
+		}
+		if idx, ok := arrayIndex(key); ok {
+			if int(idx) < len(runes) {
+				return String(string(runes[idx])), nil
+			}
+			return Undefined(), nil
+		}
+		return in.protoLookup(v, in.Protos["String"], key)
+	case KindNumber:
+		return in.protoLookup(v, in.Protos["Number"], key)
+	default:
+		return in.protoLookup(v, in.Protos["Boolean"], key)
+	}
+}
+
+func (in *Interp) protoLookup(this Value, proto *Object, key string) (Value, error) {
+	if proto == nil {
+		return Undefined(), nil
+	}
+	v, ok, err := in.getPropOnObjectWithThis(proto, key, this)
+	if err != nil {
+		return Undefined(), err
+	}
+	if ok {
+		return v, nil
+	}
+	return Undefined(), nil
+}
+
+func (in *Interp) getPropOnObject(o *Object, key string) (Value, bool, error) {
+	return in.getPropOnObjectWithThis(o, key, ObjValue(o))
+}
+
+func (in *Interp) getPropOnObjectWithThis(o *Object, key string, this Value) (Value, bool, error) {
+	for cur := o; cur != nil; cur = cur.Proto {
+		p, ok := cur.getOwn(key)
+		if !ok {
+			continue
+		}
+		if p.Accessor {
+			if p.Get == nil {
+				return Undefined(), true, nil
+			}
+			v, err := in.Call(p.Get, this, nil)
+			return v, true, err
+		}
+		return p.Value, true, nil
+	}
+	return Undefined(), false, nil
+}
+
+// SetProp stores a property on a value per the language assignment rules
+// (prototype setters, writability, array index fast path, defect hooks).
+func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error {
+	if err := in.charge(1); err != nil {
+		return err
+	}
+	if target.IsNullish() {
+		return in.TypeErrorf("Cannot set properties of %s (setting '%s')", target.Kind(), key)
+	}
+	if !target.IsObject() {
+		// Assignment to a property of a primitive: no-op (sloppy) or
+		// TypeError (strict).
+		if strict {
+			return in.TypeErrorf("Cannot create property '%s' on %s", key, TypeOf(target))
+		}
+		return nil
+	}
+	o := target.Obj()
+	if in.Hook != nil {
+		ov := in.Hook(&HookCtx{Site: HookPropSet, In: in, Obj: o, Key: String(key), Val: v})
+		if ov != nil {
+			if ov.CostExtra > 0 {
+				if err := in.charge(ov.CostExtra); err != nil {
+					return err
+				}
+			}
+			if ov.Replace {
+				return ov.Err
+			}
+			if ov.Handled {
+				return nil
+			}
+		}
+	}
+	// Accessor on the prototype chain?
+	for cur := o; cur != nil; cur = cur.Proto {
+		p, ok := cur.getOwn(key)
+		if !ok {
+			continue
+		}
+		if p.Accessor {
+			if p.Set == nil {
+				if strict {
+					return in.TypeErrorf("Cannot set property %s which has only a getter", key)
+				}
+				return nil
+			}
+			_, err := in.Call(p.Set, target, []Value{v})
+			return err
+		}
+		if cur == o {
+			if p.Attr&Writable == 0 {
+				if strict {
+					return in.TypeErrorf("Cannot assign to read only property '%s'", key)
+				}
+				return nil
+			}
+		}
+		break
+	}
+	// Frozen arrays and typed arrays reject element writes (the hidden
+	// __frozen__ marker is maintained by Object.freeze).
+	if (o.IsArray() || o.ElemKind != ElemNone) && o.HasOwn("__frozen__") {
+		if _, isIndex := arrayIndex(key); isIndex {
+			if strict {
+				return in.TypeErrorf("Cannot assign to read only property '%s' of object", key)
+			}
+			return nil
+		}
+	}
+	// Array fast path with the growth hook (performance defects).
+	if o.IsArray() {
+		if idx, ok := arrayIndex(key); ok {
+			if in.Hook != nil {
+				ov := in.Hook(&HookCtx{Site: HookArrayGrow, In: in, Obj: o, Index: idx, Val: v})
+				if ov != nil && ov.CostExtra > 0 {
+					if err := in.charge(ov.CostExtra); err != nil {
+						return err
+					}
+				}
+			}
+			o.arraySet(idx, v)
+			return nil
+		}
+		if key == "length" {
+			n, err := in.ToNumber(v)
+			if err != nil {
+				return err
+			}
+			u := jsnum.ToUint32(n)
+			if float64(u) != n {
+				return in.RangeErrorf("Invalid array length")
+			}
+			o.truncate(u)
+			return nil
+		}
+	}
+	// Typed arrays.
+	if o.ElemKind != ElemNone && o.Class != "DataView" {
+		if idx, ok := arrayIndex(key); ok {
+			if int(idx) < o.ArrayLen {
+				n, err := in.ToNumber(v)
+				if err != nil {
+					return err
+				}
+				o.TypedSet(int(idx), n)
+			}
+			return nil
+		}
+	}
+	if !o.Extensible && !o.HasOwn(key) {
+		if strict {
+			return in.TypeErrorf("Cannot add property %s, object is not extensible", key)
+		}
+		return nil
+	}
+	o.SetSlot(key, v, DefaultAttr)
+	return nil
+}
+
+// NewArray allocates an Array object with the given dense elements.
+func (in *Interp) NewArray(elems []Value) *Object {
+	o := NewObject(in.Protos["Array"])
+	o.Class = "Array"
+	o.elems = elems
+	o.arrayLen = uint32(len(elems))
+	return o
+}
+
+// NewRegExp compiles a regex literal into a RegExp object, passing through
+// the regex-engine defect hook.
+func (in *Interp) NewRegExp(pattern, flags string) (Value, error) {
+	re, err := regex.Compile(pattern, flags)
+	if err != nil {
+		return Undefined(), in.SyntaxErrorf("Invalid regular expression: /%s/: %v", pattern, err)
+	}
+	o := NewObject(in.Protos["RegExp"])
+	o.Class = "RegExp"
+	o.Regex = re
+	o.SetSlot("lastIndex", Number(0), Writable)
+	o.SetSlot("source", String(pattern), 0)
+	o.SetSlot("flags", String(flags), 0)
+	o.SetSlot("global", Bool(re.Global), 0)
+	o.SetSlot("ignoreCase", Bool(re.IgnoreCase), 0)
+	o.SetSlot("multiline", Bool(re.Multiline), 0)
+	o.SetSlot("sticky", Bool(re.Sticky), 0)
+	return ObjValue(o), nil
+}

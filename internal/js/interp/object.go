@@ -1,0 +1,461 @@
+package interp
+
+import (
+	"sort"
+	"strconv"
+
+	"comfort/internal/js/ast"
+	"comfort/internal/js/regex"
+)
+
+// PropAttr holds property descriptor attribute bits.
+type PropAttr uint8
+
+// Descriptor attributes.
+const (
+	Writable PropAttr = 1 << iota
+	Enumerable
+	Configurable
+)
+
+// DefaultAttr is the attribute set of properties created by assignment.
+const DefaultAttr = Writable | Enumerable | Configurable
+
+// Property is a property slot: either a data property (Value) or an
+// accessor property (Get/Set).
+type Property struct {
+	Value    Value
+	Get, Set *Object
+	Accessor bool
+	Attr     PropAttr
+}
+
+// FuncDef binds a function literal to its defining environment (a closure).
+type FuncDef struct {
+	Lit *ast.FuncLit
+	Env *Env
+}
+
+// NativeFunc is the Go implementation of a builtin.
+type NativeFunc func(in *Interp, this Value, args []Value) (Value, error)
+
+// ElemKind enumerates typed-array element types.
+type ElemKind uint8
+
+// Typed-array element kinds.
+const (
+	ElemNone ElemKind = iota
+	ElemInt8
+	ElemUint8
+	ElemUint8Clamped
+	ElemInt16
+	ElemUint16
+	ElemInt32
+	ElemUint32
+	ElemFloat32
+	ElemFloat64
+)
+
+// Size returns the element width in bytes.
+func (k ElemKind) Size() int {
+	switch k {
+	case ElemInt8, ElemUint8, ElemUint8Clamped:
+		return 1
+	case ElemInt16, ElemUint16:
+		return 2
+	case ElemInt32, ElemUint32, ElemFloat32:
+		return 4
+	case ElemFloat64:
+		return 8
+	}
+	return 0
+}
+
+// ArrayBuffer is a raw byte buffer shared by typed arrays and DataViews.
+type ArrayBuffer struct {
+	Data []byte
+}
+
+// Object is an ECMAScript object: ordered named properties, a prototype
+// link, and optional internal slots for the specialised classes.
+type Object struct {
+	Class      string // "Object", "Array", "Function", "Error", "RegExp", ...
+	Proto      *Object
+	Extensible bool
+
+	props map[string]*Property
+	keys  []string // insertion order of string keys
+
+	// Array internal slots: dense elements plus an explicit length to
+	// support sparse writes (which land in props).
+	elems    []Value
+	arrayLen uint32
+
+	// Function internal slots.
+	Fn          *FuncDef
+	Native      NativeFunc
+	Construct   NativeFunc // nil means Native is used for construction too
+	NativeName  string     // canonical spec key, e.g. "String.prototype.substr"
+	BoundTarget *Object
+	BoundThis   Value
+	BoundArgs   []Value
+	Invocations int // call counter, drives Optimizer-component defects
+
+	// Primitive wrapper slot (String/Number/Boolean objects) and the Date
+	// time value.
+	Prim    Value
+	HasPrim bool
+
+	// RegExp internal slots.
+	Regex *regex.Regexp
+
+	// Typed array / DataView internal slots.
+	Buf      *ArrayBuffer
+	ElemKind ElemKind
+	ByteOff  int
+	ArrayLen int // element count for typed arrays, byte length for DataView
+}
+
+// NewObject allocates a plain object with the given prototype.
+func NewObject(proto *Object) *Object {
+	return &Object{Class: "Object", Proto: proto, Extensible: true,
+		props: map[string]*Property{}}
+}
+
+// IsCallable reports whether the object can be invoked.
+func (o *Object) IsCallable() bool {
+	return o != nil && (o.Fn != nil || o.Native != nil || o.BoundTarget != nil)
+}
+
+// IsArray reports whether the object is an Array exotic object.
+func (o *Object) IsArray() bool { return o != nil && o.Class == "Array" }
+
+// arrayIndex parses a canonical array index from a property key; ok is
+// false for non-index keys.
+func arrayIndex(key string) (uint32, bool) {
+	if key == "" || len(key) > 10 {
+		return 0, false
+	}
+	if key == "0" {
+		return 0, true
+	}
+	if key[0] < '1' || key[0] > '9' {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(key, 10, 32)
+	if err != nil || n >= 4294967295 {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// getOwn returns the own property for key, consulting array storage and
+// virtual slots (array length, string indices).
+func (o *Object) getOwn(key string) (*Property, bool) {
+	if o.IsArray() {
+		if key == "length" {
+			return &Property{Value: Number(float64(o.arrayLen)), Attr: Writable}, true
+		}
+		if idx, ok := arrayIndex(key); ok && int(idx) < len(o.elems) {
+			return &Property{Value: o.elems[idx], Attr: DefaultAttr}, true
+		}
+	}
+	if o.Class == "String" && o.HasPrim {
+		s := []rune(o.Prim.Str())
+		if key == "length" {
+			return &Property{Value: Number(float64(len(s)))}, true
+		}
+		if idx, ok := arrayIndex(key); ok && int(idx) < len(s) {
+			return &Property{Value: String(string(s[idx])), Attr: Enumerable}, true
+		}
+	}
+	if o.ElemKind != ElemNone && o.Class != "DataView" {
+		if key == "length" {
+			return &Property{Value: Number(float64(o.ArrayLen))}, true
+		}
+		if idx, ok := arrayIndex(key); ok {
+			if int(idx) < o.ArrayLen {
+				return &Property{Value: Number(o.typedGet(int(idx))), Attr: Writable | Enumerable}, true
+			}
+			return &Property{Value: Undefined()}, true
+		}
+	}
+	p, ok := o.props[key]
+	return p, ok
+}
+
+// HasOwn reports whether key is an own property.
+func (o *Object) HasOwn(key string) bool {
+	_, ok := o.getOwn(key)
+	return ok
+}
+
+// GetOwnProperty exposes the own-property lookup for builtins
+// (Object.getOwnPropertyDescriptor and friends).
+func (o *Object) GetOwnProperty(key string) (*Property, bool) { return o.getOwn(key) }
+
+// SetSlot writes a raw property without descriptor checks (used during
+// runtime setup).
+func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
+	if p, ok := o.props[key]; ok {
+		p.Value = v
+		p.Attr = attr
+		p.Accessor = false
+		return
+	}
+	if o.props == nil {
+		o.props = map[string]*Property{}
+	}
+	o.props[key] = &Property{Value: v, Attr: attr}
+	o.keys = append(o.keys, key)
+}
+
+// DefineOwn installs a property descriptor, honouring configurability.
+// It returns false when the existing property forbids the redefinition.
+func (o *Object) DefineOwn(key string, p *Property) bool {
+	if o.IsArray() {
+		if idx, ok := arrayIndex(key); ok && !p.Accessor {
+			o.arraySet(idx, p.Value)
+			return true
+		}
+		if key == "length" && !p.Accessor {
+			n := uint32(p.Value.Num())
+			o.truncate(n)
+			return true
+		}
+	}
+	existing, ok := o.props[key]
+	if ok && existing.Attr&Configurable == 0 {
+		// Permit only value updates on writable, non-configurable data props.
+		if !existing.Accessor && !p.Accessor && existing.Attr&Writable != 0 {
+			existing.Value = p.Value
+			return true
+		}
+		if existing.Accessor == p.Accessor && existing.Attr == p.Attr &&
+			!p.Accessor && SameValueStrict(existing.Value, p.Value) {
+			return true
+		}
+		return false
+	}
+	if !ok && !o.Extensible {
+		return false
+	}
+	if o.props == nil {
+		o.props = map[string]*Property{}
+	}
+	if !ok {
+		o.keys = append(o.keys, key)
+	}
+	o.props[key] = p
+	return true
+}
+
+// DeleteOwn removes an own property; it returns false for non-configurable
+// properties.
+func (o *Object) DeleteOwn(key string) bool {
+	if o.IsArray() {
+		if idx, ok := arrayIndex(key); ok {
+			if int(idx) < len(o.elems) {
+				o.elems[idx] = Undefined()
+				return true
+			}
+		}
+	}
+	p, ok := o.props[key]
+	if !ok {
+		return true
+	}
+	if p.Attr&Configurable == 0 {
+		return false
+	}
+	delete(o.props, key)
+	for i, k := range o.keys {
+		if k == key {
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// OwnKeys returns own enumerable-or-not string keys in specification order:
+// integer indices ascending first, then insertion order.
+func (o *Object) OwnKeys() []string {
+	var ints []uint32
+	var names []string
+	if o.IsArray() {
+		for i := range o.elems {
+			ints = append(ints, uint32(i))
+		}
+	}
+	if o.Class == "String" && o.HasPrim {
+		for i := range []rune(o.Prim.Str()) {
+			ints = append(ints, uint32(i))
+		}
+	}
+	if o.ElemKind != ElemNone && o.Class != "DataView" {
+		for i := 0; i < o.ArrayLen; i++ {
+			ints = append(ints, uint32(i))
+		}
+	}
+	for _, k := range o.keys {
+		if idx, ok := arrayIndex(k); ok {
+			ints = append(ints, idx)
+		} else {
+			names = append(names, k)
+		}
+	}
+	sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
+	out := make([]string, 0, len(ints)+len(names))
+	var last uint32
+	first := true
+	for _, i := range ints {
+		if !first && i == last {
+			continue
+		}
+		first = false
+		last = i
+		out = append(out, strconv.FormatUint(uint64(i), 10))
+	}
+	return append(out, names...)
+}
+
+// EnumerableKeys returns own enumerable keys in OwnKeys order.
+func (o *Object) EnumerableKeys() []string {
+	var out []string
+	for _, k := range o.OwnKeys() {
+		p, ok := o.getOwn(k)
+		if !ok {
+			continue
+		}
+		if p.Attr&Enumerable != 0 || o.IsArray() || (o.ElemKind != ElemNone && o.Class != "DataView") ||
+			(o.Class == "String" && o.HasPrim && isIndexKey(k)) {
+			if p2, inMap := o.props[k]; inMap {
+				if p2.Attr&Enumerable == 0 {
+					continue
+				}
+			}
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func isIndexKey(k string) bool {
+	_, ok := arrayIndex(k)
+	return ok
+}
+
+// arraySet writes a dense or sparse array element and maintains length.
+func (o *Object) arraySet(idx uint32, v Value) {
+	const denseGap = 4096
+	switch {
+	case int(idx) < len(o.elems):
+		o.elems[idx] = v
+	case int(idx) == len(o.elems):
+		o.elems = append(o.elems, v)
+	case int(idx)-len(o.elems) < denseGap:
+		for len(o.elems) < int(idx) {
+			o.elems = append(o.elems, Undefined())
+		}
+		o.elems = append(o.elems, v)
+	default:
+		o.SetSlot(strconv.FormatUint(uint64(idx), 10), v, DefaultAttr)
+	}
+	if idx+1 > o.arrayLen {
+		o.arrayLen = idx + 1
+	}
+}
+
+// truncate implements assignment to array length.
+func (o *Object) truncate(n uint32) {
+	if int(n) < len(o.elems) {
+		o.elems = o.elems[:n]
+	}
+	if n < o.arrayLen {
+		for _, k := range append([]string(nil), o.keys...) {
+			if idx, ok := arrayIndex(k); ok && idx >= n {
+				o.DeleteOwn(k)
+			}
+		}
+	}
+	o.arrayLen = n
+}
+
+// ArrayElems exposes the dense element slice (builtins mutate it in place).
+func (o *Object) ArrayElems() []Value { return o.elems }
+
+// SetArrayElems replaces the dense elements and fixes up length.
+func (o *Object) SetArrayElems(elems []Value) {
+	o.elems = elems
+	if uint32(len(elems)) > o.arrayLen || true {
+		o.arrayLen = uint32(len(elems))
+	}
+}
+
+// ArrayLength returns the array length.
+func (o *Object) ArrayLength() uint32 { return o.arrayLen }
+
+// SetArrayLength sets the length slot (used by builtins after sparse ops).
+func (o *Object) SetArrayLength(n uint32) { o.arrayLen = n }
+
+// AppendElem pushes a dense element.
+func (o *Object) AppendElem(v Value) {
+	o.elems = append(o.elems, v)
+	if uint32(len(o.elems)) > o.arrayLen {
+		o.arrayLen = uint32(len(o.elems))
+	}
+}
+
+// typedGet reads element idx of a typed array as float64.
+func (o *Object) typedGet(idx int) float64 {
+	off := o.ByteOff + idx*o.ElemKind.Size()
+	d := o.Buf.Data
+	switch o.ElemKind {
+	case ElemInt8:
+		return float64(int8(d[off]))
+	case ElemUint8, ElemUint8Clamped:
+		return float64(d[off])
+	case ElemInt16:
+		return float64(int16(uint16(d[off]) | uint16(d[off+1])<<8))
+	case ElemUint16:
+		return float64(uint16(d[off]) | uint16(d[off+1])<<8)
+	case ElemInt32:
+		return float64(int32(le32(d[off:])))
+	case ElemUint32:
+		return float64(le32(d[off:]))
+	case ElemFloat32:
+		return float64(fromBits32(le32(d[off:])))
+	case ElemFloat64:
+		return fromBits64(le64(d[off:]))
+	}
+	return 0
+}
+
+// TypedGet exposes typed-array element reads to builtins.
+func (o *Object) TypedGet(idx int) float64 { return o.typedGet(idx) }
+
+// TypedSet writes element idx of a typed array from a float64 using the
+// element kind's conversion.
+func (o *Object) TypedSet(idx int, f float64) {
+	off := o.ByteOff + idx*o.ElemKind.Size()
+	d := o.Buf.Data
+	switch o.ElemKind {
+	case ElemInt8:
+		d[off] = byte(int8(toInt64(f)))
+	case ElemUint8:
+		d[off] = byte(uint8(toInt64(f)))
+	case ElemUint8Clamped:
+		d[off] = clampUint8(f)
+	case ElemInt16, ElemUint16:
+		v := uint16(toInt64(f))
+		d[off] = byte(v)
+		d[off+1] = byte(v >> 8)
+	case ElemInt32, ElemUint32:
+		putLE32(d[off:], uint32(toInt64(f)))
+	case ElemFloat32:
+		putLE32(d[off:], bits32(float32(f)))
+	case ElemFloat64:
+		putLE64(d[off:], bits64(f))
+	}
+}

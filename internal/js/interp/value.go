@@ -1,0 +1,161 @@
+// Package interp implements the tree-walking ECMAScript evaluator shared by
+// all engine variants. It provides values, objects with prototype chains and
+// property descriptors, abstract operations (ToNumber, ToString, ...),
+// strict-mode semantics, a deterministic step budget standing in for wall
+// time, and a hook interface through which seeded engine defects intercept
+// behaviour.
+package interp
+
+import (
+	"comfort/internal/js/jsnum"
+)
+
+// Kind enumerates the ECMAScript language types (Symbol excluded; see
+// DESIGN.md for the supported subset).
+type Kind uint8
+
+// Value kinds.
+const (
+	KindUndefined Kind = iota
+	KindNull
+	KindBool
+	KindNumber
+	KindString
+	KindObject
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	default:
+		return "object"
+	}
+}
+
+// Value is an ECMAScript language value. The zero Value is undefined.
+type Value struct {
+	kind Kind
+	b    bool
+	num  float64
+	str  string
+	obj  *Object
+}
+
+// Undefined returns the undefined value.
+func Undefined() Value { return Value{} }
+
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool wraps a Go bool.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Number wraps a float64.
+func Number(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// String wraps a Go string.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// ObjValue wraps an object; a nil object yields undefined.
+func ObjValue(o *Object) Value {
+	if o == nil {
+		return Value{}
+	}
+	return Value{kind: KindObject, obj: o}
+}
+
+// Kind reports the value's language type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined reports whether v is undefined.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsNullish reports whether v is undefined or null.
+func (v Value) IsNullish() bool { return v.kind == KindUndefined || v.kind == KindNull }
+
+// IsObject reports whether v is an object.
+func (v Value) IsObject() bool { return v.kind == KindObject }
+
+// BoolVal returns the bool payload (valid only for KindBool).
+func (v Value) BoolVal() bool { return v.b }
+
+// Num returns the number payload (valid only for KindNumber).
+func (v Value) Num() float64 { return v.num }
+
+// Str returns the string payload (valid only for KindString).
+func (v Value) Str() string { return v.str }
+
+// Obj returns the object payload, or nil.
+func (v Value) Obj() *Object { return v.obj }
+
+// SameValueStrict implements the === comparison for two values without any
+// coercion (NaN !== NaN, +0 === -0).
+func SameValueStrict(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindNumber:
+		return a.num == b.num // NaN != NaN per IEEE
+	case KindString:
+		return a.str == b.str
+	default:
+		return a.obj == b.obj
+	}
+}
+
+// TypeOf implements the typeof operator.
+func TypeOf(v Value) string {
+	switch v.kind {
+	case KindUndefined:
+		return "undefined"
+	case KindNull:
+		return "object"
+	case KindBool:
+		return "boolean"
+	case KindNumber:
+		return "number"
+	case KindString:
+		return "string"
+	default:
+		if v.obj != nil && v.obj.IsCallable() {
+			return "function"
+		}
+		return "object"
+	}
+}
+
+// ToBoolean implements ECMA-262 ToBoolean.
+func ToBoolean(v Value) bool {
+	switch v.kind {
+	case KindUndefined, KindNull:
+		return false
+	case KindBool:
+		return v.b
+	case KindNumber:
+		return v.num == v.num && v.num != 0 // false for NaN and ±0
+	case KindString:
+		return v.str != ""
+	default:
+		return true
+	}
+}
+
+// FormatNumber renders a number value per the ToString(Number) algorithm.
+func FormatNumber(f float64) string { return jsnum.Format(f) }

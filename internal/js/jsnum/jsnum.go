@@ -1,0 +1,239 @@
+// Package jsnum implements ECMAScript Number conversions: the
+// Number-to-String algorithm (7.1.12.1), String-to-Number parsing, and the
+// integer conversions ToInteger / ToInt32 / ToUint32 that the abstract
+// operations in ECMA-262 are built on.
+package jsnum
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Format renders f using the ECMAScript ToString(Number) algorithm.
+func Format(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case f == 0:
+		return "0" // negative zero prints as "0"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	}
+	if f == math.Trunc(f) && math.Abs(f) < 1e21 {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	// Shortest round-trip representation, then adjust exponent spelling to
+	// the ECMAScript form (e.g. 1e+21, 1.5e-7).
+	abs := math.Abs(f)
+	if abs >= 1e21 || (abs < 1e-6 && abs > 0) {
+		s := strconv.FormatFloat(f, 'e', -1, 64)
+		// Go prints e.g. 1e+21 as "1e+21"; ECMAScript uses the same form
+		// but without a two-digit exponent requirement.
+		mant, exp, _ := strings.Cut(s, "e")
+		exp = strings.TrimPrefix(exp, "+")
+		neg := strings.HasPrefix(exp, "-")
+		exp = strings.TrimPrefix(exp, "-")
+		exp = strings.TrimLeft(exp, "0")
+		if exp == "" {
+			exp = "0"
+		}
+		sign := "+"
+		if neg {
+			sign = "-"
+		}
+		return mant + "e" + sign + exp
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// Parse implements the ToNumber(String) conversion: leading/trailing
+// whitespace is ignored, the empty string is 0, hex/octal/binary prefixes
+// are honoured, and anything else yields NaN.
+func Parse(s string) float64 {
+	t := strings.TrimFunc(s, isJSSpace)
+	if t == "" {
+		return 0
+	}
+	if v, ok := parseRadixPrefixed(t); ok {
+		return v
+	}
+	switch t {
+	case "Infinity", "+Infinity":
+		return math.Inf(1)
+	case "-Infinity":
+		return math.Inf(-1)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return math.NaN()
+	}
+	// strconv accepts forms JS does not ("inf", "nan", "0x1p2", underscores).
+	low := strings.ToLower(t)
+	if strings.ContainsAny(low, "xpn_") || strings.Contains(low, "inf") {
+		return math.NaN()
+	}
+	return v
+}
+
+func parseRadixPrefixed(t string) (float64, bool) {
+	neg := false
+	body := t
+	if strings.HasPrefix(body, "+") {
+		body = body[1:]
+	} else if strings.HasPrefix(body, "-") {
+		neg = true
+		body = body[1:]
+	}
+	if len(body) < 3 || body[0] != '0' {
+		return 0, false
+	}
+	var base int
+	switch body[1] {
+	case 'x', 'X':
+		base = 16
+	case 'o', 'O':
+		base = 8
+	case 'b', 'B':
+		base = 2
+	default:
+		return 0, false
+	}
+	// ECMAScript does not allow a sign before a radix-prefixed numeral.
+	if neg || t[0] == '+' {
+		return math.NaN(), true
+	}
+	v, err := strconv.ParseUint(body[2:], base, 64)
+	if err != nil {
+		return math.NaN(), true
+	}
+	return float64(v), true
+}
+
+func isJSSpace(r rune) bool {
+	switch r {
+	case ' ', '\t', '\n', '\r', '\v', '\f', 0x00a0, 0x2028, 0x2029, 0xfeff:
+		return true
+	}
+	return false
+}
+
+// ToInteger implements ECMA-262 ToInteger: NaN → 0, truncation toward zero,
+// infinities preserved.
+func ToInteger(f float64) float64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f == 0 || math.IsInf(f, 0) {
+		return f
+	}
+	return math.Trunc(f)
+}
+
+// ToInt32 implements ECMA-262 ToInt32 (used by bitwise operators).
+func ToInt32(f float64) int32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) || f == 0 {
+		return 0
+	}
+	u := uint32(uint64(int64(math.Trunc(math.Mod(f, 4294967296)))))
+	return int32(u)
+}
+
+// ToUint32 implements ECMA-262 ToUint32 (used by >>> and array lengths).
+func ToUint32(f float64) uint32 {
+	if math.IsNaN(f) || math.IsInf(f, 0) || f == 0 {
+		return 0
+	}
+	return uint32(uint64(int64(math.Trunc(math.Mod(f, 4294967296)))))
+}
+
+// ToLength clamps a number to a valid array length per ECMA-262 ToLength.
+func ToLength(f float64) float64 {
+	n := ToInteger(f)
+	if n <= 0 {
+		return 0
+	}
+	const maxSafe = 9007199254740991 // 2^53-1
+	if n > maxSafe {
+		return maxSafe
+	}
+	return n
+}
+
+// SafeInt converts a float to int with explicit saturation: NaN becomes 0,
+// and out-of-range magnitudes clamp, so the result is always safe to use in
+// Go arithmetic (float→int conversion of NaN/±Inf is otherwise
+// implementation-defined).
+func SafeInt(f float64) int {
+	if math.IsNaN(f) {
+		return 0
+	}
+	const lim = 1 << 52
+	if f > lim {
+		return lim
+	}
+	if f < -lim {
+		return -lim
+	}
+	return int(f)
+}
+
+// FormatRadix renders a finite number in the given radix (2..36) the way
+// Number.prototype.toString(radix) does. Fractional digits are emitted to a
+// fixed precision sufficient for round-tripping typical values.
+func FormatRadix(f float64, radix int) string {
+	if radix == 10 {
+		return Format(f)
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	ip := math.Trunc(f)
+	fp := f - ip
+	digits := "0123456789abcdefghijklmnopqrstuvwxyz"
+	var intPart string
+	if ip == 0 {
+		intPart = "0"
+	} else {
+		var b []byte
+		for ip >= 1 {
+			d := int(math.Mod(ip, float64(radix)))
+			b = append(b, digits[d])
+			ip = math.Trunc(ip / float64(radix))
+		}
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		intPart = string(b)
+	}
+	if fp == 0 {
+		if neg {
+			return "-" + intPart
+		}
+		return intPart
+	}
+	var frac []byte
+	for i := 0; i < 20 && fp > 0; i++ {
+		fp *= float64(radix)
+		d := int(math.Trunc(fp))
+		frac = append(frac, digits[d])
+		fp -= float64(d)
+	}
+	out := intPart + "." + string(frac)
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

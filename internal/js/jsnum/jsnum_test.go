@@ -1,0 +1,159 @@
+package jsnum
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormat(t *testing.T) {
+	cases := map[float64]string{
+		0:           "0",
+		1:           "1",
+		-1:          "-1",
+		3.5:         "3.5",
+		1e21:        "1e+21",
+		1e-7:        "1e-7",
+		123456789:   "123456789",
+		0.1:         "0.1",
+		1e20:        "100000000000000000000",
+		-2.5:        "-2.5",
+		1.5e-7:      "1.5e-7",
+		math.Inf(1): "Infinity",
+	}
+	for in, want := range cases {
+		if got := Format(in); got != want {
+			t.Errorf("Format(%v) = %q want %q", in, got, want)
+		}
+	}
+	if Format(math.NaN()) != "NaN" {
+		t.Error("NaN format")
+	}
+	if Format(math.Copysign(0, -1)) != "0" {
+		t.Error("negative zero must print as 0")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := map[string]float64{
+		"":          0,
+		"  42  ":    42,
+		"3.5":       3.5,
+		"0x1f":      31,
+		"0b101":     5,
+		"0o17":      15,
+		"-7":        -7,
+		"1e3":       1000,
+		"Infinity":  math.Inf(1),
+		"-Infinity": math.Inf(-1),
+	}
+	for in, want := range cases {
+		if got := Parse(in); got != want {
+			t.Errorf("Parse(%q) = %v want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"abc", "1px", "0x", "--5", "1 2", "inf", "-0x10"} {
+		if got := Parse(bad); !math.IsNaN(got) {
+			t.Errorf("Parse(%q) = %v want NaN", bad, got)
+		}
+	}
+}
+
+// TestFormatParseRoundTrip: Parse(Format(x)) == x for finite values.
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		got := Parse(Format(x))
+		return got == x || (x == 0 && got == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToInt32Uint32(t *testing.T) {
+	if ToInt32(4294967296+5) != 5 {
+		t.Error("ToInt32 wrap")
+	}
+	if ToInt32(-1) != -1 || ToUint32(-1) != 4294967295 {
+		t.Error("negative conversions")
+	}
+	if ToInt32(math.NaN()) != 0 || ToUint32(math.Inf(1)) != 0 {
+		t.Error("NaN/Inf conversions must be 0")
+	}
+	if ToInt32(2147483648) != -2147483648 {
+		t.Error("int32 overflow wrap")
+	}
+}
+
+// TestToUint32Property checks the modular identity on arbitrary floats.
+func TestToUint32Property(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return ToUint32(x) == 0
+		}
+		u := ToUint32(x)
+		// Adding 2^32 must not change the result.
+		return ToUint32(math.Trunc(x)+4294967296) == ToUint32(math.Trunc(x)) && u == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToInteger(t *testing.T) {
+	if ToInteger(3.9) != 3 || ToInteger(-3.9) != -3 {
+		t.Error("truncation toward zero")
+	}
+	if ToInteger(math.NaN()) != 0 {
+		t.Error("NaN → 0")
+	}
+	if !math.IsInf(ToInteger(math.Inf(1)), 1) {
+		t.Error("Infinity preserved")
+	}
+}
+
+func TestToLength(t *testing.T) {
+	if ToLength(-5) != 0 || ToLength(10.7) != 10 {
+		t.Error("clamping")
+	}
+	if ToLength(1e300) != 9007199254740991 {
+		t.Error("max safe clamp")
+	}
+}
+
+func TestFormatRadix(t *testing.T) {
+	if FormatRadix(255, 16) != "ff" || FormatRadix(8, 2) != "1000" {
+		t.Error("integer radix")
+	}
+	if FormatRadix(-2, 2) != "-10" {
+		t.Error("negative radix")
+	}
+	if got := FormatRadix(0.5, 2); got != "0.1" {
+		t.Errorf("fractional radix: %q", got)
+	}
+}
+
+func TestSafeInt(t *testing.T) {
+	if SafeInt(math.NaN()) != 0 {
+		t.Error("NaN → 0")
+	}
+	if SafeInt(math.Inf(1)) != 1<<52 || SafeInt(math.Inf(-1)) != -(1<<52) {
+		t.Error("infinity clamps")
+	}
+	if SafeInt(42.9) != 42 {
+		t.Error("truncation")
+	}
+}
+
+func TestFormatMatchesStrconvForIntegers(t *testing.T) {
+	f := func(n int32) bool {
+		return Format(float64(n)) == strconv.Itoa(int(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

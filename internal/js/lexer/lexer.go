@@ -1,0 +1,523 @@
+// Package lexer implements the scanner for the JavaScript subset. It
+// produces token.Token values, tracks line terminators for automatic
+// semicolon insertion, and disambiguates regular-expression literals from
+// division operators using the previous-token heuristic.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"comfort/internal/js/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("SyntaxError: %s at %s", e.Msg, e.Pos) }
+
+// Lexer scans a source string into tokens.
+type Lexer struct {
+	src     string
+	off     int // byte offset of next rune
+	line    int
+	lineOff int // offset of start of current line
+	prev    token.Type
+	sawNL   bool
+	errs    []*Error
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{Offset: l.off, Line: l.line, Col: l.off - l.lineOff + 1}
+}
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...interface{}) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) peek() byte {
+	if l.off < len(l.src) {
+		return l.src[l.off]
+	}
+	return 0
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n < len(l.src) {
+		return l.src[l.off+n]
+	}
+	return 0
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.lineOff = l.off
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments, recording line terminators.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+			l.off++
+		case c == '\n':
+			l.sawNL = true
+			l.advance()
+		case c == '/' && l.peekAt(1) == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.off++
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			l.off += 2
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.off += 2
+					closed = true
+					break
+				}
+				if l.peek() == '\n' {
+					l.sawNL = true
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(l.pos(), "unterminated block comment")
+				return
+			}
+		case c >= 0x80:
+			r, size := utf8.DecodeRuneInString(l.src[l.off:])
+			if unicode.IsSpace(r) {
+				if r == 0x2028 || r == 0x2029 {
+					l.sawNL = true
+				}
+				l.off += size
+				continue
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// regexAllowed reports whether a '/' at the current point begins a regex
+// literal rather than a division operator, based on the preceding token.
+func (l *Lexer) regexAllowed() bool {
+	switch l.prev {
+	case token.IDENT, token.NUMBER, token.STRING, token.TEMPLATE, token.REGEX,
+		token.RPAREN, token.RBRACK, token.THIS, token.TRUE, token.FALSE,
+		token.NULL, token.INC, token.DEC:
+		return false
+	default:
+		// After '}' the grammar is ambiguous (block vs object literal).
+		// Treating '/' as a regex start there matches statement-level use;
+		// dividing an object-literal expression statement is invalid anyway.
+		return true
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() token.Token {
+	l.sawNL = false
+	l.skipSpace()
+	start := l.pos()
+	tok := token.Token{Pos: start, NewlineBefore: l.sawNL}
+	if l.off >= len(l.src) {
+		tok.Type = token.EOF
+		l.prev = token.EOF
+		return tok
+	}
+	c := l.peek()
+	switch {
+	case c >= 0x80:
+		// Non-ASCII: identifier when the decoded rune qualifies, otherwise
+		// an error token (consuming the rune so scanning always advances).
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if isIdentStart(r) {
+			tok.Type, tok.Literal = l.scanIdent()
+		} else {
+			l.off += size
+			l.errorf(start, "unexpected character %q", r)
+			tok.Type, tok.Literal = token.ILLEGAL, string(r)
+		}
+	case isIdentStart(rune(c)):
+		tok.Type, tok.Literal = l.scanIdent()
+	case c >= '0' && c <= '9':
+		tok.Type, tok.Literal = l.scanNumber()
+	case c == '.' && isDigit(l.peekAt(1)):
+		tok.Type, tok.Literal = l.scanNumber()
+	case c == '"' || c == '\'':
+		tok.Type, tok.Literal = l.scanString(c)
+	case c == '`':
+		tok.Type, tok.Literal = l.scanTemplate()
+	case c == '/' && l.regexAllowed():
+		tok.Type, tok.Literal = l.scanRegex()
+	default:
+		tok.Type, tok.Literal = l.scanPunct()
+	}
+	l.prev = tok.Type
+	return tok
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) scanIdent() (token.Type, string) {
+	start := l.off
+	for l.off < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.off += size
+	}
+	lit := l.src[start:l.off]
+	return token.Lookup(lit), lit
+}
+
+func (l *Lexer) scanNumber() (token.Type, string) {
+	start := l.off
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		l.off += 2
+		for isHex(l.peek()) {
+			l.off++
+		}
+		return token.NUMBER, l.src[start:l.off]
+	}
+	if l.peek() == '0' && (l.peekAt(1) == 'b' || l.peekAt(1) == 'B') {
+		l.off += 2
+		for l.peek() == '0' || l.peek() == '1' {
+			l.off++
+		}
+		return token.NUMBER, l.src[start:l.off]
+	}
+	if l.peek() == '0' && (l.peekAt(1) == 'o' || l.peekAt(1) == 'O') {
+		l.off += 2
+		for l.peek() >= '0' && l.peek() <= '7' {
+			l.off++
+		}
+		return token.NUMBER, l.src[start:l.off]
+	}
+	for isDigit(l.peek()) {
+		l.off++
+	}
+	if l.peek() == '.' {
+		l.off++
+		for isDigit(l.peek()) {
+			l.off++
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.off
+		l.off++
+		if l.peek() == '+' || l.peek() == '-' {
+			l.off++
+		}
+		if isDigit(l.peek()) {
+			for isDigit(l.peek()) {
+				l.off++
+			}
+		} else {
+			l.off = save
+		}
+	}
+	return token.NUMBER, l.src[start:l.off]
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// scanString scans a quoted string and returns its *cooked* value.
+func (l *Lexer) scanString(quote byte) (token.Type, string) {
+	pos := l.pos()
+	l.off++ // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) {
+			l.errorf(pos, "unterminated string literal")
+			return token.ILLEGAL, b.String()
+		}
+		c := l.peek()
+		if c == quote {
+			l.off++
+			return token.STRING, b.String()
+		}
+		if c == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			return token.ILLEGAL, b.String()
+		}
+		if c == '\\' {
+			l.off++
+			l.scanEscape(&b, pos)
+			continue
+		}
+		if c >= 0x80 {
+			r, size := utf8.DecodeRuneInString(l.src[l.off:])
+			b.WriteRune(r)
+			l.off += size
+			continue
+		}
+		b.WriteByte(c)
+		l.off++
+	}
+}
+
+func (l *Lexer) scanEscape(b *strings.Builder, pos token.Pos) {
+	if l.off >= len(l.src) {
+		l.errorf(pos, "unterminated escape sequence")
+		return
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		b.WriteByte('\n')
+	case 't':
+		b.WriteByte('\t')
+	case 'r':
+		b.WriteByte('\r')
+	case 'b':
+		b.WriteByte('\b')
+	case 'f':
+		b.WriteByte('\f')
+	case 'v':
+		b.WriteByte('\v')
+	case '0':
+		if !isDigit(l.peek()) {
+			b.WriteByte(0)
+		} else {
+			b.WriteByte('0') // legacy octal: approximate
+		}
+	case 'x':
+		if isHex(l.peek()) && isHex(l.peekAt(1)) {
+			v := hexVal(l.advance())<<4 | hexVal(l.advance())
+			b.WriteRune(rune(v))
+		} else {
+			l.errorf(pos, "invalid hexadecimal escape sequence")
+		}
+	case 'u':
+		if l.peek() == '{' {
+			l.off++
+			v := 0
+			for isHex(l.peek()) {
+				v = v<<4 | hexVal(l.advance())
+			}
+			if l.peek() == '}' {
+				l.off++
+				b.WriteRune(rune(v))
+			} else {
+				l.errorf(pos, "invalid Unicode escape sequence")
+			}
+		} else if isHex(l.peek()) && isHex(l.peekAt(1)) && isHex(l.peekAt(2)) && isHex(l.peekAt(3)) {
+			v := 0
+			for i := 0; i < 4; i++ {
+				v = v<<4 | hexVal(l.advance())
+			}
+			b.WriteRune(rune(v))
+		} else {
+			l.errorf(pos, "invalid Unicode escape sequence")
+		}
+	case '\n':
+		// line continuation: contributes nothing
+	case '\r':
+		if l.peek() == '\n' {
+			l.advance()
+		}
+	default:
+		b.WriteByte(c)
+	}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+// scanTemplate scans a template literal and returns the raw body (without
+// the backticks). The parser splits substitutions out of the raw body.
+func (l *Lexer) scanTemplate() (token.Type, string) {
+	pos := l.pos()
+	l.off++ // opening backtick
+	start := l.off
+	depth := 0
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '\\' {
+			l.off++
+			if l.off < len(l.src) {
+				l.off++
+			}
+			continue
+		}
+		if c == '`' && depth == 0 {
+			body := l.src[start:l.off]
+			l.off++
+			return token.TEMPLATE, body
+		}
+		if c == '$' && l.peekAt(1) == '{' {
+			depth++
+			l.off += 2
+			continue
+		}
+		if c == '}' && depth > 0 {
+			depth--
+			l.off++
+			continue
+		}
+		l.advance()
+	}
+	l.errorf(pos, "unterminated template literal")
+	return token.ILLEGAL, l.src[start:l.off]
+}
+
+// scanRegex scans a regular-expression literal including flags; the literal
+// is returned verbatim, e.g. "/ab+c/gi".
+func (l *Lexer) scanRegex() (token.Type, string) {
+	pos := l.pos()
+	start := l.off
+	l.off++ // opening slash
+	inClass := false
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated regular expression literal")
+			return token.ILLEGAL, l.src[start:l.off]
+		}
+		c := l.advance()
+		if c == '\\' {
+			if l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		if c == '[' {
+			inClass = true
+		} else if c == ']' {
+			inClass = false
+		} else if c == '/' && !inClass {
+			break
+		}
+	}
+	for l.off < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.off += size
+	}
+	return token.REGEX, l.src[start:l.off]
+}
+
+func (l *Lexer) scanPunct() (token.Type, string) {
+	// Longest-match over the punctuator table.
+	three := l.slice(3)
+	four := l.slice(4)
+	if four == ">>>=" {
+		l.off += 4
+		return token.USHRASSIGN, four
+	}
+	switch three {
+	case "...":
+		l.off += 3
+		return token.ELLIPSIS, three
+	case "===":
+		l.off += 3
+		return token.STRICTEQ, three
+	case "!==":
+		l.off += 3
+		return token.STRICTNE, three
+	case "**=":
+		l.off += 3
+		return token.POWASSIGN, three
+	case "<<=":
+		l.off += 3
+		return token.SHLASSIGN, three
+	case ">>=":
+		l.off += 3
+		return token.SHRASSIGN, three
+	case ">>>":
+		l.off += 3
+		return token.USHR, three
+	case "&&=":
+		l.off += 3
+		return token.LOGANDASSIGN, three
+	case "||=":
+		l.off += 3
+		return token.LOGORASSIGN, three
+	case "??=":
+		l.off += 3
+		return token.NULLISHASSIGN, three
+	}
+	two := l.slice(2)
+	if t, ok := twoCharPunct[two]; ok {
+		l.off += 2
+		return t, two
+	}
+	one := l.slice(1)
+	if t, ok := oneCharPunct[one]; ok {
+		l.off++
+		return t, one
+	}
+	pos := l.pos()
+	r, size := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += size
+	l.errorf(pos, "unexpected character %q", r)
+	return token.ILLEGAL, string(r)
+}
+
+func (l *Lexer) slice(n int) string {
+	if l.off+n <= len(l.src) {
+		return l.src[l.off : l.off+n]
+	}
+	return ""
+}
+
+var twoCharPunct = map[string]token.Type{
+	"=>": token.ARROW, "==": token.EQ, "!=": token.NEQ, "<=": token.LE,
+	">=": token.GE, "+=": token.PLUSASSIGN, "-=": token.MINUSASSIGN,
+	"*=": token.STARASSIGN, "/=": token.SLASHASSIGN, "%=": token.PERCENTASSIGN,
+	"&=": token.ANDASSIGN, "|=": token.ORASSIGN, "^=": token.XORASSIGN,
+	"**": token.POW, "++": token.INC, "--": token.DEC, "<<": token.SHL,
+	">>": token.SHR, "&&": token.LOGAND, "||": token.LOGOR, "??": token.NULLISH,
+}
+
+var oneCharPunct = map[string]token.Type{
+	"(": token.LPAREN, ")": token.RPAREN, "[": token.LBRACK, "]": token.RBRACK,
+	"{": token.LBRACE, "}": token.RBRACE, ";": token.SEMI, ",": token.COMMA,
+	".": token.DOT, "?": token.QUESTION, ":": token.COLON, "=": token.ASSIGN,
+	"<": token.LT, ">": token.GT, "+": token.PLUS, "-": token.MINUS,
+	"*": token.STAR, "/": token.SLASH, "%": token.PERCENT, "&": token.AND,
+	"|": token.OR, "^": token.XOR, "!": token.NOT, "~": token.BNOT,
+}

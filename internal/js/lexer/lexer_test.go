@@ -1,0 +1,165 @@
+package lexer
+
+import (
+	"testing"
+
+	"comfort/internal/js/token"
+)
+
+func scan(t *testing.T, src string) []token.Token {
+	t.Helper()
+	l := New(src)
+	var out []token.Token
+	for {
+		tok := l.Next()
+		out = append(out, tok)
+		if tok.Type == token.EOF {
+			return out
+		}
+		if len(out) > 10000 {
+			t.Fatal("lexer did not terminate")
+		}
+	}
+}
+
+func kinds(toks []token.Token) []token.Type {
+	var out []token.Type
+	for _, tk := range toks {
+		out = append(out, tk.Type)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := scan(t, `var x = 42 + foo("s");`)
+	want := []token.Type{token.VAR, token.IDENT, token.ASSIGN, token.NUMBER,
+		token.PLUS, token.IDENT, token.LPAREN, token.STRING, token.RPAREN,
+		token.SEMI, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count: got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	for _, src := range []string{"0", "42", "3.14", ".5", "1e9", "1E-4", "0x1f", "0b101", "0o17", "077"} {
+		toks := scan(t, src)
+		if toks[0].Type != token.NUMBER || toks[0].Literal != src {
+			t.Errorf("scan(%q): %v", src, toks[0])
+		}
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	cases := map[string]string{
+		`"abc"`:        "abc",
+		`'a"b'`:        `a"b`,
+		`"a\nb"`:       "a\nb",
+		`"\x41"`:       "A",
+		`"A"`:          "A",
+		`"\u{1F600}"`:  "\U0001F600",
+		`"tab\there"`:  "tab\there",
+		`"q\"inner\""`: `q"inner"`,
+	}
+	for src, want := range cases {
+		toks := scan(t, src)
+		if toks[0].Type != token.STRING || toks[0].Literal != want {
+			t.Errorf("scan(%s) = %q (%s)", src, toks[0].Literal, toks[0].Type)
+		}
+	}
+}
+
+func TestRegexVsDivision(t *testing.T) {
+	toks := scan(t, `a / b; /re/g; x = 1 / 2;`)
+	sawRegex, sawSlash := false, 0
+	for _, tk := range toks {
+		if tk.Type == token.REGEX {
+			sawRegex = true
+			if tk.Literal != "/re/g" {
+				t.Errorf("regex literal: %q", tk.Literal)
+			}
+		}
+		if tk.Type == token.SLASH {
+			sawSlash++
+		}
+	}
+	if !sawRegex || sawSlash != 2 {
+		t.Errorf("regex/division disambiguation failed: regex=%v slash=%d", sawRegex, sawSlash)
+	}
+}
+
+func TestNewlineTrackingForASI(t *testing.T) {
+	toks := scan(t, "a\nb")
+	if !toks[1].NewlineBefore {
+		t.Error("second identifier must record the preceding newline")
+	}
+	if toks[0].NewlineBefore {
+		t.Error("first token has no preceding newline")
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := scan(t, "a // line\n/* block\nmore */ b")
+	got := kinds(toks)
+	if len(got) != 3 || got[0] != token.IDENT || got[1] != token.IDENT {
+		t.Errorf("comments not skipped: %v", got)
+	}
+	if !toks[1].NewlineBefore {
+		t.Error("newline inside comments must still count for ASI")
+	}
+}
+
+func TestPunctuatorMaximalMunch(t *testing.T) {
+	toks := scan(t, `a >>>= b >>> c >> d > e => ** *`)
+	want := []token.Type{token.IDENT, token.USHRASSIGN, token.IDENT, token.USHR,
+		token.IDENT, token.SHR, token.IDENT, token.GT, token.IDENT,
+		token.ARROW, token.POW, token.STAR, token.EOF}
+	got := kinds(toks)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("munch mismatch at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	toks := scan(t, "`a${x + `${y}`}b`")
+	if toks[0].Type != token.TEMPLATE {
+		t.Fatalf("template token: %v", toks[0])
+	}
+	if toks[1].Type != token.EOF {
+		t.Errorf("nested template must be one token, next = %v", toks[1])
+	}
+}
+
+func TestUnterminatedInputsError(t *testing.T) {
+	for _, src := range []string{`"abc`, "`abc", `/abc`, `/*abc`} {
+		l := New(src)
+		for l.Next().Type != token.EOF {
+		}
+		if len(l.Errors()) == 0 {
+			t.Errorf("scan(%q) should report a lexical error", src)
+		}
+	}
+}
+
+// TestLexerNeverLoops feeds every single byte and pathological pairs.
+func TestLexerNeverLoops(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		src := string(rune(b)) + "a" + string(rune(b))
+		l := New(src)
+		for i := 0; ; i++ {
+			if l.Next().Type == token.EOF {
+				break
+			}
+			if i > 100 {
+				t.Fatalf("lexer loop on byte %d", b)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValid(t *testing.T) {
+	if !Valid(`var x = 1; print(x);`) {
+		t.Error("valid program rejected")
+	}
+	if Valid(`var = 1;`) {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestWarnings(t *testing.T) {
+	res := Check(`var unused = 1;
+var o = {a: 1, a: 2};
+function f() {
+  return 1;
+  print("never");
+}
+if (x = 5) { f(); }
+var x;`)
+	if !res.Valid {
+		t.Fatalf("parse failed: %v", res.Err)
+	}
+	joined := strings.Join(res.Warnings, "\n")
+	for _, want := range []string{"unused", "duplicate object key", "unreachable", "assignment in condition"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q warning in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCheckInvalid(t *testing.T) {
+	res := Check(`for(;false;)`)
+	if res.Valid || res.Err == nil {
+		t.Error("invalid program must carry the parse error")
+	}
+}

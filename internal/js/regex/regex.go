@@ -1,0 +1,923 @@
+// Package regex implements the regular-expression engine used by the JS
+// runtime: an ECMAScript-flavoured backtracking matcher supporting character
+// classes, alternation, greedy/lazy quantifiers, capturing and non-capturing
+// groups, anchors, word boundaries, backreferences, and the i/m/s flags.
+// The g and y flags are interpreted by the caller via lastIndex.
+//
+// The engine operates on runes (Unicode code points); this substitutes Go's
+// natural string representation for the UTF-16 code-unit semantics of real
+// engines, which is observationally identical for the BMP subset the fuzzer
+// generates.
+package regex
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// SyntaxError reports an invalid pattern.
+type SyntaxError struct{ Msg string }
+
+func (e *SyntaxError) Error() string {
+	return "Invalid regular expression: " + e.Msg
+}
+
+// Regexp is a compiled pattern.
+type Regexp struct {
+	Source     string
+	Flags      string
+	IgnoreCase bool
+	Multiline  bool
+	DotAll     bool
+	Global     bool
+	Sticky     bool
+	NumGroups  int // number of capturing groups (excluding group 0)
+	root       node
+}
+
+// Match holds capture-group rune index pairs for a successful match.
+// Groups[0] is the whole match; unmatched groups are [-1,-1].
+type Match struct {
+	Groups [][2]int
+	Input  []rune
+}
+
+// GroupString returns the text of capture group i, or "" if unmatched.
+func (m *Match) GroupString(i int) string {
+	if i >= len(m.Groups) || m.Groups[i][0] < 0 {
+		return ""
+	}
+	return string(m.Input[m.Groups[i][0]:m.Groups[i][1]])
+}
+
+// GroupMatched reports whether capture group i participated in the match.
+func (m *Match) GroupMatched(i int) bool {
+	return i < len(m.Groups) && m.Groups[i][0] >= 0
+}
+
+// Compile parses pattern with the given flag string.
+func Compile(pattern, flags string) (*Regexp, error) {
+	re := &Regexp{Source: pattern, Flags: flags}
+	for _, f := range flags {
+		switch f {
+		case 'i':
+			re.IgnoreCase = true
+		case 'm':
+			re.Multiline = true
+		case 's':
+			re.DotAll = true
+		case 'g':
+			re.Global = true
+		case 'y':
+			re.Sticky = true
+		case 'u':
+			// Unicode mode: rune semantics are already the default here.
+		default:
+			return nil, &SyntaxError{Msg: fmt.Sprintf("invalid flag %q", f)}
+		}
+	}
+	p := &patternParser{src: []rune(pattern), re: re}
+	root, err := p.parseAlternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.src) {
+		return nil, &SyntaxError{Msg: fmt.Sprintf("unmatched %q", p.src[p.pos])}
+	}
+	re.root = root
+	return re, nil
+}
+
+// budget bounds backtracking work per match attempt so pathological
+// patterns terminate deterministically.
+const budget = 2_000_000
+
+// ErrBudget is reported when a match attempt exceeds the backtracking
+// budget; engines surface it as a timeout.
+var ErrBudget = fmt.Errorf("regular expression too complex")
+
+// Exec finds the first match at or after rune index start; nil means no
+// match. With the sticky flag the match must begin exactly at start.
+func (re *Regexp) Exec(input string, start int) (*Match, error) {
+	runes := []rune(input)
+	if start < 0 {
+		start = 0
+	}
+	for at := start; at <= len(runes); at++ {
+		m := &machine{re: re, input: runes, steps: budget}
+		m.groups = make([][2]int, re.NumGroups+1)
+		for i := range m.groups {
+			m.groups[i] = [2]int{-1, -1}
+		}
+		m.groups[0][0] = at
+		ok := re.root.match(m, at, func(end int) bool {
+			m.groups[0][1] = end
+			return true
+		})
+		if m.steps <= 0 {
+			return nil, ErrBudget
+		}
+		if ok {
+			return &Match{Groups: m.groups, Input: runes}, nil
+		}
+		if re.Sticky {
+			break
+		}
+	}
+	return nil, nil
+}
+
+type machine struct {
+	re     *Regexp
+	input  []rune
+	groups [][2]int
+	steps  int
+}
+
+func (m *machine) step() bool {
+	m.steps--
+	return m.steps > 0
+}
+
+func (m *machine) fold(r rune) rune {
+	if m.re.IgnoreCase {
+		return unicode.ToLower(unicode.ToUpper(r))
+	}
+	return r
+}
+
+type cont func(pos int) bool
+
+type node interface {
+	match(m *machine, pos int, k cont) bool
+}
+
+// ---------- Node types ----------
+
+type seqNode struct{ items []node }
+
+func (n *seqNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	var run func(i, pos int) bool
+	run = func(i, pos int) bool {
+		if i == len(n.items) {
+			return k(pos)
+		}
+		return n.items[i].match(m, pos, func(next int) bool {
+			return run(i+1, next)
+		})
+	}
+	return run(0, pos)
+}
+
+type altNode struct{ opts []node }
+
+func (n *altNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	for _, o := range n.opts {
+		if o.match(m, pos, k) {
+			return true
+		}
+		if m.steps <= 0 {
+			return false
+		}
+	}
+	return false
+}
+
+type charNode struct{ r rune }
+
+func (n *charNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	if pos >= len(m.input) {
+		return false
+	}
+	if m.fold(m.input[pos]) != m.fold(n.r) {
+		return false
+	}
+	return k(pos + 1)
+}
+
+type dotNode struct{}
+
+func (n *dotNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	if pos >= len(m.input) {
+		return false
+	}
+	r := m.input[pos]
+	if !m.re.DotAll && (r == '\n' || r == '\r' || r == 0x2028 || r == 0x2029) {
+		return false
+	}
+	return k(pos + 1)
+}
+
+// classItem is one member of a character class.
+type classItem struct {
+	lo, hi rune // inclusive range; single chars have lo==hi
+	kind   byte // 0: range, 'd','D','w','W','s','S' for builtin classes
+}
+
+type classNode struct {
+	items  []classItem
+	negate bool
+}
+
+func (n *classNode) contains(m *machine, r rune) bool {
+	in := false
+	for _, it := range n.items {
+		switch it.kind {
+		case 0:
+			if m.re.IgnoreCase {
+				fr := m.fold(r)
+				if (m.fold(it.lo) <= fr && fr <= m.fold(it.hi)) || (it.lo <= r && r <= it.hi) {
+					in = true
+				}
+			} else if it.lo <= r && r <= it.hi {
+				in = true
+			}
+		case 'd':
+			in = in || isDigit(r)
+		case 'D':
+			in = in || !isDigit(r)
+		case 'w':
+			in = in || isWord(r)
+		case 'W':
+			in = in || !isWord(r)
+		case 's':
+			in = in || isSpace(r)
+		case 'S':
+			in = in || !isSpace(r)
+		}
+		if in {
+			break
+		}
+	}
+	if n.negate {
+		return !in
+	}
+	return in
+}
+
+func (n *classNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	if pos >= len(m.input) {
+		return false
+	}
+	if !n.contains(m, m.input[pos]) {
+		return false
+	}
+	return k(pos + 1)
+}
+
+type anchorNode struct{ kind byte } // '^', '$', 'b', 'B'
+
+func (n *anchorNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	switch n.kind {
+	case '^':
+		if pos == 0 || (m.re.Multiline && pos > 0 && isLineTerm(m.input[pos-1])) {
+			return k(pos)
+		}
+		return false
+	case '$':
+		if pos == len(m.input) || (m.re.Multiline && isLineTerm(m.input[pos])) {
+			return k(pos)
+		}
+		return false
+	case 'b', 'B':
+		before := pos > 0 && isWord(m.input[pos-1])
+		after := pos < len(m.input) && isWord(m.input[pos])
+		atBoundary := before != after
+		if (n.kind == 'b') == atBoundary {
+			return k(pos)
+		}
+		return false
+	}
+	return false
+}
+
+type groupNode struct {
+	idx   int // 0 for non-capturing
+	inner node
+}
+
+func (n *groupNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	if n.idx == 0 {
+		return n.inner.match(m, pos, k)
+	}
+	saved := m.groups[n.idx]
+	ok := n.inner.match(m, pos, func(end int) bool {
+		prev := m.groups[n.idx]
+		m.groups[n.idx] = [2]int{pos, end}
+		if k(end) {
+			return true
+		}
+		m.groups[n.idx] = prev
+		return false
+	})
+	if !ok {
+		m.groups[n.idx] = saved
+	}
+	return ok
+}
+
+type backrefNode struct{ idx int }
+
+func (n *backrefNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	if n.idx >= len(m.groups) {
+		return false
+	}
+	g := m.groups[n.idx]
+	if g[0] < 0 {
+		// Unmatched group backreference matches the empty string.
+		return k(pos)
+	}
+	length := g[1] - g[0]
+	if pos+length > len(m.input) {
+		return false
+	}
+	for i := 0; i < length; i++ {
+		if m.fold(m.input[g[0]+i]) != m.fold(m.input[pos+i]) {
+			return false
+		}
+	}
+	return k(pos + length)
+}
+
+type repeatNode struct {
+	inner    node
+	min, max int // max = -1 means unbounded
+	lazy     bool
+}
+
+func (n *repeatNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	var rec func(count, pos int) bool
+	rec = func(count, pos int) bool {
+		if m.steps <= 0 {
+			return false
+		}
+		canMore := n.max < 0 || count < n.max
+		tryMore := func() bool {
+			if !canMore {
+				return false
+			}
+			return n.inner.match(m, pos, func(end int) bool {
+				if end == pos && count >= n.min {
+					// Empty iteration past the minimum: stop to avoid
+					// infinite loops (ECMAScript repetition semantics).
+					return false
+				}
+				return rec(count+1, end)
+			})
+		}
+		tryDone := func() bool {
+			if count < n.min {
+				return false
+			}
+			return k(pos)
+		}
+		if n.lazy {
+			return tryDone() || tryMore()
+		}
+		return tryMore() || tryDone()
+	}
+	return rec(0, pos)
+}
+
+type lookaheadNode struct {
+	inner  node
+	negate bool
+}
+
+func (n *lookaheadNode) match(m *machine, pos int, k cont) bool {
+	if !m.step() {
+		return false
+	}
+	saved := make([][2]int, len(m.groups))
+	copy(saved, m.groups)
+	ok := n.inner.match(m, pos, func(int) bool { return true })
+	if n.negate {
+		copy(m.groups, saved)
+		if ok {
+			return false
+		}
+		return k(pos)
+	}
+	if !ok {
+		copy(m.groups, saved)
+		return false
+	}
+	return k(pos)
+}
+
+type emptyNode struct{}
+
+func (emptyNode) match(m *machine, pos int, k cont) bool { return k(pos) }
+
+// ---------- Pattern parser ----------
+
+type patternParser struct {
+	src []rune
+	pos int
+	re  *Regexp
+}
+
+func (p *patternParser) peek() rune {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return -1
+}
+
+func (p *patternParser) parseAlternation() (node, error) {
+	var opts []node
+	seq, err := p.parseSequence()
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, seq)
+	for p.peek() == '|' {
+		p.pos++
+		seq, err := p.parseSequence()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, seq)
+	}
+	if len(opts) == 1 {
+		return opts[0], nil
+	}
+	return &altNode{opts: opts}, nil
+}
+
+func (p *patternParser) parseSequence() (node, error) {
+	var items []node
+	for p.pos < len(p.src) {
+		r := p.peek()
+		if r == '|' || r == ')' {
+			break
+		}
+		item, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		item, err = p.parseQuantifier(item)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	if len(items) == 0 {
+		return emptyNode{}, nil
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return &seqNode{items: items}, nil
+}
+
+func (p *patternParser) parseTerm() (node, error) {
+	r := p.src[p.pos]
+	switch r {
+	case '^', '$':
+		p.pos++
+		return &anchorNode{kind: byte(r)}, nil
+	case '.':
+		p.pos++
+		return &dotNode{}, nil
+	case '(':
+		return p.parseGroup()
+	case '[':
+		return p.parseClass()
+	case '\\':
+		return p.parseEscape()
+	case '*', '+', '?':
+		return nil, &SyntaxError{Msg: "nothing to repeat"}
+	case '{':
+		// A '{' that does not start a valid quantifier is a literal.
+		p.pos++
+		return &charNode{r: '{'}, nil
+	default:
+		p.pos++
+		return &charNode{r: r}, nil
+	}
+}
+
+func (p *patternParser) parseGroup() (node, error) {
+	p.pos++ // '('
+	capture := true
+	negate := false
+	look := false
+	if p.peek() == '?' {
+		p.pos++
+		switch p.peek() {
+		case ':':
+			p.pos++
+			capture = false
+		case '=':
+			p.pos++
+			look = true
+		case '!':
+			p.pos++
+			look = true
+			negate = true
+		default:
+			return nil, &SyntaxError{Msg: "invalid group"}
+		}
+	}
+	idx := 0
+	if capture && !look {
+		p.re.NumGroups++
+		idx = p.re.NumGroups
+	}
+	inner, err := p.parseAlternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() != ')' {
+		return nil, &SyntaxError{Msg: "missing )"}
+	}
+	p.pos++
+	if look {
+		return &lookaheadNode{inner: inner, negate: negate}, nil
+	}
+	return &groupNode{idx: idx, inner: inner}, nil
+}
+
+func (p *patternParser) parseClass() (node, error) {
+	p.pos++ // '['
+	n := &classNode{}
+	if p.peek() == '^' {
+		n.negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		if p.pos >= len(p.src) {
+			return nil, &SyntaxError{Msg: "unterminated character class"}
+		}
+		r := p.src[p.pos]
+		if r == ']' && !first {
+			p.pos++
+			return n, nil
+		}
+		first = false
+		var lo rune
+		var kind byte
+		if r == '\\' {
+			var err error
+			lo, kind, err = p.parseClassEscape()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			lo = r
+			p.pos++
+		}
+		if kind != 0 {
+			n.items = append(n.items, classItem{kind: kind})
+			continue
+		}
+		// Possible range: a-z.
+		if p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++ // '-'
+			r2 := p.src[p.pos]
+			var hi rune
+			if r2 == '\\' {
+				var k2 byte
+				var err error
+				hi, k2, err = p.parseClassEscape()
+				if err != nil {
+					return nil, err
+				}
+				if k2 != 0 {
+					// e.g. [a-\d] — treat '-' literally per Annex B.
+					n.items = append(n.items,
+						classItem{lo: lo, hi: lo},
+						classItem{lo: '-', hi: '-'},
+						classItem{kind: k2})
+					continue
+				}
+			} else {
+				hi = r2
+				p.pos++
+			}
+			if hi < lo {
+				return nil, &SyntaxError{Msg: "range out of order in character class"}
+			}
+			n.items = append(n.items, classItem{lo: lo, hi: hi})
+			continue
+		}
+		n.items = append(n.items, classItem{lo: lo, hi: lo})
+	}
+}
+
+// parseClassEscape handles an escape inside a character class; kind != 0
+// means a builtin class shorthand.
+func (p *patternParser) parseClassEscape() (rune, byte, error) {
+	p.pos++ // '\'
+	if p.pos >= len(p.src) {
+		return 0, 0, &SyntaxError{Msg: "trailing backslash"}
+	}
+	r := p.src[p.pos]
+	p.pos++
+	switch r {
+	case 'd', 'D', 'w', 'W', 's', 'S':
+		return 0, byte(r), nil
+	case 'n':
+		return '\n', 0, nil
+	case 't':
+		return '\t', 0, nil
+	case 'r':
+		return '\r', 0, nil
+	case 'f':
+		return '\f', 0, nil
+	case 'v':
+		return '\v', 0, nil
+	case 'b':
+		return '\b', 0, nil
+	case '0':
+		return 0, 0, nil
+	case 'x':
+		return p.hexEscape(2)
+	case 'u':
+		return p.hexEscape(4)
+	case 'c':
+		if p.pos < len(p.src) && isASCIILetter(p.src[p.pos]) {
+			c := p.src[p.pos]
+			p.pos++
+			return c % 32, 0, nil
+		}
+		return '\\', 0, nil
+	default:
+		return r, 0, nil
+	}
+}
+
+func (p *patternParser) hexEscape(n int) (rune, byte, error) {
+	v := rune(0)
+	if p.pos+n > len(p.src) {
+		return 0, 0, &SyntaxError{Msg: "invalid escape"}
+	}
+	for i := 0; i < n; i++ {
+		d := hexDigit(p.src[p.pos])
+		if d < 0 {
+			return 0, 0, &SyntaxError{Msg: "invalid escape"}
+		}
+		v = v*16 + rune(d)
+		p.pos++
+	}
+	return v, 0, nil
+}
+
+func (p *patternParser) parseEscape() (node, error) {
+	p.pos++ // '\'
+	if p.pos >= len(p.src) {
+		return nil, &SyntaxError{Msg: "trailing backslash"}
+	}
+	r := p.src[p.pos]
+	switch r {
+	case 'd', 'D', 'w', 'W', 's', 'S':
+		p.pos++
+		return &classNode{items: []classItem{{kind: byte(r)}}}, nil
+	case 'b', 'B':
+		p.pos++
+		return &anchorNode{kind: byte(r)}, nil
+	case '1', '2', '3', '4', '5', '6', '7', '8', '9':
+		idx := 0
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			idx = idx*10 + int(p.src[p.pos]-'0')
+			p.pos++
+			if idx > 99 {
+				break
+			}
+		}
+		return &backrefNode{idx: idx}, nil
+	default:
+		// Re-position at the backslash: parseClassEscape consumes it.
+		p.pos--
+		lo, kind, err := p.parseClassEscape()
+		if err != nil {
+			return nil, err
+		}
+		if kind != 0 {
+			return &classNode{items: []classItem{{kind: kind}}}, nil
+		}
+		return &charNode{r: lo}, nil
+	}
+}
+
+func (p *patternParser) parseQuantifier(inner node) (node, error) {
+	if p.pos >= len(p.src) {
+		return inner, nil
+	}
+	var min, max int
+	switch p.src[p.pos] {
+	case '*':
+		min, max = 0, -1
+		p.pos++
+	case '+':
+		min, max = 1, -1
+		p.pos++
+	case '?':
+		min, max = 0, 1
+		p.pos++
+	case '{':
+		// {n}, {n,}, {n,m} — otherwise literal.
+		save := p.pos
+		p.pos++
+		n1, ok := p.parseInt()
+		if !ok {
+			p.pos = save
+			return inner, nil
+		}
+		min, max = n1, n1
+		if p.peek() == ',' {
+			p.pos++
+			if p.peek() == '}' {
+				max = -1
+			} else {
+				n2, ok := p.parseInt()
+				if !ok {
+					p.pos = save
+					return inner, nil
+				}
+				max = n2
+			}
+		}
+		if p.peek() != '}' {
+			p.pos = save
+			return inner, nil
+		}
+		p.pos++
+		if max >= 0 && max < min {
+			return nil, &SyntaxError{Msg: "numbers out of order in {} quantifier"}
+		}
+	default:
+		return inner, nil
+	}
+	lazy := false
+	if p.peek() == '?' {
+		lazy = true
+		p.pos++
+	}
+	switch inner.(type) {
+	case *anchorNode:
+		return nil, &SyntaxError{Msg: "nothing to repeat"}
+	}
+	return &repeatNode{inner: inner, min: min, max: max, lazy: lazy}, nil
+}
+
+func (p *patternParser) parseInt() (int, bool) {
+	start := p.pos
+	v := 0
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		v = v*10 + int(p.src[p.pos]-'0')
+		p.pos++
+		if v > 1<<20 {
+			return 0, false
+		}
+	}
+	return v, p.pos > start
+}
+
+// ---------- Character predicates ----------
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+func isWord(r rune) bool {
+	return r == '_' || isDigit(r) || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isSpace(r rune) bool {
+	switch r {
+	case ' ', '\t', '\n', '\r', '\v', '\f', 0x00a0, 0x2028, 0x2029, 0xfeff:
+		return true
+	}
+	return unicode.IsSpace(r)
+}
+
+func isLineTerm(r rune) bool {
+	return r == '\n' || r == '\r' || r == 0x2028 || r == 0x2029
+}
+
+func isASCIILetter(r rune) bool {
+	return (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func hexDigit(r rune) int {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	case r >= 'A' && r <= 'F':
+		return int(r-'A') + 10
+	}
+	return -1
+}
+
+// ReplaceAll performs a global search-and-replace, expanding $1..$9, $&, $`,
+// $' and $$ in repl. It is used by String.prototype.replace.
+func (re *Regexp) ReplaceAll(input, repl string, global bool) (string, error) {
+	var b strings.Builder
+	runes := []rune(input)
+	at := 0
+	for at <= len(runes) {
+		m, err := re.Exec(input, at)
+		if err != nil {
+			return "", err
+		}
+		if m == nil {
+			break
+		}
+		start, end := m.Groups[0][0], m.Groups[0][1]
+		b.WriteString(string(runes[at:start]))
+		b.WriteString(ExpandReplacement(repl, m))
+		if end == start {
+			if start < len(runes) {
+				b.WriteRune(runes[start])
+			}
+			at = start + 1
+		} else {
+			at = end
+		}
+		if !global {
+			break
+		}
+	}
+	if at <= len(runes) {
+		b.WriteString(string(runes[at:]))
+	}
+	return b.String(), nil
+}
+
+// ExpandReplacement expands $-patterns in a replacement template against a
+// match, per ECMA-262 GetSubstitution.
+func ExpandReplacement(repl string, m *Match) string {
+	var b strings.Builder
+	r := []rune(repl)
+	for i := 0; i < len(r); i++ {
+		if r[i] != '$' || i+1 >= len(r) {
+			b.WriteRune(r[i])
+			continue
+		}
+		next := r[i+1]
+		switch {
+		case next == '$':
+			b.WriteByte('$')
+			i++
+		case next == '&':
+			b.WriteString(m.GroupString(0))
+			i++
+		case next == '`':
+			b.WriteString(string(m.Input[:m.Groups[0][0]]))
+			i++
+		case next == '\'':
+			b.WriteString(string(m.Input[m.Groups[0][1]:]))
+			i++
+		case next >= '0' && next <= '9':
+			idx := int(next - '0')
+			consumed := 1
+			if i+2 < len(r) && r[i+2] >= '0' && r[i+2] <= '9' {
+				two := idx*10 + int(r[i+2]-'0')
+				if two <= len(m.Groups)-1 {
+					idx = two
+					consumed = 2
+				}
+			}
+			if idx >= 1 && idx <= len(m.Groups)-1 {
+				b.WriteString(m.GroupString(idx))
+				i += consumed
+			} else {
+				b.WriteRune(r[i])
+			}
+		default:
+			b.WriteRune(r[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package regex
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// match is a test helper returning (matched, whole-match text).
+func match(t *testing.T, pattern, flags, input string) (bool, string) {
+	t.Helper()
+	re, err := Compile(pattern, flags)
+	if err != nil {
+		t.Fatalf("Compile(%q, %q): %v", pattern, flags, err)
+	}
+	m, err := re.Exec(input, 0)
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if m == nil {
+		return false, ""
+	}
+	return true, m.GroupString(0)
+}
+
+func TestBasicMatching(t *testing.T) {
+	cases := []struct {
+		pattern, flags, input string
+		want                  bool
+		text                  string
+	}{
+		{`abc`, "", "xxabcxx", true, "abc"},
+		{`ab+c`, "", "xabbbc", true, "abbbc"},
+		{`ab*c`, "", "ac", true, "ac"},
+		{`ab?c`, "", "abc", true, "abc"},
+		{`a.c`, "", "axc", true, "axc"},
+		{`a.c`, "", "a\nc", false, ""},
+		{`a.c`, "s", "a\nc", true, "a\nc"},
+		{`^abc$`, "", "abc", true, "abc"},
+		{`^abc$`, "", "xabc", false, ""},
+		{`^b`, "m", "a\nb", true, "b"},
+		{`[a-c]+`, "", "zzabca", true, "abca"},
+		{`[^a-c]+`, "", "abcxyz", true, "xyz"},
+		{`\d{2,4}`, "", "a12345b", true, "1234"},
+		{`\d{2}`, "", "a1b", false, ""},
+		{`\w+@\w+`, "", "mail bob@host", true, "bob@host"},
+		{`\s\S`, "", "a b", true, " b"},
+		{`a|bc|d`, "", "xbcx", true, "bc"},
+		{`(ab)+`, "", "ababab", true, "ababab"},
+		{`(?:ab)+c`, "", "ababc", true, "ababc"},
+		{`a+?`, "", "aaa", true, "a"},
+		{`a{2,}?`, "", "aaaa", true, "aa"},
+		{`\bfoo\b`, "", "a foo b", true, "foo"},
+		{`\bfoo\b`, "", "afoob", false, ""},
+		{`(a)(b)?`, "", "a", true, "a"},
+		{`(ab)\1`, "", "abab", true, "abab"},
+		{`(ab)\1`, "", "abcd", false, ""},
+		{`ABC`, "i", "xxabcxx", true, "abc"},
+		{`[a-z]+`, "i", "HELLO", true, "HELLO"},
+		{`a(?=b)`, "", "ab", true, "a"},
+		{`a(?=b)`, "", "ac", false, ""},
+		{`a(?!b)`, "", "ac", true, "a"},
+		{`^A`, "", "anA", false, ""},
+		{`\x41`, "", "A", true, "A"},
+		{`A`, "", "A", true, "A"},
+	}
+	for _, c := range cases {
+		got, text := match(t, c.pattern, c.flags, c.input)
+		if got != c.want || text != c.text {
+			t.Errorf("/%s/%s on %q: got (%v, %q) want (%v, %q)",
+				c.pattern, c.flags, c.input, got, text, c.want, c.text)
+		}
+	}
+}
+
+func TestCaptureGroups(t *testing.T) {
+	re, err := Compile(`(\d+)-(\d+)`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := re.Exec("range 10-32 units", 0)
+	if err != nil || m == nil {
+		t.Fatalf("no match: %v", err)
+	}
+	if m.GroupString(1) != "10" || m.GroupString(2) != "32" {
+		t.Errorf("groups: %q %q", m.GroupString(1), m.GroupString(2))
+	}
+	if m.Groups[0][0] != 6 {
+		t.Errorf("match index: %d", m.Groups[0][0])
+	}
+}
+
+func TestUnmatchedGroupBackrefAndOptional(t *testing.T) {
+	re, err := Compile(`(a)|(b)`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := re.Exec("a", 0)
+	if err != nil || m == nil {
+		t.Fatal("no match")
+	}
+	if !m.GroupMatched(1) || m.GroupMatched(2) {
+		t.Errorf("group participation wrong: %v", m.Groups)
+	}
+}
+
+func TestSticky(t *testing.T) {
+	re, err := Compile("b", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := re.Exec("ab", 0); m != nil {
+		t.Error("sticky must anchor at start")
+	}
+	if m, _ := re.Exec("ab", 1); m == nil {
+		t.Error("sticky at offset 1 must match")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, pattern := range []string{`(`, `[a`, `a{2,1}`, `*a`, `(?<`, `a\`} {
+		if _, err := Compile(pattern, ""); err == nil {
+			t.Errorf("Compile(%q) should fail", pattern)
+		}
+	}
+	if _, err := Compile("a", "q"); err == nil {
+		t.Error("invalid flag should fail")
+	}
+}
+
+func TestReplaceAll(t *testing.T) {
+	re, err := Compile(`(\w+)@(\w+)`, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := re.ReplaceAll("a@b c@d", "$2:$1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "b:a d:c" {
+		t.Errorf("ReplaceAll: %q", out)
+	}
+	out, _ = re.ReplaceAll("a@b c@d", "[$&]", false)
+	if out != "[a@b] c@d" {
+		t.Errorf("non-global replace: %q", out)
+	}
+}
+
+func TestBudgetTerminates(t *testing.T) {
+	re, err := Compile(`(a+)+$`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = re.Exec("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaab", 0)
+	if err != ErrBudget {
+		t.Errorf("catastrophic backtracking should hit the budget, got %v", err)
+	}
+}
+
+// TestLiteralProperty: any input matches itself when quoted char-by-char.
+func TestLiteralProperty(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 20 {
+			s = s[:20]
+		}
+		quoted := ""
+		for _, r := range s {
+			if r == 0 || r > 0x7e {
+				return true // skip exotic inputs
+			}
+			quoted += "\\x" + hex2(byte(r))
+		}
+		re, err := Compile(quoted, "")
+		if err != nil {
+			return false
+		}
+		m, err := re.Exec(s, 0)
+		return err == nil && m != nil && m.GroupString(0) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func hex2(b byte) string {
+	const digits = "0123456789abcdef"
+	return string([]byte{digits[b>>4], digits[b&15]})
+}

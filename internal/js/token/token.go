@@ -1,0 +1,219 @@
+// Package token defines the lexical tokens of the JavaScript subset
+// implemented by this repository's engines, together with source positions.
+package token
+
+import "fmt"
+
+// Type identifies the class of a lexical token.
+type Type int
+
+// Token types. Keyword and punctuator tokens each get their own type so the
+// parser can switch on them directly.
+const (
+	ILLEGAL Type = iota
+	EOF
+
+	// Literals and names.
+	IDENT    // foo
+	NUMBER   // 3.14, 0x1f, 1e9
+	STRING   // "abc", 'abc'
+	TEMPLATE // `a${b}c` (raw body, without backticks)
+	REGEX    // /ab+c/gi (raw body including delimiters and flags)
+
+	keywordBeg
+	// Keywords.
+	VAR
+	LET
+	CONST
+	FUNCTION
+	RETURN
+	IF
+	ELSE
+	FOR
+	WHILE
+	DO
+	BREAK
+	CONTINUE
+	NEW
+	DELETE
+	TYPEOF
+	INSTANCEOF
+	IN
+	OF
+	VOID
+	THIS
+	NULL
+	TRUE
+	FALSE
+	SWITCH
+	CASE
+	DEFAULT
+	THROW
+	TRY
+	CATCH
+	FINALLY
+	DEBUGGER
+	CLASS
+	EXTENDS
+	SUPER
+	GET
+	SET
+	keywordEnd
+
+	// Punctuators.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACK   // [
+	RBRACK   // ]
+	LBRACE   // {
+	RBRACE   // }
+	SEMI     // ;
+	COMMA    // ,
+	DOT      // .
+	ELLIPSIS // ...
+	ARROW    // =>
+	QUESTION // ?
+	COLON    // :
+
+	ASSIGN        // =
+	PLUSASSIGN    // +=
+	MINUSASSIGN   // -=
+	STARASSIGN    // *=
+	SLASHASSIGN   // /=
+	PERCENTASSIGN // %=
+	POWASSIGN     // **=
+	SHLASSIGN     // <<=
+	SHRASSIGN     // >>=
+	USHRASSIGN    // >>>=
+	ANDASSIGN     // &=
+	ORASSIGN      // |=
+	XORASSIGN     // ^=
+	LOGANDASSIGN  // &&=
+	LOGORASSIGN   // ||=
+	NULLISHASSIGN // ??=
+
+	EQ       // ==
+	STRICTEQ // ===
+	NEQ      // !=
+	STRICTNE // !==
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	POW     // **
+	INC     // ++
+	DEC     // --
+
+	SHL  // <<
+	SHR  // >>
+	USHR // >>>
+
+	AND  // &
+	OR   // |
+	XOR  // ^
+	NOT  // !
+	BNOT // ~
+
+	LOGAND  // &&
+	LOGOR   // ||
+	NULLISH // ??
+)
+
+var names = map[Type]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", NUMBER: "NUMBER",
+	STRING: "STRING", TEMPLATE: "TEMPLATE", REGEX: "REGEX",
+	VAR: "var", LET: "let", CONST: "const", FUNCTION: "function",
+	RETURN: "return", IF: "if", ELSE: "else", FOR: "for", WHILE: "while",
+	DO: "do", BREAK: "break", CONTINUE: "continue", NEW: "new",
+	DELETE: "delete", TYPEOF: "typeof", INSTANCEOF: "instanceof", IN: "in",
+	OF: "of", VOID: "void", THIS: "this", NULL: "null", TRUE: "true",
+	FALSE: "false", SWITCH: "switch", CASE: "case", DEFAULT: "default",
+	THROW: "throw", TRY: "try", CATCH: "catch", FINALLY: "finally",
+	DEBUGGER: "debugger", CLASS: "class", EXTENDS: "extends", SUPER: "super",
+	GET: "get", SET: "set",
+	LPAREN: "(", RPAREN: ")", LBRACK: "[", RBRACK: "]", LBRACE: "{",
+	RBRACE: "}", SEMI: ";", COMMA: ",", DOT: ".", ELLIPSIS: "...",
+	ARROW: "=>", QUESTION: "?", COLON: ":",
+	ASSIGN: "=", PLUSASSIGN: "+=", MINUSASSIGN: "-=", STARASSIGN: "*=",
+	SLASHASSIGN: "/=", PERCENTASSIGN: "%=", POWASSIGN: "**=",
+	SHLASSIGN: "<<=", SHRASSIGN: ">>=", USHRASSIGN: ">>>=",
+	ANDASSIGN: "&=", ORASSIGN: "|=", XORASSIGN: "^=",
+	LOGANDASSIGN: "&&=", LOGORASSIGN: "||=", NULLISHASSIGN: "??=",
+	EQ: "==", STRICTEQ: "===", NEQ: "!=", STRICTNE: "!==",
+	LT: "<", GT: ">", LE: "<=", GE: ">=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%", POW: "**",
+	INC: "++", DEC: "--", SHL: "<<", SHR: ">>", USHR: ">>>",
+	AND: "&", OR: "|", XOR: "^", NOT: "!", BNOT: "~",
+	LOGAND: "&&", LOGOR: "||", NULLISH: "??",
+}
+
+// String returns the canonical spelling of the token type.
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// IsKeyword reports whether the type is a reserved word.
+func (t Type) IsKeyword() bool { return t > keywordBeg && t < keywordEnd }
+
+// keywords maps spellings to keyword token types. get/set are contextual:
+// the lexer emits them as IDENT and the parser upgrades them when needed.
+var keywords = map[string]Type{
+	"var": VAR, "let": LET, "const": CONST, "function": FUNCTION,
+	"return": RETURN, "if": IF, "else": ELSE, "for": FOR, "while": WHILE,
+	"do": DO, "break": BREAK, "continue": CONTINUE, "new": NEW,
+	"delete": DELETE, "typeof": TYPEOF, "instanceof": INSTANCEOF, "in": IN,
+	"void": VOID, "this": THIS, "null": NULL, "true": TRUE, "false": FALSE,
+	"switch": SWITCH, "case": CASE, "default": DEFAULT, "throw": THROW,
+	"try": TRY, "catch": CATCH, "finally": FINALLY, "debugger": DEBUGGER,
+	"class": CLASS, "extends": EXTENDS, "super": SUPER,
+}
+
+// Lookup maps an identifier spelling to its keyword type, or IDENT.
+// "of" is contextual (only a keyword in for-of heads) and is returned as
+// IDENT; the parser recognises it by spelling.
+func Lookup(ident string) Type {
+	if t, ok := keywords[ident]; ok {
+		return t
+	}
+	return IDENT
+}
+
+// Pos is a byte offset plus 1-based line/column within the source text.
+type Pos struct {
+	Offset int
+	Line   int
+	Col    int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token: its type, literal spelling and position.
+type Token struct {
+	Type    Type
+	Literal string
+	Pos     Pos
+	// NewlineBefore records whether a line terminator appeared between the
+	// previous token and this one; the parser uses it for automatic
+	// semicolon insertion and restricted productions (return/throw/++/--).
+	NewlineBefore bool
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, NUMBER, STRING, TEMPLATE, REGEX, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Type, t.Literal)
+	default:
+		return t.Type.String()
+	}
+}

@@ -1,0 +1,157 @@
+// Package bpe implements Byte Pair Encoding tokenisation as used by GPT-2
+// and described in the paper's Section 3.2: word frequencies are counted,
+// words are split into characters, and the most frequent adjacent pairs are
+// merged iteratively to form a subword vocabulary. Common keywords end up
+// as whole tokens while rare identifiers decompose into reusable chunks.
+package bpe
+
+import (
+	"sort"
+	"strings"
+)
+
+// contMarker suffixes a subword that is continued by the next subword of
+// the same source word, so decoding can re-join them.
+const contMarker = "▁" // ▁
+
+// Vocab is a trained BPE vocabulary: the ordered merge rules plus the
+// token-to-id table.
+type Vocab struct {
+	merges []mergeRule
+	tokens map[string]int
+	ids    []string
+}
+
+type mergeRule struct{ a, b string }
+
+// Train builds a vocabulary from words with the given number of merges.
+func Train(words []string, numMerges int) *Vocab {
+	// Word frequency table.
+	freq := map[string]int{}
+	for _, w := range words {
+		freq[w]++
+	}
+	// Represent each word as a sequence of symbols (initially characters).
+	type entry struct {
+		syms []string
+		n    int
+	}
+	var entries []*entry
+	for w, n := range freq {
+		var syms []string
+		for _, r := range w {
+			syms = append(syms, string(r))
+		}
+		entries = append(entries, &entry{syms: syms, n: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return strings.Join(entries[i].syms, "") < strings.Join(entries[j].syms, "")
+	})
+
+	v := &Vocab{tokens: map[string]int{}}
+	for m := 0; m < numMerges; m++ {
+		// Count adjacent pairs.
+		pairs := map[mergeRule]int{}
+		for _, e := range entries {
+			for i := 0; i+1 < len(e.syms); i++ {
+				pairs[mergeRule{e.syms[i], e.syms[i+1]}] += e.n
+			}
+		}
+		if len(pairs) == 0 {
+			break
+		}
+		// Pick the most frequent pair (ties resolved lexicographically so
+		// training is deterministic).
+		var best mergeRule
+		bestN := 0
+		for p, n := range pairs {
+			if n > bestN || (n == bestN && (p.a+p.b) < (best.a+best.b)) {
+				best, bestN = p, n
+			}
+		}
+		if bestN < 2 {
+			break
+		}
+		v.merges = append(v.merges, best)
+		merged := best.a + best.b
+		for _, e := range entries {
+			for i := 0; i+1 < len(e.syms); {
+				if e.syms[i] == best.a && e.syms[i+1] == best.b {
+					e.syms[i] = merged
+					e.syms = append(e.syms[:i+1], e.syms[i+2:]...)
+				} else {
+					i++
+				}
+			}
+		}
+	}
+	// Build the final token table from everything the corpus produced.
+	add := func(tok string) {
+		if _, ok := v.tokens[tok]; !ok {
+			v.tokens[tok] = len(v.ids)
+			v.ids = append(v.ids, tok)
+		}
+	}
+	for _, e := range entries {
+		for i, s := range e.syms {
+			if i+1 < len(e.syms) {
+				add(s + contMarker)
+			} else {
+				add(s)
+			}
+		}
+	}
+	return v
+}
+
+// Size reports the vocabulary size.
+func (v *Vocab) Size() int { return len(v.ids) }
+
+// NumMerges reports how many merge rules were learned.
+func (v *Vocab) NumMerges() int { return len(v.merges) }
+
+// EncodeWord splits one word into subword tokens; continued subwords carry
+// the continuation marker.
+func (v *Vocab) EncodeWord(w string) []string {
+	var syms []string
+	for _, r := range w {
+		syms = append(syms, string(r))
+	}
+	for _, rule := range v.merges {
+		for i := 0; i+1 < len(syms); {
+			if syms[i] == rule.a && syms[i+1] == rule.b {
+				syms[i] = rule.a + rule.b
+				syms = append(syms[:i+1], syms[i+2:]...)
+			} else {
+				i++
+			}
+		}
+	}
+	out := make([]string, len(syms))
+	for i, s := range syms {
+		if i+1 < len(syms) {
+			out[i] = s + contMarker
+		} else {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// Decode re-joins a subword token stream into words.
+func Decode(tokens []string) string {
+	var b strings.Builder
+	for _, t := range tokens {
+		b.WriteString(strings.TrimSuffix(t, contMarker))
+	}
+	return b.String()
+}
+
+// IsContinued reports whether tok is continued by its successor.
+func IsContinued(tok string) bool { return strings.HasSuffix(tok, contMarker) }
+
+// ID looks up a token id.
+func (v *Vocab) ID(tok string) (int, bool) {
+	id, ok := v.tokens[tok]
+	return id, ok
+}

@@ -1,0 +1,80 @@
+package bpe
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func corpusWords() []string {
+	text := "function function function var var return print print print " +
+		"printable variable functional returning substring substr"
+	return strings.Fields(text)
+}
+
+func TestTrainMergesFrequentPairs(t *testing.T) {
+	v := Train(corpusWords(), 200)
+	if v.NumMerges() == 0 {
+		t.Fatal("no merges learned")
+	}
+	// Frequent whole words should become single tokens.
+	if toks := v.EncodeWord("function"); len(toks) != 1 {
+		t.Errorf("'function' should be one token, got %v", toks)
+	}
+	// Rare words decompose but reuse learned chunks.
+	toks := v.EncodeWord("functionally")
+	if len(toks) < 2 {
+		t.Errorf("rare word should decompose: %v", toks)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := Train(corpusWords(), 100)
+	for _, w := range append(corpusWords(), "zzz", "printf", "sub") {
+		if got := Decode(v.EncodeWord(w)); got != w {
+			t.Errorf("round trip %q -> %q", w, got)
+		}
+	}
+}
+
+// TestRoundTripProperty: any ASCII identifier round-trips.
+func TestRoundTripProperty(t *testing.T) {
+	v := Train(corpusWords(), 100)
+	f := func(raw []byte) bool {
+		var b strings.Builder
+		for _, c := range raw {
+			ch := 'a' + rune(c%26)
+			b.WriteRune(ch)
+		}
+		w := b.String()
+		if w == "" {
+			return true
+		}
+		return Decode(v.EncodeWord(w)) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContinuationMarkers(t *testing.T) {
+	v := Train(corpusWords(), 50)
+	toks := v.EncodeWord("functionally")
+	for i, tok := range toks {
+		cont := IsContinued(tok)
+		if i < len(toks)-1 && !cont {
+			t.Errorf("inner token %q must carry continuation marker", tok)
+		}
+		if i == len(toks)-1 && cont {
+			t.Errorf("final token %q must not carry continuation marker", tok)
+		}
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	a := Train(corpusWords(), 100)
+	b := Train(corpusWords(), 100)
+	if a.Size() != b.Size() || a.NumMerges() != b.NumMerges() {
+		t.Error("training must be deterministic")
+	}
+}

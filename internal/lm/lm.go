@@ -1,0 +1,263 @@
+// Package lm assembles the program generator of the paper's Section 3.2:
+// code tokenisation, BPE subword encoding, a long-context language model
+// (the GPT-2 substitute), and top-k sampling with the paper's termination
+// conditions (bracket balance, <EOF>, 5,000-token cap).
+package lm
+
+import (
+	"math/rand"
+	"strings"
+
+	"comfort/internal/lm/bpe"
+	"comfort/internal/lm/ngram"
+)
+
+// Arch selects the model family; the architectural difference is context
+// length, which is exactly the property the paper contrasts.
+type Arch int
+
+// Model architectures.
+const (
+	// ArchGPT2 is the long-context Transformer substitute (order 8).
+	ArchGPT2 Arch = iota
+	// ArchLSTM is the short-context RNN substitute used by the DeepSmith
+	// and Montage baselines (order 2).
+	ArchLSTM
+)
+
+func (a Arch) order() int {
+	if a == ArchLSTM {
+		return 2
+	}
+	return 8
+}
+
+func (a Arch) String() string {
+	if a == ArchLSTM {
+		return "lstm"
+	}
+	return "gpt2"
+}
+
+// Generator is a trained code generator.
+type Generator struct {
+	arch    Arch
+	vocab   *bpe.Vocab
+	model   *ngram.Model
+	headers []string
+	topK    int
+	// MaxTokens is the generation cap (the paper's 5,000-word limit).
+	MaxTokens int
+}
+
+// Config parameterises training.
+type Config struct {
+	Arch      Arch
+	TopK      int // 0 = the paper's k=10
+	NumMerges int // BPE merges; 0 = 400
+}
+
+// Train builds a generator from a corpus of programs plus seed headers.
+func Train(programs, headers []string, cfg Config) *Generator {
+	if cfg.TopK == 0 {
+		cfg.TopK = 10
+	}
+	if cfg.NumMerges == 0 {
+		cfg.NumMerges = 400
+	}
+	// Collect identifier-like words for the BPE vocabulary.
+	var words []string
+	for _, p := range programs {
+		for _, tok := range TokenizeCode(p) {
+			if isWordToken(tok) {
+				words = append(words, tok)
+			}
+		}
+	}
+	vocab := bpe.Train(words, cfg.NumMerges)
+	model := ngram.New(cfg.Arch.order())
+	for _, p := range programs {
+		stream := encode(vocab, TokenizeCode(p))
+		stream = append(stream, "<EOF>")
+		model.Train(stream)
+	}
+	return &Generator{
+		arch:      cfg.Arch,
+		vocab:     vocab,
+		model:     model,
+		headers:   headers,
+		topK:      cfg.TopK,
+		MaxTokens: 5000,
+	}
+}
+
+// Vocab exposes the trained BPE vocabulary.
+func (g *Generator) Vocab() *bpe.Vocab { return g.vocab }
+
+// Contexts reports the number of learned generation contexts.
+func (g *Generator) Contexts() int { return g.model.Contexts() }
+
+// Generate produces one synthetic program, primed with a random seed
+// header. Generation stops when the braces opened by the header are
+// balanced again, when the model emits <EOF>, or at the token cap.
+func (g *Generator) Generate(rng *rand.Rand) string {
+	header := g.headers[rng.Intn(len(g.headers))]
+	return g.GenerateFrom(header, rng)
+}
+
+// GenerateFrom produces a program from an explicit seed header.
+func (g *Generator) GenerateFrom(header string, rng *rand.Rand) string {
+	stream := encode(g.vocab, TokenizeCode(header))
+	depth := braceDepth(stream, 0)
+	sawBrace := strings.Contains(header, "{")
+	for len(stream) < g.MaxTokens {
+		tok, ok := g.model.Sample(stream, g.topK, rng)
+		if !ok || tok == "<EOF>" {
+			break
+		}
+		stream = append(stream, tok)
+		switch tok {
+		case "{":
+			depth++
+			sawBrace = true
+		case "}":
+			depth--
+			if sawBrace && depth <= 0 {
+				return detokenize(stream) + trailerFor(header)
+			}
+		}
+	}
+	return detokenize(stream)
+}
+
+// trailerFor closes the idiom the seed header opened: function-expression
+// headers get invoked, declarations get called by name when obvious.
+func trailerFor(header string) string {
+	h := strings.TrimSpace(header)
+	if strings.HasPrefix(h, "var ") && strings.Contains(h, "= function") {
+		name := strings.TrimPrefix(h, "var ")
+		if i := strings.IndexAny(name, " ="); i > 0 {
+			name = name[:i]
+		}
+		return ";\n" + name + "();\n"
+	}
+	if strings.HasPrefix(h, "function ") {
+		name := strings.TrimPrefix(h, "function ")
+		if i := strings.IndexAny(name, " ("); i > 0 {
+			name = name[:i]
+		}
+		if !strings.Contains(h, ",") && strings.Contains(h, "()") {
+			return "\n" + name + "();\n"
+		}
+		return "\n"
+	}
+	return "\n"
+}
+
+func braceDepth(tokens []string, start int) int {
+	d := start
+	for _, t := range tokens {
+		switch t {
+		case "{":
+			d++
+		case "}":
+			d--
+		}
+	}
+	return d
+}
+
+// ---------- code tokenisation ----------
+
+// TokenizeCode splits source into the generation alphabet: words, numbers,
+// string/regex-ish literals, punctuation, and explicit space/newline tokens
+// so that decoding reproduces layout.
+func TokenizeCode(src string) []string {
+	var out []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			out = append(out, "\n")
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			j := i
+			for j < len(src) && (src[j] == ' ' || src[j] == '\t' || src[j] == '\r') {
+				j++
+			}
+			out = append(out, " ")
+			i = j
+		case isWordStart(c):
+			j := i
+			for j < len(src) && isWordPart(src[j]) {
+				j++
+			}
+			out = append(out, src[i:j])
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (isWordPart(src[j]) || src[j] == '.') {
+				j++
+			}
+			out = append(out, src[i:j])
+			i = j
+		case c == '"' || c == '\'':
+			j := i + 1
+			for j < len(src) && src[j] != c {
+				if src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j < len(src) {
+				j++
+			}
+			out = append(out, src[i:j])
+			i = j
+		default:
+			out = append(out, string(c))
+			i++
+		}
+	}
+	return out
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordPart(c byte) bool {
+	return isWordStart(c) || (c >= '0' && c <= '9')
+}
+
+func isWordToken(tok string) bool {
+	return len(tok) > 0 && isWordStart(tok[0])
+}
+
+// encode expands word tokens into BPE subwords; everything else passes
+// through verbatim.
+func encode(v *bpe.Vocab, tokens []string) []string {
+	var out []string
+	for _, t := range tokens {
+		if isWordToken(t) && len(t) > 1 {
+			out = append(out, v.EncodeWord(t)...)
+		} else {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// detokenize re-joins a BPE/code token stream into source text.
+func detokenize(tokens []string) string {
+	var b strings.Builder
+	for _, t := range tokens {
+		if bpe.IsContinued(t) {
+			b.WriteString(bpe.Decode([]string{t}))
+			continue
+		}
+		b.WriteString(t)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package lm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"comfort/internal/corpus"
+	"comfort/internal/js/lint"
+)
+
+func TestTokenizeRoundTrip(t *testing.T) {
+	for _, src := range corpus.Programs()[:10] {
+		tokens := TokenizeCode(src)
+		var b strings.Builder
+		for _, tok := range tokens {
+			b.WriteString(tok)
+		}
+		// Space runs collapse; everything else must round-trip.
+		norm := func(s string) string {
+			for strings.Contains(s, "  ") {
+				s = strings.ReplaceAll(s, "  ", " ")
+			}
+			return strings.ReplaceAll(s, "\t", " ")
+		}
+		if norm(b.String()) != norm(src) {
+			t.Errorf("tokenize round trip failed:\n%q\n%q", norm(src), norm(b.String()))
+		}
+	}
+}
+
+func trainDefault(t *testing.T, arch Arch) *Generator {
+	t.Helper()
+	return Train(corpus.Programs(), corpus.Headers(), Config{Arch: arch})
+}
+
+func TestGeneratorProducesParseableCode(t *testing.T) {
+	g := trainDefault(t, ArchGPT2)
+	rng := rand.New(rand.NewSource(7))
+	valid := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		src := g.Generate(rng)
+		if src == "" {
+			t.Fatal("empty generation")
+		}
+		if lint.Valid(src) {
+			valid++
+		}
+	}
+	rate := float64(valid) / n
+	// The paper reports ~80% syntactic validity for the GPT-2 generator.
+	if rate < 0.6 {
+		t.Errorf("GPT-2-substitute validity %.2f, expected >= 0.6", rate)
+	}
+	t.Logf("gpt2 validity: %.2f", rate)
+}
+
+func TestLongContextBeatsShortContext(t *testing.T) {
+	gpt := trainDefault(t, ArchGPT2)
+	lstm := trainDefault(t, ArchLSTM)
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(11))
+	const n = 150
+	validGPT, validLSTM := 0, 0
+	for i := 0; i < n; i++ {
+		if lint.Valid(gpt.Generate(rngA)) {
+			validGPT++
+		}
+		if lint.Valid(lstm.Generate(rngB)) {
+			validLSTM++
+		}
+	}
+	if validGPT <= validLSTM {
+		t.Errorf("long-context model should beat short-context: gpt2 %d vs lstm %d of %d",
+			validGPT, validLSTM, n)
+	}
+	t.Logf("validity gpt2=%d/%d lstm=%d/%d", validGPT, n, validLSTM, n)
+}
+
+func TestGenerationDeterminism(t *testing.T) {
+	g := trainDefault(t, ArchGPT2)
+	a := g.Generate(rand.New(rand.NewSource(3)))
+	b := g.Generate(rand.New(rand.NewSource(3)))
+	if a != b {
+		t.Error("generation must be deterministic under a fixed seed")
+	}
+}
+
+func TestGenerationTerminates(t *testing.T) {
+	g := trainDefault(t, ArchGPT2)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		src := g.Generate(rng)
+		if len(TokenizeCode(src)) > g.MaxTokens+64 {
+			t.Errorf("generation exceeded the token cap: %d tokens", len(TokenizeCode(src)))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package ngram implements the back-off token language model at the heart
+// of the program generator. A high-order model (order 8) stands in for the
+// Transformer's long-context dependence; a low-order model (order 2) stands
+// in for the LSTM baselines — the gap between them reproduces the
+// syntactic-validity gap of the paper's Figure 9.
+package ngram
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+const sep = "\x00"
+
+// Model is a back-off n-gram language model over string tokens.
+type Model struct {
+	Order  int
+	counts []map[string]map[string]int // counts[k][ctx of k tokens][next]
+}
+
+// New creates an untrained model of the given order (context length).
+func New(order int) *Model {
+	if order < 1 {
+		order = 1
+	}
+	m := &Model{Order: order}
+	m.counts = make([]map[string]map[string]int, order+1)
+	for k := 0; k <= order; k++ {
+		m.counts[k] = map[string]map[string]int{}
+	}
+	return m
+}
+
+// Train accumulates one token sequence.
+func (m *Model) Train(tokens []string) {
+	for i := range tokens {
+		for k := 0; k <= m.Order; k++ {
+			if i < k {
+				continue
+			}
+			ctx := strings.Join(tokens[i-k:i], sep)
+			row := m.counts[k][ctx]
+			if row == nil {
+				row = map[string]int{}
+				m.counts[k][ctx] = row
+			}
+			row[tokens[i]]++
+		}
+	}
+}
+
+// Contexts reports the number of distinct highest-order contexts.
+func (m *Model) Contexts() int { return len(m.counts[m.Order]) }
+
+// candidate is one continuation with its count.
+type candidate struct {
+	tok string
+	n   int
+}
+
+// Sample draws the next token from the top-k continuations of the longest
+// matching context suffix (the paper's top-k sampling with k=10). ok is
+// false when even the empty context has no data.
+func (m *Model) Sample(context []string, topK int, rng *rand.Rand) (string, bool) {
+	if topK < 1 {
+		topK = 10
+	}
+	for k := m.Order; k >= 0; k-- {
+		if len(context) < k {
+			continue
+		}
+		ctx := strings.Join(context[len(context)-k:], sep)
+		row, ok := m.counts[k][ctx]
+		if !ok || len(row) == 0 {
+			continue
+		}
+		cands := make([]candidate, 0, len(row))
+		for tok, n := range row {
+			cands = append(cands, candidate{tok, n})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].n != cands[j].n {
+				return cands[i].n > cands[j].n
+			}
+			return cands[i].tok < cands[j].tok
+		})
+		if len(cands) > topK {
+			cands = cands[:topK]
+		}
+		// Uniform draw among the top-k (the paper: "randomly choosing a
+		// token from the top-k tokens that are predicted to have the
+		// highest possibilities").
+		return cands[rng.Intn(len(cands))].tok, true
+	}
+	return "", false
+}

@@ -1,0 +1,93 @@
+package ngram
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSampleFollowsCounts(t *testing.T) {
+	m := New(2)
+	m.Train(strings.Fields("a b c a b d a b c"))
+	rng := rand.New(rand.NewSource(1))
+	// After "a b" the continuations are c (2) and d (1).
+	seen := map[string]int{}
+	for i := 0; i < 200; i++ {
+		tok, ok := m.Sample([]string{"a", "b"}, 10, rng)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		seen[tok]++
+	}
+	// Sampling is uniform among the top-k (the paper's sampling scheme), so
+	// both observed continuations must appear; nothing else may.
+	if seen["c"] == 0 || seen["d"] == 0 {
+		t.Errorf("both continuations should appear: %v", seen)
+	}
+	if len(seen) != 2 {
+		t.Errorf("only observed continuations may be sampled: %v", seen)
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	m := New(3)
+	m.Train(strings.Fields("x y z w"))
+	rng := rand.New(rand.NewSource(2))
+	// Unseen long context must back off to shorter suffixes.
+	tok, ok := m.Sample([]string{"q", "q", "z"}, 10, rng)
+	if !ok || tok != "w" {
+		t.Errorf("backoff: got %q ok=%v", tok, ok)
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	m := New(2)
+	rng := rand.New(rand.NewSource(3))
+	if _, ok := m.Sample([]string{"a"}, 10, rng); ok {
+		t.Error("untrained model must fail to sample")
+	}
+}
+
+func TestTopKRestriction(t *testing.T) {
+	// 20 distinct continuations with frequencies 21..1.
+	m2 := New(1)
+	for i := 0; i < 20; i++ {
+		for j := 0; j <= 20-i; j++ {
+			m2.Train([]string{"ctx", string(rune('a' + i))})
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		tok, _ := m2.Sample([]string{"ctx"}, 3, rng)
+		seen[tok] = true
+	}
+	if len(seen) > 3 {
+		t.Errorf("top-3 sampling drew %d distinct tokens: %v", len(seen), seen)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := New(4)
+	m.Train(strings.Fields("the quick brown fox jumps over the lazy dog the quick brown cat"))
+	a := sampleSeq(m, 42)
+	b := sampleSeq(m, 42)
+	if a != b {
+		t.Errorf("sampling not deterministic: %q vs %q", a, b)
+	}
+}
+
+func sampleSeq(m *Model, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	ctx := []string{"the"}
+	var out []string
+	for i := 0; i < 10; i++ {
+		tok, ok := m.Sample(ctx, 10, rng)
+		if !ok {
+			break
+		}
+		out = append(out, tok)
+		ctx = append(ctx, tok)
+	}
+	return strings.Join(out, " ")
+}

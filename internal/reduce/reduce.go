@@ -1,0 +1,145 @@
+// Package reduce implements the paper's Section 3.5 test-case reduction:
+// traverse the AST, iteratively remove code structures, and keep each
+// removal that still reproduces the anomalous behaviour, until a fixpoint.
+package reduce
+
+import (
+	"comfort/internal/js/ast"
+	"comfort/internal/js/parser"
+)
+
+// Predicate reports whether a candidate source still triggers the same
+// anomalous behaviour as the original test case.
+type Predicate func(src string) bool
+
+// Reduce shrinks src while pred keeps holding. The result is the fixpoint
+// of statement-level removals plus branch simplifications.
+func Reduce(src string, pred Predicate) string {
+	if !pred(src) {
+		return src
+	}
+	current := src
+	for {
+		next, improved := pass(current, pred)
+		if !improved {
+			return current
+		}
+		current = next
+	}
+}
+
+// pass tries every single removal on current once; it returns the best
+// improvement found.
+func pass(current string, pred Predicate) (string, bool) {
+	prog, err := parser.Parse(current)
+	if err != nil {
+		return current, false
+	}
+	total := countStmts(prog)
+	for idx := total - 1; idx >= 0; idx-- {
+		candidate, ok := removeNthStmt(current, idx)
+		if !ok || candidate == current {
+			continue
+		}
+		if pred(candidate) {
+			return candidate, true
+		}
+	}
+	// Structure simplifications: if→then, loops→body.
+	for idx := 0; idx < total; idx++ {
+		candidate, ok := simplifyNthStmt(current, idx)
+		if !ok || candidate == current {
+			continue
+		}
+		if pred(candidate) {
+			return candidate, true
+		}
+	}
+	return current, false
+}
+
+// stmtLists enumerates all statement containers of a program.
+func stmtLists(prog *ast.Program) []*[]ast.Stmt {
+	var lists []*[]ast.Stmt
+	lists = append(lists, &prog.Body)
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BlockStmt:
+			lists = append(lists, &v.Body)
+		case *ast.SwitchCase:
+			lists = append(lists, &v.Body)
+		}
+		return true
+	})
+	return lists
+}
+
+func countStmts(prog *ast.Program) int {
+	total := 0
+	for _, l := range stmtLists(prog) {
+		total += len(*l)
+	}
+	return total
+}
+
+// removeNthStmt reparses src, removes the idx-th statement (in container
+// enumeration order) and prints the result.
+func removeNthStmt(src string, idx int) (string, bool) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	n := idx
+	for _, l := range stmtLists(prog) {
+		if n < len(*l) {
+			*l = append(append([]ast.Stmt(nil), (*l)[:n]...), (*l)[n+1:]...)
+			out := ast.Print(prog)
+			if _, err := parser.Parse(out); err != nil {
+				return "", false
+			}
+			return out, true
+		}
+		n -= len(*l)
+	}
+	return "", false
+}
+
+// simplifyNthStmt replaces a structured statement with its body.
+func simplifyNthStmt(src string, idx int) (string, bool) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	n := idx
+	for _, l := range stmtLists(prog) {
+		if n < len(*l) {
+			s := (*l)[n]
+			var repl ast.Stmt
+			switch v := s.(type) {
+			case *ast.IfStmt:
+				repl = v.Then
+			case *ast.WhileStmt:
+				repl = v.Body
+			case *ast.ForStmt:
+				repl = v.Body
+			case *ast.TryStmt:
+				repl = v.Block
+			case *ast.LabeledStmt:
+				repl = v.Body
+			default:
+				return "", false
+			}
+			if repl == nil {
+				return "", false
+			}
+			(*l)[n] = repl
+			out := ast.Print(prog)
+			if _, err := parser.Parse(out); err != nil {
+				return "", false
+			}
+			return out, true
+		}
+		n -= len(*l)
+	}
+	return "", false
+}

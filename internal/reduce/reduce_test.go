@@ -1,0 +1,70 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReduceKeepsProperty(t *testing.T) {
+	src := `var a = 1;
+var b = 2;
+var needle = "KEEP";
+var c = 3;
+print(needle);
+print(a + b + c);`
+	out := Reduce(src, func(s string) bool {
+		return strings.Contains(s, `"KEEP"`)
+	})
+	if !strings.Contains(out, `"KEEP"`) {
+		t.Fatalf("reduction lost the property:\n%s", out)
+	}
+	if strings.Contains(out, "a + b + c") {
+		t.Errorf("unrelated statements should be removed:\n%s", out)
+	}
+	if len(out) >= len(src) {
+		t.Errorf("no shrinkage: %d -> %d", len(src), len(out))
+	}
+}
+
+func TestReduceFixpointInsideBlocks(t *testing.T) {
+	src := `var foo = function() {
+  var x = 1;
+  var y = 2;
+  print("BUG");
+  print(x + y);
+};
+foo();`
+	out := Reduce(src, func(s string) bool {
+		return strings.Contains(s, `"BUG"`) && strings.Contains(s, "foo()")
+	})
+	if strings.Contains(out, "x + y") {
+		t.Errorf("inner statements not reduced:\n%s", out)
+	}
+	if !strings.Contains(out, `"BUG"`) || !strings.Contains(out, "foo()") {
+		t.Errorf("property lost:\n%s", out)
+	}
+}
+
+func TestReduceSimplifiesStructures(t *testing.T) {
+	src := `if (true) {
+  print("BUG");
+}`
+	out := Reduce(src, func(s string) bool { return strings.Contains(s, `"BUG"`) })
+	if strings.Contains(out, "if") {
+		t.Errorf("if wrapper should be simplified away:\n%s", out)
+	}
+}
+
+func TestReduceNonReproducingInputUnchanged(t *testing.T) {
+	src := `print(1);`
+	if out := Reduce(src, func(string) bool { return false }); out != src {
+		t.Errorf("non-reproducing input must be returned unchanged")
+	}
+}
+
+func TestReduceUnparseableInputUnchanged(t *testing.T) {
+	src := `var = broken(`
+	if out := Reduce(src, func(string) bool { return true }); out != src {
+		t.Errorf("unparseable input must be returned unchanged, got %q", out)
+	}
+}

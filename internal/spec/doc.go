@@ -1,0 +1,637 @@
+// Package spec implements the ECMA-262 side of COMFORT: an embedded
+// ECMAScript-style specification document in HTML (substituting for the
+// real ECMA-262 HTML, which uses the same structural conventions), a
+// Tika-substitute text extractor, the regex-based rule extractor of the
+// paper's Section 3.1, and the boundary-condition database of Figure 4.
+package spec
+
+// Document is the embedded ECMA-262-style HTML specification. Each
+// <emu-clause> describes one API with the numbered pseudo-code steps the
+// extractor mines. A number of clauses are deliberately written in prose
+// form only ("natural language definitions"), which the extractor cannot
+// mine — the paper reports ~82% rule coverage for the same reason.
+const Document = docHeader + stringClauses + numberClauses + objectClauses +
+	arrayClauses + typedArrayClauses + jsonClauses + globalClauses +
+	regexpClauses + dateClauses + proseClauses + docFooter
+
+const docHeader = `<!DOCTYPE html>
+<html lang="en">
+<head><meta charset="utf-8"><title>ECMAScript Language Specification</title></head>
+<body>
+<h1>ECMAScript 2019 Language Specification (engine-test subset)</h1>
+`
+
+const docFooter = `
+</body>
+</html>
+`
+
+const stringClauses = `
+<emu-clause id="sec-string.prototype.substr">
+<h1>String.prototype.substr ( start, length )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>ReturnIfAbrupt(S).</li>
+<li>Let intStart be ToInteger(start).</li>
+<li>ReturnIfAbrupt(intStart).</li>
+<li>If length is undefined, let end be +&infin;; else let end be ToInteger(length).</li>
+<li>ReturnIfAbrupt(end).</li>
+<li>Let size be the number of code units in S.</li>
+<li>If intStart &lt; 0, let intStart be max(size + intStart, 0).</li>
+<li>Let resultLength be min(max(end, 0), size - intStart).</li>
+<li>If resultLength &le; 0, return the empty String "".</li>
+<li>Return a String containing resultLength consecutive code units from S beginning with the code unit at index intStart.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.charat">
+<h1>String.prototype.charAt ( pos )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let position be ToInteger(pos).</li>
+<li>Let size be the number of code units in S.</li>
+<li>If position &lt; 0 or position &ge; size, return the empty String.</li>
+<li>Return the String containing the single code unit at index position.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.charcodeat">
+<h1>String.prototype.charCodeAt ( pos )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let position be ToInteger(pos).</li>
+<li>Let size be the number of code units in S.</li>
+<li>If position &lt; 0 or position &ge; size, return NaN.</li>
+<li>Return the numeric value of the code unit at index position.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.indexof">
+<h1>String.prototype.indexOf ( searchString, position )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let searchStr be ToString(searchString).</li>
+<li>Let pos be ToInteger(position).</li>
+<li>If position is undefined, this step produces the value 0.</li>
+<li>Let len be the number of code units in S.</li>
+<li>Let start be min(max(pos, 0), len).</li>
+<li>Return the smallest possible integer k not smaller than start such that searchStr occurs at index k of S, or -1.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.lastindexof">
+<h1>String.prototype.lastIndexOf ( searchString, position )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let searchStr be ToString(searchString).</li>
+<li>Let numPos be ToNumber(position).</li>
+<li>If numPos is NaN, let pos be +&infin;; otherwise, let pos be ToInteger(numPos).</li>
+<li>Return the largest possible nonnegative integer k not larger than min(max(pos, 0), len) such that searchStr occurs at index k of S, or -1.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.slice">
+<h1>String.prototype.slice ( start, end )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let len be the number of code units in S.</li>
+<li>Let intStart be ToInteger(start).</li>
+<li>If end is undefined, let intEnd be len; else let intEnd be ToInteger(end).</li>
+<li>If intStart &lt; 0, let from be max(len + intStart, 0); otherwise let from be min(intStart, len).</li>
+<li>If intEnd &lt; 0, let to be max(len + intEnd, 0); otherwise let to be min(intEnd, len).</li>
+<li>Let span be max(to - from, 0).</li>
+<li>Return the String containing span consecutive code units from S beginning with the code unit at index from.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.substring">
+<h1>String.prototype.substring ( start, end )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let len be the number of code units in S.</li>
+<li>Let intStart be ToInteger(start).</li>
+<li>If end is undefined, let intEnd be len; else let intEnd be ToInteger(end).</li>
+<li>Let finalStart be min(max(intStart, 0), len).</li>
+<li>Let finalEnd be min(max(intEnd, 0), len).</li>
+<li>Let from be min(finalStart, finalEnd).</li>
+<li>Let to be max(finalStart, finalEnd).</li>
+<li>Return the String whose code units are the elements of S from index from up to index to.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.repeat">
+<h1>String.prototype.repeat ( count )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let n be ToInteger(count).</li>
+<li>If n &lt; 0, throw a RangeError exception.</li>
+<li>If n is +&infin;, throw a RangeError exception.</li>
+<li>Return the String value that is made from n copies of S appended together.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.padstart">
+<h1>String.prototype.padStart ( maxLength, fillString )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let intMaxLength be ToLength(maxLength).</li>
+<li>Let stringLength be the length of S.</li>
+<li>If intMaxLength &le; stringLength, return S.</li>
+<li>If fillString is undefined, let filler be the String consisting solely of the code unit 0x0020 (SPACE).</li>
+<li>Else, let filler be ToString(fillString).</li>
+<li>If filler is the empty String, return S.</li>
+<li>Return the string-concatenation of truncatedStringFiller and S.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.padend">
+<h1>String.prototype.padEnd ( maxLength, fillString )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let intMaxLength be ToLength(maxLength).</li>
+<li>If fillString is undefined, let filler be the String consisting solely of the code unit 0x0020 (SPACE).</li>
+<li>Return the string-concatenation of S and truncatedStringFiller.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.split">
+<h1>String.prototype.split ( separator, limit )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>If limit is undefined, let lim be 2<sup>32</sup> - 1; else let lim be ToUint32(limit).</li>
+<li>Let R be ToString(separator).</li>
+<li>If lim = 0, return an empty array.</li>
+<li>If separator is undefined, return an array containing the single element S.</li>
+<li>Return an Array of the substrings of S delimited by occurrences of R.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.startswith">
+<h1>String.prototype.startsWith ( searchString, position )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let isRegExp be IsRegExp(searchString).</li>
+<li>If isRegExp is true, throw a TypeError exception.</li>
+<li>Let searchStr be ToString(searchString).</li>
+<li>Let pos be ToInteger(position).</li>
+<li>Return true if the sequence of code units of searchStr starts at index pos within S.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.endswith">
+<h1>String.prototype.endsWith ( searchString, endPosition )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let isRegExp be IsRegExp(searchString).</li>
+<li>If isRegExp is true, throw a TypeError exception.</li>
+<li>Let searchStr be ToString(searchString).</li>
+<li>If endPosition is undefined, let pos be the length of S; else let pos be ToInteger(endPosition).</li>
+<li>Return true if the sequence of code units of searchStr ends at index pos within S.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.includes">
+<h1>String.prototype.includes ( searchString, position )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let isRegExp be IsRegExp(searchString).</li>
+<li>If isRegExp is true, throw a TypeError exception.</li>
+<li>Let searchStr be ToString(searchString).</li>
+<li>Let pos be ToInteger(position).</li>
+<li>Return true if searchStr occurs as a substring of S at or after index pos.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.normalize">
+<h1>String.prototype.normalize ( form )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>If form is undefined, let f be "NFC"; else let f be ToString(form).</li>
+<li>If f is not one of "NFC", "NFD", "NFKC", or "NFKD", throw a RangeError exception.</li>
+<li>Return the String value that is the result of normalizing S into the normalization form named by f.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-string.prototype.concat">
+<h1>String.prototype.concat ( arg1 )</h1>
+<emu-alg><ol>
+<li>Let O be RequireObjectCoercible(this value).</li>
+<li>Let S be ToString(O).</li>
+<li>Let nextString be ToString(arg1).</li>
+<li>Return the string-concatenation of S and each nextString in order.</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const numberClauses = `
+<emu-clause id="sec-number.prototype.tofixed">
+<h1>Number.prototype.toFixed ( fractionDigits )</h1>
+<emu-alg><ol>
+<li>Let x be thisNumberValue(this value).</li>
+<li>Let f be ToInteger(fractionDigits).</li>
+<li>If f &lt; 0 or f &gt; 100, throw a RangeError exception.</li>
+<li>If x is NaN, return the String "NaN".</li>
+<li>Return the String consisting of the digits of the decimal representation of n / 10<sup>f</sup>.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-number.prototype.toprecision">
+<h1>Number.prototype.toPrecision ( precision )</h1>
+<emu-alg><ol>
+<li>Let x be thisNumberValue(this value).</li>
+<li>If precision is undefined, return ToString(x).</li>
+<li>Let p be ToInteger(precision).</li>
+<li>If p &lt; 1 or p &gt; 100, throw a RangeError exception.</li>
+<li>Return the String containing x represented with p significant digits.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-number.prototype.tostring">
+<h1>Number.prototype.toString ( radix )</h1>
+<emu-alg><ol>
+<li>Let x be thisNumberValue(this value).</li>
+<li>If radix is undefined, let radixNumber be 10; else let radixNumber be ToInteger(radix).</li>
+<li>If radixNumber &lt; 2 or radixNumber &gt; 36, throw a RangeError exception.</li>
+<li>Return the String representation of x using the specified radix.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-number.prototype.toexponential">
+<h1>Number.prototype.toExponential ( fractionDigits )</h1>
+<emu-alg><ol>
+<li>Let x be thisNumberValue(this value).</li>
+<li>Let f be ToInteger(fractionDigits).</li>
+<li>If f &lt; 0 or f &gt; 100, throw a RangeError exception.</li>
+<li>Return the String representing x in decimal exponential notation with f digits after the significand's decimal point.</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const objectClauses = `
+<emu-clause id="sec-object.defineproperty">
+<h1>Object.defineProperty ( O, P, Attributes )</h1>
+<emu-alg><ol>
+<li>If Type(O) is not Object, throw a TypeError exception.</li>
+<li>Let key be ToPropertyKey(P).</li>
+<li>Let desc be ToPropertyDescriptor(Attributes).</li>
+<li>If Attributes is not an object, throw a TypeError exception.</li>
+<li>Perform DefinePropertyOrThrow(O, key, desc); if the property is non-configurable and desc is incompatible, throw a TypeError exception.</li>
+<li>Return O.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-object.freeze">
+<h1>Object.freeze ( O )</h1>
+<emu-alg><ol>
+<li>If Type(O) is not Object, return O.</li>
+<li>Let status be SetIntegrityLevel(O, frozen).</li>
+<li>Return O.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-object.keys">
+<h1>Object.keys ( O )</h1>
+<emu-alg><ol>
+<li>Let obj be ToObject(O).</li>
+<li>Let nameList be EnumerableOwnPropertyNames(obj, key).</li>
+<li>Return CreateArrayFromList(nameList).</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-object.assign">
+<h1>Object.assign ( target, sources )</h1>
+<emu-alg><ol>
+<li>Let to be ToObject(target).</li>
+<li>If sources is undefined or null, return to unchanged.</li>
+<li>For each own enumerable property of each source, perform Set(to, key, value, true).</li>
+<li>Return to.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-object.create">
+<h1>Object.create ( O, Properties )</h1>
+<emu-alg><ol>
+<li>If Type(O) is neither Object nor Null, throw a TypeError exception.</li>
+<li>Let obj be OrdinaryObjectCreate(O).</li>
+<li>If Properties is not undefined, return ObjectDefineProperties(obj, Properties).</li>
+<li>Return obj.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-object.getprototypeof">
+<h1>Object.getPrototypeOf ( O )</h1>
+<emu-alg><ol>
+<li>Let obj be ToObject(O).</li>
+<li>Return obj.[[GetPrototypeOf]]().</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const arrayClauses = `
+<emu-clause id="sec-array-constructor">
+<h1>Array ( len )</h1>
+<emu-alg><ol>
+<li>Let intLen be ToUint32(len).</li>
+<li>If intLen is not equal to ToNumber(len), throw a RangeError exception.</li>
+<li>Return a new Array exotic object with length intLen.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-array.prototype.fill">
+<h1>Array.prototype.fill ( value, start, end )</h1>
+<emu-alg><ol>
+<li>Let O be ToObject(this value).</li>
+<li>Let len be LengthOfArrayLike(O).</li>
+<li>Let relativeStart be ToInteger(start).</li>
+<li>If relativeStart &lt; 0, let k be max(len + relativeStart, 0); else let k be min(relativeStart, len).</li>
+<li>If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).</li>
+<li>Repeat, while k &lt; final, set O[k] to value.</li>
+<li>Return O.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-array.prototype.indexof">
+<h1>Array.prototype.indexOf ( searchElement, fromIndex )</h1>
+<emu-alg><ol>
+<li>Let O be ToObject(this value).</li>
+<li>Let len be LengthOfArrayLike(O).</li>
+<li>Let n be ToInteger(fromIndex).</li>
+<li>If n &ge; len, return -1.</li>
+<li>If n &lt; 0, let k be max(len + n, 0).</li>
+<li>Return the smallest index k at which StrictEquality(searchElement, O[k]) is true, or -1.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-array.prototype.splice">
+<h1>Array.prototype.splice ( start, deleteCount )</h1>
+<emu-alg><ol>
+<li>Let O be ToObject(this value).</li>
+<li>Let len be LengthOfArrayLike(O).</li>
+<li>Let relativeStart be ToInteger(start).</li>
+<li>If relativeStart &lt; 0, let actualStart be max(len + relativeStart, 0).</li>
+<li>Let dc be ToInteger(deleteCount).</li>
+<li>Let actualDeleteCount be min(max(dc, 0), len - actualStart).</li>
+<li>Return an Array containing the deleted elements.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-array.prototype.slice">
+<h1>Array.prototype.slice ( start, end )</h1>
+<emu-alg><ol>
+<li>Let O be ToObject(this value).</li>
+<li>Let len be LengthOfArrayLike(O).</li>
+<li>Let relativeStart be ToInteger(start).</li>
+<li>If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).</li>
+<li>If relativeStart &lt; 0, let k be max(len + relativeStart, 0).</li>
+<li>Return a new Array containing the elements of O from k to final.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-array.prototype.join">
+<h1>Array.prototype.join ( separator )</h1>
+<emu-alg><ol>
+<li>Let O be ToObject(this value).</li>
+<li>Let len be LengthOfArrayLike(O).</li>
+<li>If separator is undefined, let sep be the single-character String ",".</li>
+<li>Else, let sep be ToString(separator).</li>
+<li>Return the String consisting of the string representations of the elements of O separated by occurrences of sep.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-array.from">
+<h1>Array.from ( items, mapfn )</h1>
+<emu-alg><ol>
+<li>If items is undefined or null, throw a TypeError exception.</li>
+<li>If mapfn is undefined, let mapping be false.</li>
+<li>Let arrayLike be ToObject(items).</li>
+<li>Let len be LengthOfArrayLike(arrayLike).</li>
+<li>Return a new Array containing the (possibly mapped) elements of arrayLike.</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const typedArrayClauses = `
+<emu-clause id="sec-typedarray-length">
+<h1>Uint32Array ( length )</h1>
+<emu-alg><ol>
+<li>Let elementLength be ToIndex(length); ToIndex performs ToInteger(length).</li>
+<li>If elementLength &lt; 0, throw a RangeError exception.</li>
+<li>Return AllocateTypedArray with elementLength elements.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-uint8array-length">
+<h1>Uint8Array ( length )</h1>
+<emu-alg><ol>
+<li>Let elementLength be ToIndex(length); ToIndex performs ToInteger(length).</li>
+<li>If elementLength &lt; 0, throw a RangeError exception.</li>
+<li>Return AllocateTypedArray with elementLength elements.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-typedarray.prototype.set">
+<h1>Uint8Array.prototype.set ( source, offset )</h1>
+<emu-alg><ol>
+<li>Let target be the this value.</li>
+<li>Let targetOffset be ToInteger(offset).</li>
+<li>If targetOffset &lt; 0, throw a RangeError exception.</li>
+<li>Let src be ToObject(source); a String source is converted to an array-like of single characters.</li>
+<li>Let srcLength be LengthOfArrayLike(src).</li>
+<li>If srcLength + targetOffset &gt; the target's length, throw a RangeError exception.</li>
+<li>For each element, perform Set(target, k, ToNumber(value)).</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-typedarray.prototype.fill">
+<h1>Uint8Array.prototype.fill ( value, start, end )</h1>
+<emu-alg><ol>
+<li>Let O be the this value.</li>
+<li>Let len be the value of O's length.</li>
+<li>Let numValue be ToNumber(value).</li>
+<li>Let relativeStart be ToInteger(start).</li>
+<li>If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).</li>
+<li>Set each element in the range to numValue.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-dataview.prototype.getuint8">
+<h1>DataView.prototype.getUint8 ( byteOffset )</h1>
+<emu-alg><ol>
+<li>Let v be the this value.</li>
+<li>Let getIndex be ToIndex(byteOffset); ToIndex performs ToInteger(byteOffset).</li>
+<li>If getIndex &lt; 0, throw a RangeError exception.</li>
+<li>If getIndex + 1 &gt; the view's byte length, throw a RangeError exception.</li>
+<li>Return GetViewValue(v, getIndex, Uint8).</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const jsonClauses = `
+<emu-clause id="sec-json.parse">
+<h1>JSON.parse ( text, reviver )</h1>
+<emu-alg><ol>
+<li>Let jsonString be ToString(text).</li>
+<li>If jsonString is not a valid JSON text as specified in ECMA-404, throw a SyntaxError exception.</li>
+<li>Return the ECMAScript value corresponding to the JSON text.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-json.stringify">
+<h1>JSON.stringify ( value, replacer, space )</h1>
+<emu-alg><ol>
+<li>If space is undefined, let gap be the empty String.</li>
+<li>If Type(space) is Number, let sp be min(10, ToInteger(space)).</li>
+<li>If value is undefined, return undefined.</li>
+<li>Return SerializeJSONProperty of value.</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const globalClauses = `
+<emu-clause id="sec-parseint">
+<h1>parseInt ( string, radix )</h1>
+<emu-alg><ol>
+<li>Let inputString be ToString(string).</li>
+<li>Let R be ToInt32(radix).</li>
+<li>If R &lt; 2 or R &gt; 36, return NaN.</li>
+<li>If radix is undefined, let R be 10, or 16 when the string begins with "0x".</li>
+<li>Return the integer value represented by the longest usable prefix of inputString.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-parsefloat">
+<h1>parseFloat ( string )</h1>
+<emu-alg><ol>
+<li>Let inputString be ToString(string).</li>
+<li>Let trimmedString be a substring of inputString with leading white space removed.</li>
+<li>If neither trimmedString nor any prefix of trimmedString satisfies the syntax of a StrDecimalLiteral, return NaN.</li>
+<li>Return the Number value for the longest satisfying prefix.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-eval">
+<h1>eval ( x )</h1>
+<emu-alg><ol>
+<li>If Type(x) is not String, return x.</li>
+<li>Let script be ParseText(x); if the parse fails, throw a SyntaxError exception.</li>
+<li>Return the Completion value of evaluating script.</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-isnan">
+<h1>isNaN ( number )</h1>
+<emu-alg><ol>
+<li>Let num be ToNumber(number).</li>
+<li>If num is NaN, return true.</li>
+<li>Return false.</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const regexpClauses = `
+<emu-clause id="sec-regexp.prototype.exec">
+<h1>RegExp.prototype.exec ( string )</h1>
+<emu-alg><ol>
+<li>Let R be the this value.</li>
+<li>Let S be ToString(string).</li>
+<li>Let lastIndex be ToLength(R.lastIndex); ToLength performs ToInteger(lastIndex).</li>
+<li>Return RegExpBuiltinExec(R, S).</li>
+</ol></emu-alg>
+</emu-clause>
+
+<emu-clause id="sec-regexp.prototype.compile">
+<h1>RegExp.prototype.compile ( pattern, flags )</h1>
+<emu-alg><ol>
+<li>Let O be the this value.</li>
+<li>Let P be ToString(pattern).</li>
+<li>Let F be ToString(flags).</li>
+<li>If the lastIndex property of O is not writable, throw a TypeError exception.</li>
+<li>Return RegExpInitialize(O, P, F) and set lastIndex to 0.</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+const dateClauses = `
+<emu-clause id="sec-date.prototype.settime">
+<h1>Date.prototype.setTime ( time )</h1>
+<emu-alg><ol>
+<li>Let t be thisTimeValue(this value).</li>
+<li>Let v be TimeClip(ToNumber(time)).</li>
+<li>Set the [[DateValue]] internal slot of this Date object to v.</li>
+<li>Return v.</li>
+</ol></emu-alg>
+</emu-clause>
+`
+
+// proseClauses are defined in natural language only — the extractor cannot
+// mine them, mirroring the ~18% of ECMA-262 rules the paper's parser misses.
+const proseClauses = `
+<emu-clause id="sec-function.prototype.bind">
+<h1>Function.prototype.bind ( thisArg, args )</h1>
+<p>The bind method creates a new bound function. When the bound function is
+called, it calls the wrapped function with the given this value and the
+bound arguments prepended to the call arguments. The bound function does
+not have a prototype property.</p>
+</emu-clause>
+
+<emu-clause id="sec-array.prototype.sort">
+<h1>Array.prototype.sort ( comparefn )</h1>
+<p>The elements of this array are sorted. The sort must be stable for
+elements that compare equal. When comparefn is undefined, elements are
+compared by the lexicographic order of their ToString values. Undefined
+elements are always sorted to the end of the result.</p>
+</emu-clause>
+
+<emu-clause id="sec-object.prototype.tostring-prose">
+<h1>Object.prototype.toString ( )</h1>
+<p>When called with an undefined this value the result is the string
+"[object Undefined]"; with null it is "[object Null]"; otherwise the result
+is composed from the object's builtin tag.</p>
+</emu-clause>
+
+<emu-clause id="sec-math.max-prose">
+<h1>Math.max ( values )</h1>
+<p>Given zero or more arguments, returns the largest of the resulting
+ToNumber conversions. If any value is NaN, the result is NaN. The
+comparison is performed with -0 considered smaller than +0. With no
+arguments the result is -Infinity.</p>
+</emu-clause>
+
+<emu-clause id="sec-functionname-prose">
+<h1>Function name binding</h1>
+<p>Within the body of a named function expression, the function's own name
+is bound as an immutable binding. In sloppy mode assignments to that name
+are silently ignored; in strict mode they throw a TypeError.</p>
+</emu-clause>
+
+<emu-clause id="sec-strictmode-prose">
+<h1>Strict mode semantics</h1>
+<p>In strict mode code, assignments to undeclared identifiers throw a
+ReferenceError rather than creating a global property; assignments to
+non-writable properties throw a TypeError; legacy octal numeric literals
+are syntax errors; and duplicate formal parameter names are not permitted.</p>
+</emu-clause>
+
+<emu-clause id="sec-forstatement-prose">
+<h1>The for statement</h1>
+<p>A for statement must contain a loop body statement. A for header whose
+closing parenthesis is immediately followed by the end of the enclosing
+script is a SyntaxError, including when the source text is evaluated by
+eval.</p>
+</emu-clause>
+`

@@ -1,0 +1,308 @@
+package spec
+
+import (
+	"regexp"
+	"strings"
+)
+
+// The extractor mirrors the paper's Section 3.1 pipeline: an HTML content
+// analysis pass (the Tika substitute) locates each function clause and its
+// numbered algorithm steps; hand-written regular expressions then mine the
+// initialisation and boundary-condition rules.
+
+// Clause is one extracted specification clause before rule mining.
+type Clause struct {
+	ID        string
+	Signature string   // e.g. "String.prototype.substr ( start, length )"
+	Steps     []string // numbered pseudo-code steps (empty for prose clauses)
+	Prose     string   // prose body for natural-language clauses
+}
+
+var (
+	clauseRe = regexp.MustCompile(`(?s)<emu-clause id="([^"]+)">\s*<h1>([^<]+)</h1>(.*?)</emu-clause>`)
+	stepRe   = regexp.MustCompile(`(?s)<li>(.*?)</li>`)
+	tagRe    = regexp.MustCompile(`<[^>]+>`)
+	wsRe     = regexp.MustCompile(`\s+`)
+)
+
+// ExtractClauses performs the structural pass over the HTML document.
+func ExtractClauses(html string) []Clause {
+	var out []Clause
+	for _, m := range clauseRe.FindAllStringSubmatch(html, -1) {
+		c := Clause{ID: m[1], Signature: cleanText(m[2])}
+		body := m[3]
+		if strings.Contains(body, "<emu-alg>") {
+			for _, sm := range stepRe.FindAllStringSubmatch(body, -1) {
+				c.Steps = append(c.Steps, cleanText(sm[1]))
+			}
+		} else {
+			c.Prose = cleanText(body)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// cleanText is the Tika substitute: strip tags, decode the entities the
+// document uses, and normalise whitespace.
+func cleanText(s string) string {
+	s = tagRe.ReplaceAllString(s, "")
+	replacements := [][2]string{
+		{"&lt;", "<"}, {"&gt;", ">"}, {"&le;", "<="}, {"&ge;", ">="},
+		{"&infin;", "Infinity"}, {"&amp;", "&"}, {"&quot;", "\""},
+	}
+	for _, r := range replacements {
+		s = strings.ReplaceAll(s, r[0], r[1])
+	}
+	return strings.TrimSpace(wsRe.ReplaceAllString(s, " "))
+}
+
+// signatureRe parses "Name ( p1, p2 )" headings.
+var signatureRe = regexp.MustCompile(`^([\w.$]+)\s*\(\s*([^)]*)\)`)
+
+// Rule-mining regular expressions (the paper's `^Let $Var be $Func$` family).
+var (
+	letConvRe   = regexp.MustCompile(`[Ll]et (\w+) be To(\w+)\((\w+)\)`)
+	undefinedRe = regexp.MustCompile(`If (\w+) is undefined`)
+	ltZeroRe    = regexp.MustCompile(`If (\w+) < 0`)
+	cmpRe       = regexp.MustCompile(`If (\w+) (<|>|<=|>=) (-?\d+)(?: or (\w+) (<|>|<=|>=) (-?\d+))?, throw a (\w+) exception`)
+	isNaNRe     = regexp.MustCompile(`If (\w+) is NaN`)
+	isInfRe     = regexp.MustCompile(`If (\w+) is \+?Infinity`)
+	notObjRe    = regexp.MustCompile(`If (?:Type\((\w+)\) is not Object|(\w+) is not an object), throw a TypeError`)
+	regexpArgRe = regexp.MustCompile(`Let isRegExp be IsRegExp\((\w+)\)`)
+	nullishRe   = regexp.MustCompile(`If (\w+) is undefined or null`)
+	notStringRe = regexp.MustCompile(`If Type\((\w+)\) is not String, return`)
+)
+
+// mineParam accumulates extracted knowledge about one parameter.
+type minedParam struct {
+	typ        string
+	conditions []string
+	scopes     []int
+	extras     []string // extra boundary literals from numeric comparisons
+}
+
+// MineRules applies the regex rule set to a clause, producing the API rule
+// of Figure 4, or ok=false for clauses the extractor cannot mine (prose
+// definitions, parameterless clauses).
+func MineRules(c Clause) (APIRule, bool) {
+	if len(c.Steps) == 0 {
+		return APIRule{}, false
+	}
+	sig := signatureRe.FindStringSubmatch(c.Signature)
+	if sig == nil {
+		return APIRule{}, false
+	}
+	name := sig[1]
+	var params []string
+	for _, p := range strings.Split(sig[2], ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			params = append(params, p)
+		}
+	}
+	if len(params) == 0 {
+		return APIRule{}, false
+	}
+	mined := map[string]*minedParam{}
+	for _, p := range params {
+		mined[p] = &minedParam{}
+	}
+	get := func(n string) *minedParam {
+		if m, ok := mined[n]; ok {
+			return m
+		}
+		return nil
+	}
+	for i, step := range c.Steps {
+		for _, m := range letConvRe.FindAllStringSubmatch(step, -1) {
+			if p := get(m[3]); p != nil && p.typ == "" {
+				p.typ = convTypeName(m[2])
+			}
+		}
+		for _, m := range undefinedRe.FindAllStringSubmatch(step, -1) {
+			if p := get(m[1]); p != nil {
+				p.conditions = append(p.conditions, m[1]+" === undefined")
+			}
+		}
+		for _, m := range nullishRe.FindAllStringSubmatch(step, -1) {
+			if p := get(m[1]); p != nil {
+				p.conditions = append(p.conditions, m[1]+" == null")
+			}
+		}
+		for _, m := range ltZeroRe.FindAllStringSubmatch(step, -1) {
+			// The `< 0` subject is often a derived variable (intStart);
+			// attribute it to the parameter it was converted from.
+			if p := findSourceParam(c.Steps[:i+1], m[1], mined); p != nil {
+				p.conditions = append(p.conditions, m[1]+" < 0")
+				p.scopes = append(p.scopes, 0)
+			}
+		}
+		for _, m := range cmpRe.FindAllStringSubmatch(step, -1) {
+			if p := findSourceParam(c.Steps[:i+1], m[1], mined); p != nil {
+				p.conditions = append(p.conditions, m[1]+" "+m[2]+" "+m[3]+" -> "+m[7])
+				p.extras = append(p.extras, boundaryNeighbours(m[3])...)
+			}
+			if m[4] != "" {
+				if p := findSourceParam(c.Steps[:i+1], m[4], mined); p != nil {
+					p.conditions = append(p.conditions, m[4]+" "+m[5]+" "+m[6]+" -> "+m[7])
+					p.extras = append(p.extras, boundaryNeighbours(m[6])...)
+				}
+			}
+		}
+		for _, m := range isNaNRe.FindAllStringSubmatch(step, -1) {
+			if p := findSourceParam(c.Steps[:i+1], m[1], mined); p != nil {
+				p.conditions = append(p.conditions, "isNaN("+m[1]+")")
+			}
+		}
+		for _, m := range isInfRe.FindAllStringSubmatch(step, -1) {
+			if p := findSourceParam(c.Steps[:i+1], m[1], mined); p != nil {
+				p.conditions = append(p.conditions, m[1]+" === Infinity")
+			}
+		}
+		for _, m := range notObjRe.FindAllStringSubmatch(step, -1) {
+			pname := m[1]
+			if pname == "" {
+				pname = m[2]
+			}
+			if p := get(pname); p != nil {
+				p.typ = "object"
+				p.conditions = append(p.conditions, "Type("+pname+") !== Object -> TypeError")
+			}
+		}
+		for _, m := range regexpArgRe.FindAllStringSubmatch(step, -1) {
+			if p := get(m[1]); p != nil {
+				p.conditions = append(p.conditions, "IsRegExp("+m[1]+") -> TypeError")
+			}
+		}
+		for _, m := range notStringRe.FindAllStringSubmatch(step, -1) {
+			if p := get(m[1]); p != nil {
+				p.typ = "any"
+				p.conditions = append(p.conditions, "typeof "+m[1]+" !== 'string' -> identity")
+			}
+		}
+	}
+	rule := APIRule{Name: name}
+	for _, pn := range params {
+		m := mined[pn]
+		typ := m.typ
+		if typ == "" {
+			typ = "any"
+		}
+		rule.Params = append(rule.Params, ParamRule{
+			Name:       pn,
+			Type:       typ,
+			Values:     boundaryValues(typ, m.conditions, m.extras),
+			Scopes:     m.scopes,
+			Conditions: m.conditions,
+		})
+	}
+	return rule, true
+}
+
+// findSourceParam maps a derived variable (e.g. intStart) back to the
+// parameter it was converted from via an earlier `Let X be ToY(param)` step,
+// falling back to a direct parameter-name match.
+func findSourceParam(steps []string, varName string, mined map[string]*minedParam) *minedParam {
+	if p, ok := mined[varName]; ok {
+		return p
+	}
+	for _, step := range steps {
+		for _, m := range letConvRe.FindAllStringSubmatch(step, -1) {
+			if m[1] == varName {
+				if p, ok := mined[m[3]]; ok {
+					return p
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// convTypeName maps a To* abstract operation to the Figure-4 type label.
+func convTypeName(op string) string {
+	switch op {
+	case "Integer", "Int32", "Uint32", "Length", "Index", "IntegerOrInfinity":
+		return "integer"
+	case "Number":
+		return "number"
+	case "String", "PropertyKey":
+		return "string"
+	case "Boolean":
+		return "boolean"
+	case "Object", "PropertyDescriptor":
+		return "object"
+	default:
+		return "any"
+	}
+}
+
+// boundaryNeighbours yields the literals adjacent to a numeric bound (the
+// classic off-by-one probes).
+func boundaryNeighbours(bound string) []string {
+	switch bound {
+	case "0":
+		return []string{"0", "-1", "1"}
+	case "100":
+		return []string{"100", "101", "99"}
+	case "36":
+		return []string{"36", "37", "2", "1"}
+	case "2":
+		return []string{"2", "1", "37"}
+	case "1":
+		return []string{"1", "0", "101"}
+	default:
+		return []string{bound}
+	}
+}
+
+// boundaryValues synthesises the Figure-4 "values" list for a parameter.
+// Condition-derived probes lead the list (Figure 4(b) puts "undefined"
+// first for substr's length) so tight mutation budgets still hit them,
+// followed by the numeric boundary neighbours, then the generic type probes.
+func boundaryValues(typ string, conditions []string, extras []string) []string {
+	var vals []string
+	for _, c := range conditions {
+		if strings.Contains(c, "undefined") {
+			vals = append(vals, "undefined")
+		}
+		if strings.Contains(c, "IsRegExp") {
+			vals = append(vals, "/a/")
+		}
+		if strings.Contains(c, "== null") {
+			vals = append(vals, "null")
+		}
+		if strings.Contains(c, "< 0") {
+			vals = append(vals, "-1")
+		}
+		if strings.Contains(c, "isNaN") {
+			vals = append(vals, "NaN")
+		}
+	}
+	vals = append(vals, extras...)
+	switch typ {
+	case "integer", "number":
+		vals = append(vals, "1", "-1", "NaN", "0", "Infinity", "-Infinity", "3.14", "4294967296")
+	case "string":
+		vals = append(vals, `""`, `"a"`, `"0"`, `"Name: Albert"`, `" "`)
+	case "boolean":
+		vals = append(vals, "true", "false")
+	case "object":
+		vals = append(vals, "null", "{}", "[]", `"s"`, "5")
+	default:
+		vals = append(vals, "undefined", "null", "0", `""`, "true", "NaN")
+	}
+	return dedupeStrings(vals)
+}
+
+func dedupeStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExtractClauses(t *testing.T) {
+	clauses := ExtractClauses(Document)
+	if len(clauses) < 40 {
+		t.Fatalf("expected at least 40 clauses, got %d", len(clauses))
+	}
+	var substr *Clause
+	for i := range clauses {
+		if clauses[i].ID == "sec-string.prototype.substr" {
+			substr = &clauses[i]
+		}
+	}
+	if substr == nil {
+		t.Fatal("substr clause not found")
+	}
+	if len(substr.Steps) != 12 {
+		t.Errorf("substr steps: got %d want 12", len(substr.Steps))
+	}
+	if !strings.Contains(substr.Steps[3], "Let intStart be ToInteger(start)") {
+		t.Errorf("unexpected step 4: %q", substr.Steps[3])
+	}
+}
+
+// TestSubstrRuleMatchesFigure4 checks the paper's Figure-4 walkthrough: the
+// substr rules must mark start as an integer with a `< 0` boundary scope,
+// and length as an integer with an `=== undefined` condition.
+func TestSubstrRuleMatchesFigure4(t *testing.T) {
+	db := Default()
+	rules, ok := db.Lookup("String.prototype.substr")
+	if !ok {
+		t.Fatal("substr not in database")
+	}
+	if len(rules) != 2 {
+		t.Fatalf("substr params: got %d want 2", len(rules))
+	}
+	start, length := rules[0], rules[1]
+	if start.Name != "start" || start.Type != "integer" {
+		t.Errorf("start rule: %+v", start)
+	}
+	if len(start.Scopes) == 0 || start.Scopes[0] != 0 {
+		t.Errorf("start scopes: %v", start.Scopes)
+	}
+	hasCond := func(p ParamRule, sub string) bool {
+		for _, c := range p.Conditions {
+			if strings.Contains(c, sub) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasCond(start, "< 0") {
+		t.Errorf("start conditions missing '< 0': %v", start.Conditions)
+	}
+	if length.Name != "length" || length.Type != "integer" {
+		t.Errorf("length rule: %+v", length)
+	}
+	if !hasCond(length, "undefined") {
+		t.Errorf("length conditions missing undefined: %v", length.Conditions)
+	}
+	hasVal := func(p ParamRule, v string) bool {
+		for _, x := range p.Values {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range []string{"NaN", "0", "Infinity", "-Infinity"} {
+		if !hasVal(start, v) {
+			t.Errorf("start values missing %s: %v", v, start.Values)
+		}
+	}
+	if !hasVal(length, "undefined") {
+		t.Errorf("length values missing undefined: %v", length.Values)
+	}
+}
+
+func TestRangeErrorBoundsMined(t *testing.T) {
+	db := Default()
+	rules, ok := db.Lookup("Number.prototype.toFixed")
+	if !ok {
+		t.Fatal("toFixed not in database")
+	}
+	found := false
+	for _, c := range rules[0].Conditions {
+		if strings.Contains(c, "RangeError") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("toFixed should mine the RangeError bounds: %v", rules[0].Conditions)
+	}
+	// Boundary neighbours of the 0..100 range must be probed.
+	want := map[string]bool{"-1": false, "101": false}
+	for _, v := range rules[0].Values {
+		if _, ok := want[v]; ok {
+			want[v] = true
+		}
+	}
+	for v, seen := range want {
+		if !seen {
+			t.Errorf("toFixed values missing boundary %s: %v", v, rules[0].Values)
+		}
+	}
+}
+
+func TestCoverageRateMatchesPaper(t *testing.T) {
+	db := Default()
+	rate := db.CoverageRate()
+	// The paper reports ~82% of API/object rules extracted; our document is
+	// constructed with a similar pseudo-code/prose mix.
+	if rate < 0.70 || rate > 0.95 {
+		t.Errorf("extraction coverage %0.2f out of the expected band [0.70, 0.95]", rate)
+	}
+	if db.MinedClauses < 30 {
+		t.Errorf("too few mined clauses: %d", db.MinedClauses)
+	}
+}
+
+func TestLookupMethod(t *testing.T) {
+	db := Default()
+	key, rules, ok := db.LookupMethod("substr")
+	if !ok || key != "String.prototype.substr" || len(rules) != 2 {
+		t.Errorf("LookupMethod(substr) = %q, %d rules, %v", key, len(rules), ok)
+	}
+	if _, _, ok := db.LookupMethod("definitelyNotAnAPI"); ok {
+		t.Error("LookupMethod should fail for unknown methods")
+	}
+	if key, _, ok := db.LookupMethod("parseInt"); !ok || key != "parseInt" {
+		t.Errorf("LookupMethod(parseInt) = %q, %v", key, ok)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	db := Default()
+	data, err := json.Marshal(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re DB
+	if err := json.Unmarshal(data, &re); err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Rules) != len(db.Rules) {
+		t.Errorf("round trip lost rules: %d vs %d", len(re.Rules), len(db.Rules))
+	}
+	rules, ok := re.Lookup("String.prototype.substr")
+	if !ok || len(rules) != 2 || rules[1].Name != "length" {
+		t.Errorf("round-tripped substr rules wrong: %v", rules)
+	}
+}
+
+func TestProseClausesNotMined(t *testing.T) {
+	db := Default()
+	if _, ok := db.Lookup("Function.prototype.bind"); ok {
+		t.Error("prose-only clause should not be mined")
+	}
+	if _, ok := db.Lookup("Array.prototype.sort"); ok {
+		t.Error("prose-only sort clause should not be mined")
+	}
+}

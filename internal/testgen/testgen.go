@@ -1,0 +1,219 @@
+// Package testgen implements Algorithm 1 of the paper: ECMA-262-guided
+// test data generation. For every API call in a test program it looks up
+// the specification database, associates arguments with their defining
+// variable declarations by traversing the program's data flow, and emits
+// mutated programs whose inputs probe the mined boundary conditions.
+package testgen
+
+import (
+	"math/rand"
+
+	"comfort/internal/js/ast"
+	"comfort/internal/js/parser"
+	"comfort/internal/spec"
+)
+
+// MutationPoint is one (API, argument) site eligible for data mutation.
+type MutationPoint struct {
+	API      string // canonical spec key
+	CallID   int    // node ID of the call expression
+	ArgIndex int
+	// DeclName is set when the argument is an identifier defined by a
+	// variable declaration — the data-flow association of Algorithm 1
+	// line 8; mutation then rewrites the declaration initialiser.
+	DeclName string
+	Values   []string
+}
+
+// FindMutationPoints parses src and locates every API call covered by the
+// database.
+func FindMutationPoints(src string, db *spec.DB) ([]MutationPoint, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// Data-flow map: variable name → declared-by-var-decl.
+	declared := map[string]bool{}
+	ast.Walk(prog, func(n ast.Node) bool {
+		if vd, ok := n.(*ast.VarDecl); ok {
+			for _, d := range vd.Decls {
+				declared[d.Name] = true
+			}
+		}
+		return true
+	})
+	var points []MutationPoint
+	ast.Walk(prog, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var key string
+		var rules []spec.ParamRule
+		switch callee := call.Callee.(type) {
+		case *ast.MemberExpr:
+			if callee.Computed {
+				return true
+			}
+			key, rules, ok = db.LookupMethod(callee.Name)
+		case *ast.Ident:
+			rules, ok = db.Lookup(callee.Name)
+			key = callee.Name
+		default:
+			return true
+		}
+		if !ok {
+			return true
+		}
+		for i, rule := range rules {
+			if len(rule.Values) == 0 {
+				continue
+			}
+			mp := MutationPoint{API: key, CallID: call.ID(), ArgIndex: i, Values: rule.Values}
+			if i < len(call.Args) {
+				if id, isIdent := call.Args[i].(*ast.Ident); isIdent && declared[id.Name] {
+					mp.DeclName = id.Name
+				}
+			}
+			points = append(points, mp)
+		}
+		return true
+	})
+	return points, nil
+}
+
+// Variant is one mutated test case.
+type Variant struct {
+	Source string
+	API    string
+	Value  string
+}
+
+// Options bounds the mutation fan-out.
+type Options struct {
+	// MaxVariants caps the number of emitted test cases per program.
+	MaxVariants int
+	// RandomExtra adds this many random-value mutations per point on top of
+	// the boundary values ("normal conditions" in Algorithm 1).
+	RandomExtra int
+}
+
+// randomLiterals are the "normal condition" values of Algorithm 1.
+var randomLiterals = []string{
+	"42", "-7", "0.5", "1e6", `"fuzz"`, `"0"`, "true", "false", "[]", "{}",
+	"null", `" "`, "255", "-0.0",
+}
+
+// Mutate implements Algorithm 1: it returns test-case variants of src with
+// boundary-condition and random argument data.
+func Mutate(src string, db *spec.DB, rng *rand.Rand, opts Options) []Variant {
+	if opts.MaxVariants == 0 {
+		opts.MaxVariants = 12
+	}
+	// Driver synthesis first: uncalled functions get Figure-2-style
+	// harnesses whose parameter values carry the boundary probes.
+	drivers := synthesizeDrivers(src, db, rng, opts.MaxVariants)
+	points, err := FindMutationPoints(src, db)
+	if err != nil || (len(points) == 0 && len(drivers) == 0) {
+		return drivers
+	}
+	// Build the candidate set. Each argument's top-priority probe — the
+	// condition-derived value that leads its Figure-4 list — is emitted
+	// unconditionally; the remaining boundary and random values are sampled
+	// without replacement under the variant budget.
+	type cand struct {
+		p   MutationPoint
+		val string
+	}
+	var priority, rest []cand
+	for _, p := range points {
+		for i, val := range p.Values {
+			if i == 0 {
+				priority = append(priority, cand{p, val})
+			} else {
+				rest = append(rest, cand{p, val})
+			}
+		}
+		for i := 0; i < opts.RandomExtra; i++ {
+			rest = append(rest, cand{p, randomLiterals[rng.Intn(len(randomLiterals))]})
+		}
+	}
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	// Drivers and in-place mutations share the budget, drivers first: they
+	// both exercise the API and make the function's result observable.
+	out := drivers
+	if len(out) > opts.MaxVariants/2+1 {
+		out = out[:opts.MaxVariants/2+1]
+	}
+	for _, c := range append(priority, rest...) {
+		if len(out) >= opts.MaxVariants {
+			break
+		}
+		mutated, ok := applyMutation(src, c.p, c.val)
+		if ok && mutated != src {
+			out = append(out, Variant{Source: mutated, API: c.p.API, Value: c.val})
+		}
+	}
+	return out
+}
+
+// applyMutation rewrites one argument (or its defining declaration) to the
+// literal value and prints the program back to source.
+func applyMutation(src string, p MutationPoint, value string) (string, bool) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	lit, err := parser.ParseExprString(value)
+	if err != nil {
+		return "", false
+	}
+	changed := false
+	if p.DeclName != "" {
+		// Rewrite the variable declaration initialiser (data-flow path).
+		ast.Walk(prog, func(n ast.Node) bool {
+			vd, ok := n.(*ast.VarDecl)
+			if !ok || changed {
+				return !changed
+			}
+			for i := range vd.Decls {
+				if vd.Decls[i].Name == p.DeclName {
+					vd.Decls[i].Init = lit
+					changed = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if !changed {
+		// Rewrite the call argument in place.
+		ast.Walk(prog, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || changed {
+				return !changed
+			}
+			if call.ID() == p.CallID {
+				for len(call.Args) <= p.ArgIndex {
+					pad, err := parser.ParseExprString("undefined")
+					if err != nil {
+						return false
+					}
+					call.Args = append(call.Args, pad)
+				}
+				call.Args[p.ArgIndex] = lit
+				changed = true
+				return false
+			}
+			return true
+		})
+	}
+	if !changed {
+		return "", false
+	}
+	printed := ast.Print(prog)
+	if _, err := parser.Parse(printed); err != nil {
+		return "", false
+	}
+	return printed, true
+}

@@ -226,6 +226,26 @@ func BenchmarkAblationReduction(b *testing.B) {
 	fmt.Println(out)
 }
 
+// BenchmarkCampaignThroughput measures testbed executions per second on a
+// full-testbed campaign — the scheduler's headline metric (EXPERIMENTS.md
+// records the seed-path baseline against the prepared-testbed + parse-cache
+// + behaviour-class pipeline).
+func BenchmarkCampaignThroughput(b *testing.B) {
+	var executed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := campaign.Run(campaign.Config{
+			Fuzzer:   fuzzers.NewComfort(),
+			Testbeds: engines.Testbeds(),
+			Cases:    120,
+			Seed:     2021,
+			Workers:  8,
+		})
+		executed += int64(res.Executed)
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+}
+
 // --- micro-benchmarks of the substrate ---
 
 func BenchmarkInterpreterPipeline(b *testing.B) {

@@ -7,6 +7,7 @@
 //	comfort -table 2 -cases 500         # one table
 //	comfort -figure 8 -cases 300        # fuzzer comparison
 //	comfort -figure 9 -n 200            # quality metrics
+//	comfort -cases 2000 -workers 16     # wider scheduler pool
 package main
 
 import (
@@ -21,14 +22,28 @@ import (
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
-		figure = flag.Int("figure", 0, "regenerate one figure (7-9); 0 = all")
-		cases  = flag.Int("cases", 600, "test-case budget for campaigns")
-		n      = flag.Int("n", 150, "programs per fuzzer for figure 9")
-		seed   = flag.Int64("seed", 2021, "campaign seed")
-		fuzzer = flag.String("fuzzer", "COMFORT", "fuzzer for single-fuzzer campaigns")
+		table    = flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
+		figure   = flag.Int("figure", 0, "regenerate one figure (7-9); 0 = all")
+		cases    = flag.Int("cases", 600, "test-case budget for campaigns")
+		n        = flag.Int("n", 150, "programs per fuzzer for figure 9")
+		seed     = flag.Int64("seed", 2021, "campaign seed")
+		fuzzer   = flag.String("fuzzer", "COMFORT", "fuzzer for single-fuzzer campaigns")
+		workers  = flag.Int("workers", 0, "scheduler worker pool size; 0 = default")
+		fuel     = flag.Int64("fuel", 0, "interpreter step budget per execution; 0 = default")
+		progress = flag.Bool("progress", false, "print campaign progress to stderr")
 	)
 	flag.Parse()
+
+	// base carries the scheduler options every campaign in this invocation
+	// shares (including the per-fuzzer campaigns behind -figure 8).
+	base := campaign.Config{Workers: *workers, Fuel: *fuel}
+	if *progress {
+		base.Progress = func(done, total int) {
+			if done%100 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "  %d/%d cases\n", done, total)
+			}
+		}
+	}
 
 	needCampaign := *table >= 2 || *figure == 7 ||
 		(*table == 0 && *figure == 0)
@@ -41,12 +56,12 @@ func main() {
 		}
 		fmt.Printf("running %s campaign: %d cases over %d testbeds...\n\n",
 			f.Name(), *cases, len(engines.Testbeds()))
-		res = campaign.Run(campaign.Config{
-			Fuzzer:   f,
-			Testbeds: engines.Testbeds(),
-			Cases:    *cases,
-			Seed:     *seed,
-		})
+		cfg := base
+		cfg.Fuzzer = f
+		cfg.Testbeds = engines.Testbeds()
+		cfg.Cases = *cases
+		cfg.Seed = *seed
+		res = campaign.Run(cfg)
 		fmt.Printf("campaign done: %d cases, %d findings, %d duplicates filtered\n\n",
 			res.CasesRun, len(res.Found), res.DuplicatesFiltered)
 	}
@@ -55,29 +70,27 @@ func main() {
 		found = res.FoundDefects()
 	}
 
-	show := func(id int, render func() string) {
-		fmt.Println(render())
+	// show renders one artifact when it is selected (-table/-figure id) or
+	// when no specific selection was made.
+	all := *table == 0 && *figure == 0
+	showTable := func(id int, render func() string) {
+		if *table == id || all {
+			fmt.Println(render())
+		}
 	}
-	if *table == 1 || (*table == 0 && *figure == 0) {
-		show(1, campaign.Table1)
+	showFigure := func(id int, render func() string) {
+		if *figure == id || all {
+			fmt.Println(render())
+		}
 	}
-	if *table == 2 || (*table == 0 && *figure == 0) {
-		show(2, func() string { return campaign.Table2(found) })
-	}
-	if *table == 3 || (*table == 0 && *figure == 0) {
-		show(3, func() string { return campaign.Table3(found) })
-	}
-	if *table == 4 || (*table == 0 && *figure == 0) {
-		show(4, func() string { return campaign.Table4(found) })
-	}
-	if *table == 5 || (*table == 0 && *figure == 0) {
-		show(5, func() string { return campaign.Table5(found) })
-	}
-	if *figure == 7 || (*table == 0 && *figure == 0) {
-		show(7, func() string { return campaign.Figure7(found) })
-	}
+	showTable(1, campaign.Table1)
+	showTable(2, func() string { return campaign.Table2(found) })
+	showTable(3, func() string { return campaign.Table3(found) })
+	showTable(4, func() string { return campaign.Table4(found) })
+	showTable(5, func() string { return campaign.Table5(found) })
+	showFigure(7, func() string { return campaign.Figure7(found) })
 	if *figure == 8 {
-		out, _ := campaign.Figure8(*cases, *seed)
+		out, _ := campaign.Figure8With(base, *cases, *seed)
 		fmt.Println(out)
 	}
 	if *figure == 9 {

@@ -17,7 +17,11 @@
 //   - internal/lm        — BPE + long-context language model (the GPT-2
 //     substitute) and the short-context baseline
 //   - internal/fuzzers   — COMFORT plus the five baseline fuzzers
-//   - internal/campaign  — differential-testing campaigns and the
+//   - internal/exec      — the execution scheduler: prepared testbeds,
+//     behaviour-class sharing, a parse-once cache and a streaming
+//     (case × testbed) worker pool
+//   - internal/campaign  — differential-testing campaigns (a fuzzer →
+//     scheduler → classify → dedup/attribute pipeline) and the
 //     table/figure generators
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for
@@ -44,12 +48,17 @@ type (
 	Version = engines.Version
 	// Testbed is an engine version in normal or strict mode.
 	Testbed = engines.Testbed
+	// PreparedTestbed is a testbed with its defect set, hook chain and
+	// option deltas resolved once (the per-execution fast path).
+	PreparedTestbed = engines.PreparedTestbed
 	// Defect is a seeded conformance bug with its triage ground truth.
 	Defect = engines.Defect
 	// ExecResult is the observable behaviour of one testbed run.
 	ExecResult = engines.ExecResult
 	// CaseResult is a differential-testing outcome (Figure 5).
 	CaseResult = difftest.CaseResult
+	// ExecEntry pairs one testbed with its observed behaviour on a case.
+	ExecEntry = difftest.ExecEntry
 	// Fuzzer generates test cases (COMFORT or a baseline).
 	Fuzzer = fuzzers.Fuzzer
 	// CampaignConfig parameterises a fuzzing campaign.
@@ -74,6 +83,21 @@ func Catalog() []*Defect { return engines.Catalog() }
 func RunTestbed(tb Testbed, src string, fuel, seed int64) ExecResult {
 	return tb.Run(src, engines.RunOptions{Fuel: fuel, Seed: seed})
 }
+
+// PrepareTestbed resolves a testbed's constant state (active defects, hook
+// chain, parser options) once; the result is memoised per version×mode and
+// its Run avoids the per-execution catalog scan.
+func PrepareTestbed(tb Testbed) *PreparedTestbed { return tb.Prepare() }
+
+// ExecuteCase runs src on every testbed and returns the raw per-testbed
+// entries (parse and behaviour-class sharing applied).
+func ExecuteCase(src string, testbeds []Testbed, fuel, seed int64) []ExecEntry {
+	return difftest.Execute(src, testbeds, difftest.Options{Fuel: fuel, Seed: seed})
+}
+
+// ClassifyCase applies the pure Figure-5 classification to a set of
+// executions (no testbed runs).
+func ClassifyCase(entries []ExecEntry) CaseResult { return difftest.Classify(entries) }
 
 // RunReference executes src on the defect-free reference engine.
 func RunReference(src string, strict bool, fuel, seed int64) ExecResult {

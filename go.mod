@@ -1,0 +1,3 @@
+module comfort
+
+go 1.22

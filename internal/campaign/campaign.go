@@ -6,12 +6,13 @@
 package campaign
 
 import (
+	"context"
 	"math/rand"
-	"sync"
 
 	"comfort/internal/dedup"
 	"comfort/internal/difftest"
 	"comfort/internal/engines"
+	"comfort/internal/exec"
 	"comfort/internal/fuzzers"
 	"comfort/internal/reduce"
 	"comfort/internal/spec"
@@ -31,6 +32,13 @@ type Config struct {
 	ReduceWitnesses bool
 	// DisableDedup turns the Figure-6 filter off (ablation).
 	DisableDedup bool
+	// Context cancels the campaign early; Run returns the findings
+	// accounted so far. Nil means context.Background().
+	Context context.Context
+	// Progress, when non-nil, is called from the accounting goroutine after
+	// each case is classified and accounted (done counts cases, total is
+	// the configured budget).
+	Progress func(done, total int)
 }
 
 // Finding is one unique discovered bug, attributed to its seeded defect.
@@ -49,8 +57,13 @@ type Defect = engines.Defect
 type Result struct {
 	FuzzerName string
 	CasesRun   int
-	Executed   int // testbed executions
-	Verdicts   map[difftest.Verdict]int
+	// Executed counts delivered testbed results — the (case × testbed)
+	// grid. The scheduler's behaviour-class sharing may satisfy several
+	// testbeds with one physical interpreter run (see internal/exec), so
+	// this measures differential-testing coverage, not interpreter
+	// invocations.
+	Executed int
+	Verdicts map[difftest.Verdict]int
 	// Found maps defect ID → finding for every ground-truth defect the
 	// campaign discovered.
 	Found map[string]*Finding
@@ -70,16 +83,28 @@ func (r *Result) FoundDefects() []*Defect {
 	return out
 }
 
-// Run executes the campaign.
+// Run executes the campaign as a streaming pipeline: a fuzzer stage
+// generates cases sequentially (the RNG is the determinism anchor), the
+// exec scheduler runs the (case × testbed) grid over a bounded worker pool
+// with a parse-once cache, and this goroutine — the sink — classifies,
+// deduplicates and attributes findings as outcomes stream in. Outcomes
+// arrive in case order and all accounting is single-threaded, so the
+// result is independent of the worker count. Findings are accounted
+// incrementally: memory stays bounded by the scheduler's in-flight window
+// rather than the campaign's case budget.
 func Run(cfg Config) *Result {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
 	}
 	if cfg.Fuel == 0 {
-		cfg.Fuel = 200000
+		cfg.Fuel = difftest.DefaultFuel
 	}
 	if len(cfg.Testbeds) == 0 {
 		cfg.Testbeds = engines.LatestTestbeds()
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{
@@ -89,71 +114,84 @@ func Run(cfg Config) *Result {
 	}
 	tree := dedup.New(dedup.KnownAPIsFromSpec(spec.Default().Names()))
 
-	// Generate the case list sequentially (the RNG is the determinism
-	// anchor), execute differential tests in parallel, then account
-	// findings in order.
-	var cases []string
-	for len(cases) < cfg.Cases {
-		batch := cfg.Fuzzer.Next(rng)
-		for _, src := range batch {
-			if len(cases) < cfg.Cases {
-				cases = append(cases, src)
+	// Stage 1: the fuzzer. Generation order depends only on the seed, so
+	// the stream is reproducible regardless of scheduling downstream.
+	caseCh := make(chan exec.Case)
+	go func() {
+		defer close(caseCh)
+		produced := 0
+		for produced < cfg.Cases {
+			batch := cfg.Fuzzer.Next(rng)
+			if len(batch) == 0 {
+				return
+			}
+			for _, src := range batch {
+				if produced >= cfg.Cases {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case caseCh <- exec.Case{Index: produced, Src: src}:
+					produced++
+				}
 			}
 		}
-		if len(batch) == 0 {
-			break
-		}
-	}
-	res.CasesRun = len(cases)
+	}()
 
-	results := make([]difftest.CaseResult, len(cases))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i, src := range cases {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, src string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = difftest.Run(src, cfg.Testbeds, difftest.Options{Fuel: cfg.Fuel, Seed: cfg.Seed})
-		}(i, src)
-	}
-	wg.Wait()
+	// Stage 2: the scheduler.
+	sched := exec.New(exec.Config{
+		Testbeds: cfg.Testbeds,
+		Workers:  cfg.Workers,
+		Fuel:     cfg.Fuel,
+		Seed:     cfg.Seed,
+	})
+	outcomes := sched.Run(ctx, caseCh)
 
-	for i, cr := range results {
-		res.Executed += len(cfg.Testbeds)
+	// Stage 3: the sink — classify/dedup/attribute in stream order.
+	for oc := range outcomes {
+		res.CasesRun++
+		res.Executed += len(oc.Entries)
+		cr := oc.Result
 		res.Verdicts[cr.Verdict]++
-		if !cr.Verdict.IsBuggy() {
-			continue
+		if cr.Verdict.IsBuggy() {
+			accountCase(cfg, res, tree, oc.Src, cr)
 		}
-		src := cases[i]
-		api := tree.APIOf(src)
-		for _, dev := range cr.Deviations {
-			engine := dev.Testbed.Version.Engine
-			class := dedup.BehaviourClass(dev.Result.Outcome.String(), dev.Result.ErrName, dev.Result.Output)
-			if !cfg.DisableDedup && tree.SeenOrAdd(engine, api, class) {
-				res.DuplicatesFiltered++
-				continue
-			}
-			attributed := engines.Attribute(src, dev.Testbed,
-				engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed})
-			if len(attributed) == 0 {
-				res.UnattributedFindings++
-				continue
-			}
-			for _, d := range attributed {
-				if _, seen := res.Found[d.ID]; seen {
-					continue
-				}
-				f := &Finding{Defect: d, TestCase: src, Verdict: cr.Verdict, Engine: engine}
-				if cfg.ReduceWitnesses {
-					f.Reduced = reduceFinding(src, dev.Testbed, d, cfg)
-				}
-				res.Found[d.ID] = f
-			}
+		if cfg.Progress != nil {
+			cfg.Progress(res.CasesRun, cfg.Cases)
 		}
 	}
 	return res
+}
+
+// accountCase folds one buggy case into the campaign result: Figure-6
+// deduplication, then ground-truth attribution of each deviant testbed.
+func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difftest.CaseResult) {
+	api := tree.APIOf(src)
+	for _, dev := range cr.Deviations {
+		engine := dev.Testbed.Version.Engine
+		class := dedup.BehaviourClass(dev.Result.Outcome.String(), dev.Result.ErrName, dev.Result.Output)
+		if !cfg.DisableDedup && tree.SeenOrAdd(engine, api, class) {
+			res.DuplicatesFiltered++
+			continue
+		}
+		attributed := engines.Attribute(src, dev.Testbed,
+			engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed})
+		if len(attributed) == 0 {
+			res.UnattributedFindings++
+			continue
+		}
+		for _, d := range attributed {
+			if _, seen := res.Found[d.ID]; seen {
+				continue
+			}
+			f := &Finding{Defect: d, TestCase: src, Verdict: cr.Verdict, Engine: engine}
+			if cfg.ReduceWitnesses {
+				f.Reduced = reduceFinding(src, dev.Testbed, d, cfg)
+			}
+			res.Found[d.ID] = f
+		}
+	}
 }
 
 // reduceFinding shrinks a bug-exposing test case while the single-defect

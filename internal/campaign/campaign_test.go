@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"comfort/internal/engines"
 	"comfort/internal/fuzzers"
@@ -30,6 +32,111 @@ func TestComfortCampaignFindsSeededBugs(t *testing.T) {
 	}
 	t.Logf("found %d defects across %d engines (dups filtered: %d)",
 		len(res.Found), len(enginesHit), res.DuplicatesFiltered)
+}
+
+// TestCampaignWorkerCountIndependence pins the streaming pipeline's
+// determinism contract: at a fixed seed, the findings and the verdict
+// histogram are identical for a serial and a wide worker pool.
+func TestCampaignWorkerCountIndependence(t *testing.T) {
+	run := func(workers int) *Result {
+		return Run(Config{
+			Fuzzer:   fuzzers.NewComfort(),
+			Testbeds: engines.Testbeds(),
+			Cases:    80,
+			Seed:     2021,
+			Workers:  workers,
+		})
+	}
+	serial := run(1)
+	wide := run(8)
+	if serial.CasesRun != wide.CasesRun || serial.Executed != wide.Executed {
+		t.Fatalf("case/execution counts differ: %d/%d vs %d/%d",
+			serial.CasesRun, serial.Executed, wide.CasesRun, wide.Executed)
+	}
+	if len(serial.Found) != len(wide.Found) {
+		t.Fatalf("findings differ: %d (workers=1) vs %d (workers=8)",
+			len(serial.Found), len(wide.Found))
+	}
+	for id, f := range serial.Found {
+		g, ok := wide.Found[id]
+		if !ok {
+			t.Errorf("finding %s missing at workers=8", id)
+			continue
+		}
+		if f.TestCase != g.TestCase || f.Verdict != g.Verdict || f.Engine != g.Engine {
+			t.Errorf("finding %s attributed differently across worker counts", id)
+		}
+	}
+	for v, n := range serial.Verdicts {
+		if wide.Verdicts[v] != n {
+			t.Errorf("verdict %s: %d (workers=1) vs %d (workers=8)", v, n, wide.Verdicts[v])
+		}
+	}
+	if serial.DuplicatesFiltered != wide.DuplicatesFiltered {
+		t.Errorf("duplicates filtered differ: %d vs %d",
+			serial.DuplicatesFiltered, wide.DuplicatesFiltered)
+	}
+}
+
+// TestCampaignCancellation pins early termination: cancelling mid-campaign
+// returns promptly with partial accounting and without deadlock.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan *Result, 1)
+	go func() {
+		done <- Run(Config{
+			Fuzzer:   fuzzers.NewComfort(),
+			Testbeds: engines.Testbeds(),
+			Cases:    100000, // far more than will run before cancellation
+			Seed:     3,
+			Workers:  4,
+			Context:  ctx,
+			Progress: func(n, total int) {
+				if n == 5 {
+					cancel()
+				}
+			},
+		})
+	}()
+	select {
+	case res := <-done:
+		if res.CasesRun >= 100000 {
+			t.Errorf("campaign ran to completion despite cancellation (%d cases)", res.CasesRun)
+		}
+		if res.CasesRun < 5 {
+			t.Errorf("campaign accounted only %d cases before returning", res.CasesRun)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("cancelled campaign did not return (deadlock?)")
+	}
+}
+
+// TestCampaignProgressStreams checks that the progress callback fires once
+// per case, in order.
+func TestCampaignProgressStreams(t *testing.T) {
+	var calls []int
+	Run(Config{
+		Fuzzer:   fuzzers.NewDIE(),
+		Testbeds: figure8Testbeds()[:4],
+		Cases:    20,
+		Seed:     2,
+		Workers:  4,
+		Progress: func(done, total int) {
+			if total != 20 {
+				t.Errorf("progress total = %d, want 20", total)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if len(calls) != 20 {
+		t.Fatalf("progress fired %d times, want 20", len(calls))
+	}
+	for i, n := range calls {
+		if n != i+1 {
+			t.Fatalf("progress out of order: call %d reported %d", i, n)
+		}
+	}
 }
 
 func TestCampaignDeterminism(t *testing.T) {

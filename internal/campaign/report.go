@@ -298,15 +298,22 @@ type FuzzerComparison struct {
 // fuzzer over all engines' latest builds (the paper's 72-hour experiment,
 // scaled) and renders the chart data.
 func Figure8(casesPerFuzzer int, seed int64) (string, []FuzzerComparison) {
+	return Figure8With(Config{}, casesPerFuzzer, seed)
+}
+
+// Figure8With runs the fuzzer comparison with base supplying scheduler
+// options (Workers, Fuel, Context, Progress); Fuzzer/Testbeds/Cases/Seed
+// are overridden per comparison run.
+func Figure8With(base Config, casesPerFuzzer int, seed int64) (string, []FuzzerComparison) {
 	var comparisons []FuzzerComparison
 	testbeds := figure8Testbeds()
 	for _, f := range fuzzers.All() {
-		res := Run(Config{
-			Fuzzer:   f,
-			Testbeds: testbeds,
-			Cases:    casesPerFuzzer,
-			Seed:     seed,
-		})
+		cfg := base
+		cfg.Fuzzer = f
+		cfg.Testbeds = testbeds
+		cfg.Cases = casesPerFuzzer
+		cfg.Seed = seed
+		res := Run(cfg)
 		c := FuzzerComparison{Name: f.Name()}
 		for _, finding := range res.Found {
 			c.Found++

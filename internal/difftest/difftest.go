@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"comfort/internal/engines"
+	"comfort/internal/js/ast"
 )
 
 // Verdict classifies a whole test case (the leaf states of Figure 5).
@@ -72,6 +73,14 @@ type Deviation struct {
 	Result  engines.ExecResult
 }
 
+// ExecEntry pairs one testbed with its observed behaviour on a test case —
+// the raw material of Figure-5 classification. Schedulers produce entries
+// (in any order); Classify consumes them.
+type ExecEntry struct {
+	Testbed engines.Testbed
+	Result  engines.ExecResult
+}
+
 // CaseResult is the outcome of differentially testing one program.
 type CaseResult struct {
 	Verdict     Verdict
@@ -86,27 +95,86 @@ type Options struct {
 	Seed int64
 }
 
-// Run executes src on all testbeds and classifies the outcome per Figure 5.
-// Normal-mode and strict-mode testbeds vote in separate pools, because the
-// two modes have legitimately different conforming behaviour; the pools'
-// verdicts are then merged.
-func Run(src string, testbeds []engines.Testbed, opts Options) CaseResult {
-	if opts.Fuel == 0 {
-		opts.Fuel = 200000
+// DefaultFuel is the campaign-scale step budget per testbed execution,
+// shared by difftest, the exec scheduler and campaign defaulting.
+const DefaultFuel = 200000
+
+// RunCell executes one (case, testbed) cell: pre-parse interceptors, a
+// caller-supplied (possibly caching) parse, then interpretation. Both the
+// exec scheduler and Execute funnel through here so the cell semantics
+// cannot drift between paths.
+func RunCell(p *engines.PreparedTestbed, src string,
+	parse func(*engines.PreparedTestbed, string) (*ast.Program, error),
+	opts engines.RunOptions) engines.ExecResult {
+	if msg := p.PreParseError(src); msg != "" {
+		return engines.PreParseResult(msg)
 	}
-	var normal, strict []engines.Testbed
+	prog, err := parse(p, src)
+	return p.ExecParsed(prog, err, opts)
+}
+
+// Run executes src on all testbeds and classifies the outcome per Figure 5.
+func Run(src string, testbeds []engines.Testbed, opts Options) CaseResult {
+	return Classify(Execute(src, testbeds, opts))
+}
+
+// Execute runs src on every testbed (via its memoised prepared form) and
+// returns the per-testbed entries in testbed order. The parse is shared
+// between testbeds whose resolved parser options coincide, and the whole
+// execution is shared between testbeds in the same behaviour equivalence
+// class (see engines.PreparedTestbed.BehaviorKey).
+func Execute(src string, testbeds []engines.Testbed, opts Options) []ExecEntry {
+	if opts.Fuel == 0 {
+		opts.Fuel = DefaultFuel
+	}
+	runOpts := engines.RunOptions{Fuel: opts.Fuel, Seed: opts.Seed}
+	type parsed struct {
+		prog *ast.Program
+		err  error
+	}
+	parseCache := map[uint64]parsed{}
+	parse := func(p *engines.PreparedTestbed, src string) (*ast.Program, error) {
+		pr, ok := parseCache[p.ParseFingerprint()]
+		if !ok {
+			pr.prog, pr.err = p.Parse(src)
+			parseCache[p.ParseFingerprint()] = pr
+		}
+		return pr.prog, pr.err
+	}
+	resultCache := map[string]engines.ExecResult{}
+	entries := make([]ExecEntry, 0, len(testbeds))
 	for _, tb := range testbeds {
-		if tb.Strict {
-			strict = append(strict, tb)
+		p := tb.Prepare()
+		r, ok := resultCache[p.BehaviorKey()]
+		if !ok {
+			r = RunCell(p, src, parse, runOpts)
+			resultCache[p.BehaviorKey()] = r
+		}
+		entries = append(entries, ExecEntry{Testbed: tb, Result: r})
+	}
+	return entries
+}
+
+// Classify applies the Figure-5 decision procedure to a set of executions.
+// It is pure — no testbed runs — so it is unit-testable with synthetic
+// entries and reusable by the exec scheduler's result sink. Normal-mode and
+// strict-mode testbeds vote in separate pools, because the two modes have
+// legitimately different conforming behaviour; the pools' verdicts are then
+// merged.
+func Classify(entries []ExecEntry) CaseResult {
+	var normal, strict []ExecEntry
+	for _, e := range entries {
+		if e.Testbed.Strict {
+			strict = append(strict, e)
 		} else {
-			normal = append(normal, tb)
+			normal = append(normal, e)
 		}
 	}
 	if len(normal) == 0 || len(strict) == 0 {
-		return runPool(src, testbeds, opts)
+		return classifyPool(entries)
 	}
-	a := runPool(src, normal, opts)
-	b := runPool(src, strict, opts)
+	a := classifyPool(normal)
+	b := classifyPool(strict)
 	merged := CaseResult{Results: a.Results, Verdict: a.Verdict, MajorityKey: a.MajorityKey}
 	for k, v := range b.Results {
 		merged.Results[k] = v
@@ -146,24 +214,17 @@ func verdictRank(v Verdict) int {
 	}
 }
 
-// runPool applies the Figure-5 classification to one testbed pool.
-func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
+// classifyPool applies the Figure-5 classification to one pool of entries.
+func classifyPool(entries []ExecEntry) CaseResult {
 	res := CaseResult{Results: map[string]engines.ExecResult{}}
-	type entry struct {
-		tb engines.Testbed
-		r  engines.ExecResult
-	}
-	entries := make([]entry, 0, len(testbeds))
-	for _, tb := range testbeds {
-		r := tb.Run(src, engines.RunOptions{Fuel: opts.Fuel, Seed: opts.Seed})
-		res.Results[tb.ID()] = r
-		entries = append(entries, entry{tb, r})
+	for _, e := range entries {
+		res.Results[e.Testbed.ID()] = e.Result
 	}
 
 	// Step 1: parse consistency.
 	parseErrs := 0
 	for _, e := range entries {
-		if e.r.Outcome == engines.OutcomeParseError {
+		if e.Result.Outcome == engines.OutcomeParseError {
 			parseErrs++
 		}
 	}
@@ -178,8 +239,8 @@ func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
 		parseOK := len(entries) - parseErrs
 		deviantIsErr := parseErrs <= parseOK
 		for _, e := range entries {
-			if (e.r.Outcome == engines.OutcomeParseError) == deviantIsErr {
-				res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+			if (e.Result.Outcome == engines.OutcomeParseError) == deviantIsErr {
+				res.Deviations = append(res.Deviations, Deviation{e.Testbed, e.Result})
 			}
 		}
 		return res
@@ -187,8 +248,8 @@ func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
 
 	// Step 2: crashes are of immediate interest.
 	for _, e := range entries {
-		if e.r.Outcome == engines.OutcomeCrash {
-			res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+		if e.Result.Outcome == engines.OutcomeCrash {
+			res.Deviations = append(res.Deviations, Deviation{e.Testbed, e.Result})
 		}
 	}
 	if len(res.Deviations) > 0 && len(res.Deviations) < len(entries) {
@@ -202,10 +263,10 @@ func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
 	var maxFinished int64
 	finished := 0
 	for _, e := range entries {
-		if e.r.Outcome != engines.OutcomeTimeout {
+		if e.Result.Outcome != engines.OutcomeTimeout {
 			finished++
-			if e.r.FuelUsed > maxFinished {
-				maxFinished = e.r.FuelUsed
+			if e.Result.FuelUsed > maxFinished {
+				maxFinished = e.Result.FuelUsed
 			}
 		}
 	}
@@ -214,8 +275,8 @@ func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
 		return res
 	}
 	for _, e := range entries {
-		if e.r.Outcome == engines.OutcomeTimeout && e.r.FuelUsed > 2*maxFinished {
-			res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+		if e.Result.Outcome == engines.OutcomeTimeout && e.Result.FuelUsed > 2*maxFinished {
+			res.Deviations = append(res.Deviations, Deviation{e.Testbed, e.Result})
 		}
 	}
 	if len(res.Deviations) > 0 {
@@ -224,13 +285,13 @@ func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
 	}
 
 	// Step 4: majority voting over behaviour keys.
-	groups := map[string][]entry{}
+	groups := map[string][]ExecEntry{}
 	for _, e := range entries {
-		groups[e.r.Key()] = append(groups[e.r.Key()], e)
+		groups[e.Result.Key()] = append(groups[e.Result.Key()], e)
 	}
 	if len(groups) == 1 {
 		res.Verdict = VerdictPass
-		res.MajorityKey = entries[0].r.Key()
+		res.MajorityKey = entries[0].Result.Key()
 		return res
 	}
 	var keys []string
@@ -253,7 +314,7 @@ func runPool(src string, testbeds []engines.Testbed, opts Options) CaseResult {
 	res.MajorityKey = majority
 	for _, k := range keys[1:] {
 		for _, e := range groups[k] {
-			res.Deviations = append(res.Deviations, Deviation{e.tb, e.r})
+			res.Deviations = append(res.Deviations, Deviation{e.Testbed, e.Result})
 		}
 	}
 	res.Verdict = VerdictWrongOutput

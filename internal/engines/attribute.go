@@ -34,25 +34,7 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 	}
 	runErr := in.Run(prog)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
-	switch e := runErr.(type) {
-	case nil:
-		res.Outcome = OutcomePass
-	case *interp.Throw:
-		res.Outcome = OutcomeException
-		res.Error = e.Error()
-		res.ErrName = interp.ErrorName(e.Val)
-	case *interp.Abort:
-		if e.Kind == interp.AbortCrash {
-			res.Outcome = OutcomeCrash
-			res.ErrName = "crash"
-		} else {
-			res.Outcome = OutcomeTimeout
-			res.ErrName = "timeout"
-		}
-	default:
-		res.Outcome = OutcomeCrash
-		res.ErrName = "crash"
-	}
+	classifyRunError(&res, runErr)
 	return res
 }
 

@@ -8,11 +8,9 @@ package engines
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
-	"comfort/internal/js/builtins"
 	"comfort/internal/js/interp"
-	"comfort/internal/js/parser"
 )
 
 // Version identifies one engine build (a row of Table 1).
@@ -51,11 +49,26 @@ func mkEngine(name string, rows []versionRow) *Engine {
 	return e
 }
 
+var (
+	allOnce     sync.Once
+	allEngines  []*Engine
+	allTestbeds []Testbed
+)
+
 // All returns the ten engine families with the version inventory of
 // Table 1 (oldest→newest within each engine). JerryScript additionally
-// carries the v1.0 build that the paper's Table 3 references.
+// carries the v1.0 build that the paper's Table 3 references. The
+// inventory is built once and memoised; callers receive a fresh top-level
+// slice over the shared (immutable) Engine values.
 func All() []*Engine {
-	return []*Engine{
+	allOnce.Do(buildInventory)
+	out := make([]*Engine, len(allEngines))
+	copy(out, allEngines)
+	return out
+}
+
+func buildInventory() {
+	allEngines = []*Engine{
 		mkEngine("V8", []versionRow{
 			{"V8.5", "0e44fef", "Apr. 2019", "ES2019"},
 			{"V8.5", "e39c701", "Aug. 2019", "ES2019"},
@@ -129,6 +142,11 @@ func All() []*Engine {
 			{"v20.1.0", "299f61f", "May 2020", "ES2020"},
 		}),
 	}
+	for _, e := range allEngines {
+		for _, v := range e.Versions {
+			allTestbeds = append(allTestbeds, Testbed{Version: v}, Testbed{Version: v, Strict: true})
+		}
+	}
 }
 
 // ByName returns the engine family with the given name.
@@ -172,14 +190,12 @@ func (tb Testbed) ID() string {
 	return tb.Version.ID() + "#" + mode
 }
 
-// Testbeds enumerates all testbeds: every version × {normal, strict}.
+// Testbeds enumerates all testbeds: every version × {normal, strict}. The
+// enumeration is memoised; callers receive a fresh slice.
 func Testbeds() []Testbed {
-	var out []Testbed
-	for _, e := range All() {
-		for _, v := range e.Versions {
-			out = append(out, Testbed{Version: v}, Testbed{Version: v, Strict: true})
-		}
-	}
+	allOnce.Do(buildInventory)
+	out := make([]Testbed, len(allTestbeds))
+	copy(out, allTestbeds)
 	return out
 }
 
@@ -256,92 +272,11 @@ func ActiveDefects(v Version) []*Defect {
 	return out
 }
 
-// Run executes src on the testbed and classifies the outcome.
+// Run executes src on the testbed and classifies the outcome. It is a thin
+// wrapper over Prepare().Run — the active defect set, hook chain and option
+// deltas are resolved once per version×mode and memoised.
 func (tb Testbed) Run(src string, opts RunOptions) ExecResult {
-	defects := ActiveDefects(tb.Version)
-	cfg := interp.Config{
-		Fuel:   opts.Fuel,
-		Seed:   opts.Seed,
-		Strict: tb.Strict,
-	}
-	var parseOpts parser.Options
-	parseOpts.Strict = tb.Strict
-	for _, d := range defects {
-		if d.Configure != nil {
-			d.Configure(&cfg)
-		}
-		if d.ParserOpts != nil {
-			d.ParserOpts(&parseOpts)
-		}
-	}
-	cfg.Hook = combineHooks(defects, tb.Strict)
-	in := builtins.NewRuntime(cfg)
-	in.Cov = opts.Cov
-
-	// Parser-component defects that reject valid programs fire before the
-	// shared parser runs.
-	for _, d := range defects {
-		if d.PreParse != nil {
-			if msg := d.PreParse(src); msg != "" {
-				return ExecResult{Outcome: OutcomeParseError, Error: "SyntaxError: " + msg, ErrName: "SyntaxError"}
-			}
-		}
-	}
-	prog, err := parser.ParseWith(src, parseOpts)
-	if err != nil {
-		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
-	}
-	runErr := in.Run(prog)
-	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
-	switch e := runErr.(type) {
-	case nil:
-		res.Outcome = OutcomePass
-	case *interp.Throw:
-		res.Outcome = OutcomeException
-		res.Error = e.Error()
-		res.ErrName = interp.ErrorName(e.Val)
-	case *interp.Abort:
-		switch e.Kind {
-		case interp.AbortCrash:
-			res.Outcome = OutcomeCrash
-			res.Error = e.Error()
-			res.ErrName = "crash"
-		default:
-			res.Outcome = OutcomeTimeout
-			res.Error = e.Error()
-			res.ErrName = "timeout"
-		}
-	default:
-		res.Outcome = OutcomeCrash
-		res.Error = runErr.Error()
-		res.ErrName = "crash"
-	}
-	return res
-}
-
-// combineHooks merges the active defects' hooks; the first override wins.
-func combineHooks(defects []*Defect, strict bool) interp.Hook {
-	var hooks []*Defect
-	for _, d := range defects {
-		if d.Hook != nil {
-			if d.StrictOnly && !strict {
-				continue
-			}
-			hooks = append(hooks, d)
-		}
-	}
-	if len(hooks) == 0 {
-		return nil
-	}
-	sort.SliceStable(hooks, func(i, j int) bool { return hooks[i].ID < hooks[j].ID })
-	return func(ctx *interp.HookCtx) *interp.Override {
-		for _, d := range hooks {
-			if ov := d.Hook(ctx); ov != nil {
-				return ov
-			}
-		}
-		return nil
-	}
+	return tb.Prepare().Run(src, opts)
 }
 
 // Reference runs src on the defect-free reference runtime (the conformance

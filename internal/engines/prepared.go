@@ -1,0 +1,213 @@
+package engines
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"comfort/internal/js/ast"
+	"comfort/internal/js/builtins"
+	"comfort/internal/js/interp"
+	"comfort/internal/js/parser"
+)
+
+// PreparedTestbed is a testbed with everything that is constant across runs
+// resolved once: the active defect subset of the catalog, the combined hook
+// chain, the interpreter config deltas and the parser options. Preparing a
+// testbed turns Testbed.Run's per-execution catalog scan + hook sort into a
+// one-time cost, which matters when a campaign executes the same 102
+// testbeds tens of thousands of times.
+type PreparedTestbed struct {
+	Testbed Testbed
+
+	defects  []*Defect // active defects, catalog order
+	preParse []*Defect // subset with PreParse interceptors
+	hook     interp.Hook
+	baseCfg  interp.Config  // Strict + Configure deltas; Fuel/Seed filled per run
+	parseOps parser.Options // Strict + ParserOpts deltas
+	behavior string         // mode + active defect IDs; see BehaviorKey
+}
+
+var (
+	preparedMu    sync.Mutex
+	preparedCache = map[string]*PreparedTestbed{}
+)
+
+// Prepare resolves the testbed's defect set, hook chain and option deltas.
+// Results are memoised per version×mode, so repeated calls are cheap.
+func (tb Testbed) Prepare() *PreparedTestbed {
+	key := tb.ID()
+	preparedMu.Lock()
+	defer preparedMu.Unlock()
+	if p, ok := preparedCache[key]; ok {
+		return p
+	}
+	p := prepare(tb)
+	preparedCache[key] = p
+	return p
+}
+
+func prepare(tb Testbed) *PreparedTestbed {
+	p := &PreparedTestbed{
+		Testbed:  tb,
+		defects:  ActiveDefects(tb.Version),
+		baseCfg:  interp.Config{Strict: tb.Strict},
+		parseOps: parser.Options{Strict: tb.Strict},
+	}
+	for _, d := range p.defects {
+		if d.Configure != nil {
+			d.Configure(&p.baseCfg)
+		}
+		if d.ParserOpts != nil {
+			d.ParserOpts(&p.parseOps)
+		}
+		if d.PreParse != nil {
+			p.preParse = append(p.preParse, d)
+		}
+	}
+	p.hook = combineHooks(p.defects, tb.Strict)
+	var b strings.Builder
+	if tb.Strict {
+		b.WriteString("strict")
+	} else {
+		b.WriteString("normal")
+	}
+	for _, d := range p.defects {
+		b.WriteByte('|')
+		b.WriteString(d.ID)
+	}
+	p.behavior = b.String()
+	return p
+}
+
+// BehaviorKey identifies the testbed's behaviour equivalence class: an
+// execution's result is a pure function of the active defect set, the mode
+// and the run options — the engine version itself is never consulted at run
+// time — so two testbeds with equal keys produce identical ExecResults for
+// every (src, fuel, seed). Schedulers exploit this to run each class once
+// per case and fan the result out to all class members.
+func (p *PreparedTestbed) BehaviorKey() string { return p.behavior }
+
+// ActiveDefects returns the defects live in this testbed (shared slice; do
+// not mutate).
+func (p *PreparedTestbed) ActiveDefects() []*Defect { return p.defects }
+
+// ParseOptions returns the resolved parser options for this testbed.
+func (p *PreparedTestbed) ParseOptions() parser.Options { return p.parseOps }
+
+// ParseFingerprint keys parse-result caches: two testbeds with equal
+// fingerprints accept exactly the same programs with the same ASTs.
+func (p *PreparedTestbed) ParseFingerprint() uint64 { return p.parseOps.Fingerprint() }
+
+// PreParseError runs the testbed's pre-parse defect interceptors (parser
+// defects that reject valid programs before the shared parser sees them).
+// It returns a non-empty SyntaxError rendering when one fires.
+func (p *PreparedTestbed) PreParseError(src string) string {
+	for _, d := range p.preParse {
+		if msg := d.PreParse(src); msg != "" {
+			return "SyntaxError: " + msg
+		}
+	}
+	return ""
+}
+
+// Parse parses src under the testbed's resolved parser options.
+func (p *PreparedTestbed) Parse(src string) (*ast.Program, error) {
+	return parser.ParseWith(src, p.parseOps)
+}
+
+// PreParseResult renders a PreParseError message as its ExecResult.
+func PreParseResult(msg string) ExecResult {
+	return ExecResult{Outcome: OutcomeParseError, Error: msg, ErrName: "SyntaxError"}
+}
+
+// Run executes src on the prepared testbed: pre-parse interceptors, parse,
+// then Exec.
+func (p *PreparedTestbed) Run(src string, opts RunOptions) ExecResult {
+	if msg := p.PreParseError(src); msg != "" {
+		return PreParseResult(msg)
+	}
+	prog, err := p.Parse(src)
+	return p.ExecParsed(prog, err, opts)
+}
+
+// ExecParsed adapts an (already pre-parse-checked) parse result — typically
+// from a parse cache — into an execution: a parse error classifies as
+// OutcomeParseError, anything else interprets. Keeping this in one place
+// stops the direct-run, difftest and scheduler paths from drifting apart.
+func (p *PreparedTestbed) ExecParsed(prog *ast.Program, err error, opts RunOptions) ExecResult {
+	if err != nil {
+		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
+	}
+	return p.Exec(prog, opts)
+}
+
+// Exec runs an already-parsed program. The program may be shared across
+// concurrent Exec calls (the interpreter never mutates the AST), which is
+// what enables the scheduler's parse-once source cache. Callers must have
+// applied PreParseError to the original source themselves.
+func (p *PreparedTestbed) Exec(prog *ast.Program, opts RunOptions) ExecResult {
+	cfg := p.baseCfg
+	cfg.Fuel = opts.Fuel
+	cfg.Seed = opts.Seed
+	cfg.Hook = p.hook
+	in := builtins.NewRuntime(cfg)
+	in.Cov = opts.Cov
+	runErr := in.Run(prog)
+	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
+	classifyRunError(&res, runErr)
+	return res
+}
+
+// classifyRunError maps an interpreter error to the Figure-5 per-testbed
+// outcome taxonomy.
+func classifyRunError(res *ExecResult, runErr error) {
+	switch e := runErr.(type) {
+	case nil:
+		res.Outcome = OutcomePass
+	case *interp.Throw:
+		res.Outcome = OutcomeException
+		res.Error = e.Error()
+		res.ErrName = interp.ErrorName(e.Val)
+	case *interp.Abort:
+		switch e.Kind {
+		case interp.AbortCrash:
+			res.Outcome = OutcomeCrash
+			res.Error = e.Error()
+			res.ErrName = "crash"
+		default:
+			res.Outcome = OutcomeTimeout
+			res.Error = e.Error()
+			res.ErrName = "timeout"
+		}
+	default:
+		res.Outcome = OutcomeCrash
+		res.Error = runErr.Error()
+		res.ErrName = "crash"
+	}
+}
+
+// combineHooks merges the active defects' hooks; the first override wins.
+func combineHooks(defects []*Defect, strict bool) interp.Hook {
+	var hooks []*Defect
+	for _, d := range defects {
+		if d.Hook != nil {
+			if d.StrictOnly && !strict {
+				continue
+			}
+			hooks = append(hooks, d)
+		}
+	}
+	if len(hooks) == 0 {
+		return nil
+	}
+	sort.SliceStable(hooks, func(i, j int) bool { return hooks[i].ID < hooks[j].ID })
+	return func(ctx *interp.HookCtx) *interp.Override {
+		for _, d := range hooks {
+			if ov := d.Hook(ctx); ov != nil {
+				return ov
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,310 @@
+// Package exec is the execution scheduler for differential-testing
+// campaigns. It schedules the (case × testbed) grid over a bounded worker
+// pool, shares parses through a campaign-wide parse-once cache (keyed by
+// source + parser-option fingerprint), honours context cancellation, and
+// streams classified case results to the consumer in case order — so a
+// campaign can account findings as they arrive instead of materialising
+// every case and every result in memory first.
+package exec
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"comfort/internal/difftest"
+	"comfort/internal/engines"
+	"comfort/internal/js/ast"
+)
+
+// Case is one fuzzer-generated test program, tagged with its position in
+// the campaign's deterministic generation order.
+type Case struct {
+	Index int
+	Src   string
+}
+
+// Outcome is the classified result of one case across all testbeds.
+// Entries are in testbed order (the scheduler's configured order), so the
+// outcome is independent of worker interleaving.
+type Outcome struct {
+	Case
+	Entries []difftest.ExecEntry
+	Result  difftest.CaseResult
+}
+
+// Config parameterises a scheduler.
+type Config struct {
+	Testbeds []engines.Testbed
+	// Workers bounds concurrent testbed executions; <=0 means GOMAXPROCS.
+	Workers int
+	Fuel    int64
+	Seed    int64
+	// ParseCacheCap bounds the parse cache's entry count; <=0 means the
+	// default (4096). When the cap is hit the cache resets wholesale.
+	ParseCacheCap int
+}
+
+// Scheduler executes cases over prepared testbeds. One Scheduler is one
+// campaign's worth of shared state (prepared testbeds, behaviour classes,
+// parse cache); Run may be called once per input stream.
+type Scheduler struct {
+	cfg      Config
+	prepared []*engines.PreparedTestbed
+	// classes groups testbed indices by behaviour equivalence class: an
+	// ExecResult is a pure function of (defect set, mode, fuel, seed, src),
+	// so each class executes once per case and the result fans out to every
+	// member. classRep[k] is the prepared testbed the class executes on.
+	classes  [][]int
+	classRep []*engines.PreparedTestbed
+	cache    *parseCache
+}
+
+// New builds a scheduler: testbeds are prepared up front (catalog scan,
+// hook chain, option resolution happen here, never per execution) and
+// grouped into behaviour classes.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = difftest.DefaultFuel
+	}
+	if len(cfg.Testbeds) == 0 {
+		cfg.Testbeds = engines.LatestTestbeds()
+	}
+	s := &Scheduler{cfg: cfg, cache: newParseCache(cfg.ParseCacheCap)}
+	classOf := map[string]int{}
+	for _, tb := range cfg.Testbeds {
+		p := tb.Prepare()
+		i := len(s.prepared)
+		s.prepared = append(s.prepared, p)
+		k, ok := classOf[p.BehaviorKey()]
+		if !ok {
+			k = len(s.classes)
+			classOf[p.BehaviorKey()] = k
+			s.classes = append(s.classes, nil)
+			s.classRep = append(s.classRep, p)
+		}
+		s.classes[k] = append(s.classes[k], i)
+	}
+	return s
+}
+
+// Classes reports how many distinct behaviour classes the configured
+// testbeds collapse into (of interest to benchmarks and progress output).
+func (s *Scheduler) Classes() int { return len(s.classes) }
+
+// CacheStats reports parse-cache hits and misses so far.
+func (s *Scheduler) CacheStats() (hits, misses int64) { return s.cache.stats() }
+
+// caseState tracks one in-flight case across its testbed executions.
+type caseState struct {
+	seq       int // receipt order; outcomes are emitted in this order
+	c         Case
+	entries   []difftest.ExecEntry
+	remaining int32
+	cancelled int32 // set when any execution was skipped due to cancellation
+}
+
+type task struct {
+	cs    *caseState
+	class int // index into Scheduler.classes
+}
+
+// Run consumes cases from in and returns a channel of outcomes, emitted in
+// the order cases were received. The channel is closed when all input has
+// been processed or ctx is cancelled; cancellation never deadlocks — all
+// scheduler goroutines drain and exit, and partially-executed cases are
+// dropped rather than emitted.
+func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
+	nTB := len(s.prepared)
+	nCls := len(s.classes)
+	inflight := s.cfg.Workers + 2
+	out := make(chan Outcome)
+	tasks := make(chan task, inflight*nCls)
+	done := make(chan *caseState, inflight)
+	sem := make(chan struct{}, inflight)
+
+	// Intake: admit cases under the in-flight cap and fan each one out
+	// into one task per testbed.
+	go func() {
+		defer close(tasks)
+		seq := 0
+		for {
+			var c Case
+			var ok bool
+			select {
+			case <-ctx.Done():
+				return
+			case c, ok = <-in:
+				if !ok {
+					return
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case sem <- struct{}{}:
+			}
+			cs := &caseState{
+				seq:       seq,
+				c:         c,
+				entries:   make([]difftest.ExecEntry, nTB),
+				remaining: int32(nCls),
+			}
+			seq++
+			for i := 0; i < nCls; i++ {
+				// tasks is buffered for inflight full cases, so this send
+				// only blocks when workers are saturated.
+				tasks <- task{cs: cs, class: i}
+			}
+		}
+	}()
+
+	// Workers: the bounded execution pool.
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range tasks {
+				if ctx.Err() != nil {
+					atomic.StoreInt32(&t.cs.cancelled, 1)
+				} else {
+					r := s.runOne(s.classRep[t.class], t.cs.c.Src)
+					for _, i := range s.classes[t.class] {
+						t.cs.entries[i] = difftest.ExecEntry{
+							Testbed: s.prepared[i].Testbed,
+							Result:  r,
+						}
+					}
+				}
+				if atomic.AddInt32(&t.cs.remaining, -1) == 0 {
+					// done is buffered to the in-flight cap, so this send
+					// cannot block even after the collector has exited.
+					done <- t.cs
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Collector: reorder completed cases into receipt order and classify.
+	go func() {
+		defer close(out)
+		next := 0
+		pending := map[int]*caseState{}
+		for cs := range done {
+			pending[cs.seq] = cs
+			for {
+				c, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				<-sem
+				if atomic.LoadInt32(&c.cancelled) != 0 {
+					continue
+				}
+				oc := Outcome{Case: c.c, Entries: c.entries, Result: difftest.Classify(c.entries)}
+				select {
+				case out <- oc:
+				case <-ctx.Done():
+					// The consumer may be gone; keep draining without
+					// emitting so the workers can finish.
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// runOne executes one (case, testbed) cell through the shared difftest
+// cell semantics, with the campaign-wide parse cache supplying parses.
+func (s *Scheduler) runOne(p *engines.PreparedTestbed, src string) engines.ExecResult {
+	return difftest.RunCell(p, src, s.cache.parse,
+		engines.RunOptions{Fuel: s.cfg.Fuel, Seed: s.cfg.Seed})
+}
+
+// FromSlice adapts a fixed case list to the scheduler's input channel,
+// indexing cases by position.
+func FromSlice(ctx context.Context, srcs []string) <-chan Case {
+	ch := make(chan Case)
+	go func() {
+		defer close(ch)
+		for i, src := range srcs {
+			select {
+			case <-ctx.Done():
+				return
+			case ch <- Case{Index: i, Src: src}:
+			}
+		}
+	}()
+	return ch
+}
+
+// ---------- parse-once cache ----------
+
+type parseKey struct {
+	fp  uint64
+	src string
+}
+
+type parsedResult struct {
+	prog *ast.Program
+	err  error
+}
+
+// parseCache shares parse results between the testbeds (and cases) whose
+// resolved parser options coincide. Sharing the *ast.Program across
+// concurrent interpreter runs is safe because the interpreter never
+// mutates the AST. The cache resets wholesale at its cap, which bounds
+// memory for arbitrarily long campaigns while keeping the common case —
+// 102 testbeds with a handful of distinct option fingerprints hitting the
+// same source back-to-back — almost always hot.
+type parseCache struct {
+	mu     sync.RWMutex
+	m      map[parseKey]parsedResult
+	cap    int
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const defaultParseCacheCap = 4096
+
+func newParseCache(cap int) *parseCache {
+	if cap <= 0 {
+		cap = defaultParseCacheCap
+	}
+	return &parseCache{m: make(map[parseKey]parsedResult), cap: cap}
+}
+
+func (pc *parseCache) parse(p *engines.PreparedTestbed, src string) (*ast.Program, error) {
+	key := parseKey{fp: p.ParseFingerprint(), src: src}
+	pc.mu.RLock()
+	r, ok := pc.m[key]
+	pc.mu.RUnlock()
+	if ok {
+		pc.hits.Add(1)
+		return r.prog, r.err
+	}
+	pc.misses.Add(1)
+	r.prog, r.err = p.Parse(src)
+	pc.mu.Lock()
+	if len(pc.m) >= pc.cap {
+		pc.m = make(map[parseKey]parsedResult)
+	}
+	pc.m[key] = r
+	pc.mu.Unlock()
+	return r.prog, r.err
+}
+
+func (pc *parseCache) stats() (hits, misses int64) {
+	return pc.hits.Load(), pc.misses.Load()
+}

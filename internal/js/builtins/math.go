@@ -156,6 +156,6 @@ func installMath(r *registry) {
 	minmax("min", func(a, b float64) bool { return a < b }, math.Inf(1))
 
 	r.method(m, "Math.random", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		return interp.Number(in.Rand.Float64()), nil
+		return interp.Number(in.Rand().Float64()), nil
 	})
 }

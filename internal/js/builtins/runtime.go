@@ -19,6 +19,14 @@ func NewRuntime(cfg interp.Config) *interp.Interp {
 
 // Install wires the standard library into in. It is idempotent per
 // interpreter.
+//
+// Sections reachable only through a global binding (Math, JSON, Date and
+// the typed-array family) are installed lazily on first access to any of
+// their globals: realm construction is on the campaign scheduler's hottest
+// path, and most generated programs touch none of them. Everything a
+// literal or primitive can reach (Object/Function/Array/String/Number/
+// Boolean/RegExp prototypes, the Error hierarchy, the global functions)
+// stays eager.
 func Install(in *interp.Interp) {
 	r := &registry{in: in}
 
@@ -37,12 +45,36 @@ func Install(in *interp.Interp) {
 	installString(r)
 	installNumber(r)
 	installBoolean(r)
-	installMath(r)
-	installJSON(r)
 	installRegExp(r)
-	installDate(r)
-	installTypedArrays(r)
 	installGlobals(r)
+
+	lazySection(r, []string{"Math"}, installMath)
+	lazySection(r, []string{"JSON"}, installJSON)
+	lazySection(r, []string{"Date"}, installDate)
+	lazySection(r, []string{
+		"ArrayBuffer",
+		"Int8Array", "Uint8Array", "Uint8ClampedArray",
+		"Int16Array", "Uint16Array",
+		"Int32Array", "Uint32Array",
+		"Float32Array", "Float64Array",
+		"DataView",
+	}, installTypedArrays)
+}
+
+// lazySection defers one stdlib installer until any of its global names is
+// touched; the installer runs at most once per realm.
+func lazySection(r *registry, names []string, install func(*registry)) {
+	installed := false
+	thunk := func() {
+		if installed {
+			return
+		}
+		installed = true
+		install(r)
+	}
+	for _, n := range names {
+		r.in.Global.SetLazy(n, thunk)
+	}
 }
 
 // registry carries shared helpers for the install functions.
@@ -50,35 +82,25 @@ type registry struct {
 	in *interp.Interp
 }
 
-// fn creates a native function object with the canonical spec key name.
-func (r *registry) fn(name string, arity int, f interp.NativeFunc) *interp.Object {
-	o := interp.NewObject(r.in.Protos["Function"])
-	o.Class = "Function"
-	o.Native = f
-	o.NativeName = name
-	short := name
+// shortName strips the canonical spec key down to its final segment.
+func shortName(name string) string {
 	for i := len(name) - 1; i >= 0; i-- {
 		if name[i] == '.' {
-			short = name[i+1:]
-			break
+			return name[i+1:]
 		}
 	}
-	o.SetSlot("length", interp.Number(float64(arity)), interp.Configurable)
-	o.SetSlot("name", interp.String(short), interp.Configurable)
-	return o
+	return name
+}
+
+// fn creates a native function object with the canonical spec key name.
+func (r *registry) fn(name string, arity int, f interp.NativeFunc) *interp.Object {
+	return interp.NewNativeFunc(r.in.Protos["Function"], name, shortName(name), arity, f)
 }
 
 // method attaches a native method to obj under its short name.
 func (r *registry) method(obj *interp.Object, name string, arity int, f interp.NativeFunc) {
 	fo := r.fn(name, arity, f)
-	short := name
-	for i := len(name) - 1; i >= 0; i-- {
-		if name[i] == '.' {
-			short = name[i+1:]
-			break
-		}
-	}
-	obj.SetSlot(short, interp.ObjValue(fo), interp.Writable|interp.Configurable)
+	obj.SetSlot(shortName(name), interp.ObjValue(fo), interp.Writable|interp.Configurable)
 }
 
 // global binds a value on the global object.

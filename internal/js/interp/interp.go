@@ -71,8 +71,11 @@ type Interp struct {
 	// Out receives print() output.
 	Out strings.Builder
 
-	// Rand drives Math.random deterministically.
-	Rand *rand.Rand
+	// rand drives Math.random deterministically; seeded lazily via Rand()
+	// because most programs never observe it and seeding Go's legacy source
+	// costs microseconds per interpreter instance.
+	rand     *rand.Rand
+	randSeed int64
 	// Now is the deterministic Date.now clock (milliseconds).
 	Now float64
 
@@ -105,7 +108,7 @@ func New(cfg Config) *Interp {
 		Hook:               cfg.Hook,
 		MutableFuncName:    cfg.MutableFuncName,
 		SloppyStrictAssign: cfg.SloppyStrictAssign,
-		Rand:               rand.New(rand.NewSource(cfg.Seed + 1)),
+		randSeed:           cfg.Seed + 1,
 		Now:                1_600_000_000_000,
 		fuel:               fuel,
 		fuelCap:            fuel,
@@ -114,6 +117,15 @@ func New(cfg Config) *Interp {
 	in.Global = NewObject(nil)
 	in.GlobalEnv = NewEnv(nil, true)
 	return in
+}
+
+// Rand returns the deterministic Math.random source, seeding it on first
+// use.
+func (in *Interp) Rand() *rand.Rand {
+	if in.rand == nil {
+		in.rand = rand.New(rand.NewSource(in.randSeed))
+	}
+	return in.rand
 }
 
 // FuelUsed reports consumed steps — the deterministic time axis used by the

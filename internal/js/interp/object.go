@@ -114,12 +114,74 @@ type Object struct {
 	ElemKind ElemKind
 	ByteOff  int
 	ArrayLen int // element count for typed arrays, byte length for DataView
+
+	// lazy maps own-property names to thunks that materialise them on
+	// first access — the global object's deferred stdlib sections. The
+	// ordered key list keeps OwnKeys deterministic when everything must be
+	// materialised at once.
+	lazy     map[string]func()
+	lazyKeys []string
 }
 
-// NewObject allocates a plain object with the given prototype.
+// NewObject allocates a plain object with the given prototype. The property
+// map is created lazily on first write — most objects a program allocates
+// (and every builtin function object) carry few or no own named properties,
+// so the empty-map allocation used to dominate runtime-construction cost.
 func NewObject(proto *Object) *Object {
-	return &Object{Class: "Object", Proto: proto, Extensible: true,
-		props: map[string]*Property{}}
+	return &Object{Class: "Object", Proto: proto, Extensible: true}
+}
+
+// SetLazy registers a thunk that installs the named own property (and
+// possibly siblings sharing the thunk) when it is first needed. Used by the
+// builtins package to defer expensive stdlib sections that most programs
+// never touch.
+func (o *Object) SetLazy(key string, install func()) {
+	if o.lazy == nil {
+		o.lazy = map[string]func(){}
+	}
+	o.lazy[key] = install
+	o.lazyKeys = append(o.lazyKeys, key)
+}
+
+// resolveLazy materialises the named lazy property if one is pending. It
+// reports whether a thunk ran (callers then re-check props).
+func (o *Object) resolveLazy(key string) bool {
+	th, ok := o.lazy[key]
+	if !ok {
+		return false
+	}
+	delete(o.lazy, key)
+	th()
+	return true
+}
+
+// materializeLazy forces every pending lazy property, in registration
+// order (enumeration must observe a deterministic key order).
+func (o *Object) materializeLazy() {
+	if len(o.lazy) == 0 {
+		return
+	}
+	for _, k := range o.lazyKeys {
+		o.resolveLazy(k)
+	}
+	o.lazyKeys = nil
+}
+
+// NewNativeFunc allocates a builtin function object with its length and
+// name properties pre-installed. The two Property slots share one backing
+// allocation and the map is exactly sized — this constructor runs hundreds
+// of times per realm, so its allocation count sets the floor on runtime
+// construction cost.
+func NewNativeFunc(proto *Object, specKey, short string, arity int, f NativeFunc) *Object {
+	ps := make([]Property, 2)
+	ps[0] = Property{Value: Number(float64(arity)), Attr: Configurable}
+	ps[1] = Property{Value: String(short), Attr: Configurable}
+	return &Object{
+		Class: "Function", Proto: proto, Extensible: true,
+		Native: f, NativeName: specKey,
+		props: map[string]*Property{"length": &ps[0], "name": &ps[1]},
+		keys:  []string{"length", "name"},
+	}
 }
 
 // IsCallable reports whether the object can be invoked.
@@ -181,6 +243,9 @@ func (o *Object) getOwn(key string) (*Property, bool) {
 		}
 	}
 	p, ok := o.props[key]
+	if !ok && o.lazy != nil && o.resolveLazy(key) {
+		p, ok = o.props[key]
+	}
 	return p, ok
 }
 
@@ -197,6 +262,9 @@ func (o *Object) GetOwnProperty(key string) (*Property, bool) { return o.getOwn(
 // SetSlot writes a raw property without descriptor checks (used during
 // runtime setup).
 func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
+	if o.lazy != nil {
+		o.resolveLazy(key)
+	}
 	if p, ok := o.props[key]; ok {
 		p.Value = v
 		p.Attr = attr
@@ -213,6 +281,9 @@ func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
 // DefineOwn installs a property descriptor, honouring configurability.
 // It returns false when the existing property forbids the redefinition.
 func (o *Object) DefineOwn(key string, p *Property) bool {
+	if o.lazy != nil {
+		o.resolveLazy(key)
+	}
 	if o.IsArray() {
 		if idx, ok := arrayIndex(key); ok && !p.Accessor {
 			o.arraySet(idx, p.Value)
@@ -253,6 +324,9 @@ func (o *Object) DefineOwn(key string, p *Property) bool {
 // DeleteOwn removes an own property; it returns false for non-configurable
 // properties.
 func (o *Object) DeleteOwn(key string) bool {
+	if o.lazy != nil {
+		o.resolveLazy(key)
+	}
 	if o.IsArray() {
 		if idx, ok := arrayIndex(key); ok {
 			if int(idx) < len(o.elems) {
@@ -281,6 +355,7 @@ func (o *Object) DeleteOwn(key string) bool {
 // OwnKeys returns own enumerable-or-not string keys in specification order:
 // integer indices ascending first, then insertion order.
 func (o *Object) OwnKeys() []string {
+	o.materializeLazy()
 	var ints []uint32
 	var names []string
 	if o.IsArray() {

@@ -1,0 +1,41 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFingerprintCoversEveryOption guards the hand-enumerated bit packing
+// in Options.Fingerprint: adding an Options field without extending the
+// fingerprint would silently merge parse-cache entries for testbeds that
+// should parse differently, so this test fails loudly instead.
+func TestFingerprintCoversEveryOption(t *testing.T) {
+	typ := reflect.TypeOf(Options{})
+	const enumerated = 7 // fields packed in Fingerprint
+	if typ.NumField() != enumerated {
+		t.Fatalf("parser.Options has %d fields but Fingerprint packs %d — update Fingerprint (and this constant)",
+			typ.NumField(), enumerated)
+	}
+
+	// Flipping any single field must change the fingerprint, and every
+	// single-field variant must be distinct.
+	base := Options{}.Fingerprint()
+	seen := map[uint64]string{}
+	for i := 0; i < typ.NumField(); i++ {
+		var o Options
+		v := reflect.ValueOf(&o).Elem().Field(i)
+		if v.Kind() != reflect.Bool {
+			t.Fatalf("field %s is %s; Fingerprint only handles bools — extend it",
+				typ.Field(i).Name, v.Kind())
+		}
+		v.SetBool(true)
+		fp := o.Fingerprint()
+		if fp == base {
+			t.Errorf("setting %s does not change the fingerprint", typ.Field(i).Name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fields %s and %s share fingerprint %#x", prev, typ.Field(i).Name, fp)
+		}
+		seen[fp] = typ.Field(i).Name
+	}
+}

@@ -37,6 +37,27 @@ type Options struct {
 	Strict bool
 }
 
+// Fingerprint packs the option set into a cache key: two option values with
+// equal fingerprints parse every program identically, so parse results may
+// be shared between them (the scheduler's parse-once cache relies on this).
+func (o Options) Fingerprint() uint64 {
+	var fp uint64
+	for i, b := range []bool{
+		o.AllowEmptyForBody,
+		o.AllowDuplicateParams,
+		o.AllowLegacyOctal,
+		o.AllowReservedIdent,
+		o.AllowSloppyDelete,
+		o.AllowEvalArgumentsAssign,
+		o.Strict,
+	} {
+		if b {
+			fp |= 1 << uint(i)
+		}
+	}
+	return fp
+}
+
 // SyntaxError is a parse-time error with a position.
 type SyntaxError struct {
 	Pos token.Pos

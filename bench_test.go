@@ -13,9 +13,12 @@ import (
 	"comfort/internal/engines"
 	"comfort/internal/fuzzers"
 	"comfort/internal/lm"
+	"comfort/internal/reduce"
 
 	"comfort/internal/corpus"
+	"comfort/internal/js/ast"
 	"comfort/internal/js/lint"
+	"comfort/internal/js/parser"
 
 	"math/rand"
 )
@@ -244,6 +247,230 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		executed += int64(res.Executed)
 	}
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// BenchmarkReduce measures Section-3.5 witness reduction: the seed's
+// greedy reparse-per-candidate reducer (preserved below as the baseline)
+// against the hierarchical ddmin subsystem at one and eight workers. The
+// witness embeds the Listing-1 V8 defineProperty defect in a
+// multi-statement program; every path reduces it to the same divergence.
+// EXPERIMENTS.md records the measured speedups.
+func BenchmarkReduce(b *testing.B) {
+	v8 := engines.All()[0].Latest()
+	p := engines.Testbed{Version: v8}.Prepare()
+	ref := engines.ReferenceTestbed(false).Prepare()
+	opts := engines.RunOptions{Fuel: 300000, Seed: 1}
+	pred := engines.Diverges(p, ref, opts)
+	if !pred(reduceBenchWitness) {
+		b.Fatal("bench witness does not diverge on the V8 testbed")
+	}
+	// The seed predicate resolved the testbed per candidate (Testbed.Run +
+	// Reference); the baseline keeps that exact path.
+	seedPred := func(src string) bool {
+		tb := engines.Testbed{Version: v8}
+		return tb.Run(src, opts).Key() != engines.Reference(src, false, opts).Key()
+	}
+	var outs [3]string
+	b.Run("baseline-greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			outs[0] = greedyReduceBaseline(reduceBenchWitness, seedPred)
+		}
+	})
+	b.Run("ddmin-workers1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			outs[1] = reduce.Parallel(reduceBenchWitness, pred, reduce.Options{Workers: 1})
+		}
+	})
+	b.Run("ddmin-workers8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			outs[2] = reduce.Parallel(reduceBenchWitness, pred, reduce.Options{Workers: 8})
+		}
+	})
+	if outs[1] != "" && outs[2] != "" && outs[1] != outs[2] {
+		b.Fatalf("ddmin output differs across worker counts:\n%s\nvs\n%s", outs[1], outs[2])
+	}
+	for i, out := range outs {
+		if out != "" && !pred(out) {
+			b.Fatalf("reducer %d lost the divergence:\n%s", i, out)
+		}
+	}
+}
+
+// reduceBenchWitness embeds the Listing-1 V8 bug in 40+ statements of
+// unrelated code — the shape a fuzzer-found witness actually has.
+const reduceBenchWitness = `var unrelated = [1, 2, 3].map(function(x) { return x * 2; });
+var alsoUnrelated = "hello".toUpperCase();
+var t0 = Math.max(1, 2, 3);
+var t1 = [4, 5, 6].join("-");
+var t2 = {a: 1, b: 2};
+var t3 = t2.a + t2.b;
+var u0 = "abcdef".indexOf("c");
+var u1 = [7, 8, 9].reverse();
+var u2 = Math.min(4, 5);
+var u3 = parseInt("101", 2);
+var u4 = "x,y,z".split(",");
+var u5 = u4.length + u1.length;
+var u6 = {k: "v", n: 3};
+var u7 = u6.n * u2;
+var u8 = [t0, u0, u3];
+var u9 = u8.join("|");
+var w0 = "pad".charAt(1);
+var w1 = Math.abs(-9);
+var w2 = [1, 1, 2, 3, 5, 8];
+var w3 = w2.slice(2, 4);
+var w4 = w3.concat([13]);
+var w5 = "" + w1 + w0;
+print(u5 + u7);
+print(u9);
+print(w4.join("+") + w5);
+function helper(n) {
+  return n + 1;
+}
+function unusedHelper(m) {
+  var acc = 0;
+  for (var j = 0; j < m; j++) {
+    acc += j;
+  }
+  return acc;
+}
+var foo = function() {
+  var counter = 0;
+  for (var i = 0; i < 3; i++) {
+    counter += helper(i);
+  }
+  var arrobj = [0, 1];
+  Object.defineProperty(arrobj, "length", {value: 1, configurable: true});
+  print("no throw");
+  return counter;
+};
+foo();
+print(unrelated.join(","));
+print(unusedHelper(4));
+print(t0 + t1 + t3);
+if (t0 > 1) {
+  print("big");
+} else {
+  print("small");
+}`
+
+// greedyReduceBaseline is the seed repo's reducer, verbatim: reparse the
+// whole source for every candidate, restart a full scan after each
+// accepted removal, strictly sequential. Kept as the benchmark baseline.
+func greedyReduceBaseline(src string, pred func(string) bool) string {
+	if !pred(src) {
+		return src
+	}
+	current := src
+	for {
+		next, improved := greedyPass(current, pred)
+		if !improved {
+			return current
+		}
+		current = next
+	}
+}
+
+func greedyPass(current string, pred func(string) bool) (string, bool) {
+	prog, err := parser.Parse(current)
+	if err != nil {
+		return current, false
+	}
+	total := 0
+	for _, l := range greedyStmtLists(prog) {
+		total += len(*l)
+	}
+	for idx := total - 1; idx >= 0; idx-- {
+		candidate, ok := greedyRemoveNth(current, idx)
+		if !ok || candidate == current {
+			continue
+		}
+		if pred(candidate) {
+			return candidate, true
+		}
+	}
+	for idx := 0; idx < total; idx++ {
+		candidate, ok := greedySimplifyNth(current, idx)
+		if !ok || candidate == current {
+			continue
+		}
+		if pred(candidate) {
+			return candidate, true
+		}
+	}
+	return current, false
+}
+
+func greedyStmtLists(prog *ast.Program) []*[]ast.Stmt {
+	lists := []*[]ast.Stmt{&prog.Body}
+	ast.Walk(prog, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BlockStmt:
+			lists = append(lists, &v.Body)
+		case *ast.SwitchCase:
+			lists = append(lists, &v.Body)
+		}
+		return true
+	})
+	return lists
+}
+
+func greedyRemoveNth(src string, idx int) (string, bool) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	n := idx
+	for _, l := range greedyStmtLists(prog) {
+		if n < len(*l) {
+			*l = append(append([]ast.Stmt(nil), (*l)[:n]...), (*l)[n+1:]...)
+			out := ast.Print(prog)
+			if _, err := parser.Parse(out); err != nil {
+				return "", false
+			}
+			return out, true
+		}
+		n -= len(*l)
+	}
+	return "", false
+}
+
+func greedySimplifyNth(src string, idx int) (string, bool) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return "", false
+	}
+	n := idx
+	for _, l := range greedyStmtLists(prog) {
+		if n < len(*l) {
+			s := (*l)[n]
+			var repl ast.Stmt
+			switch v := s.(type) {
+			case *ast.IfStmt:
+				repl = v.Then
+			case *ast.WhileStmt:
+				repl = v.Body
+			case *ast.ForStmt:
+				repl = v.Body
+			case *ast.TryStmt:
+				repl = v.Block
+			case *ast.LabeledStmt:
+				repl = v.Body
+			default:
+				return "", false
+			}
+			if repl == nil {
+				return "", false
+			}
+			(*l)[n] = repl
+			out := ast.Print(prog)
+			if _, err := parser.Parse(out); err != nil {
+				return "", false
+			}
+			return out, true
+		}
+		n -= len(*l)
+	}
+	return "", false
 }
 
 // --- micro-benchmarks of the substrate ---

@@ -31,11 +31,15 @@ func main() {
 		workers  = flag.Int("workers", 0, "scheduler worker pool size; 0 = default")
 		fuel     = flag.Int64("fuel", 0, "interpreter step budget per execution; 0 = default")
 		progress = flag.Bool("progress", false, "print campaign progress to stderr")
+		reduceW  = flag.Bool("reduce", false, "reduce each finding's witness after the campaign (Section 3.5)")
 	)
 	flag.Parse()
 
 	// base carries the scheduler options every campaign in this invocation
 	// shares (including the per-fuzzer campaigns behind -figure 8).
+	// ReduceWitnesses stays out of base: Figure 8 only reads Found counts,
+	// so reducing inside its six campaigns would be silent wasted work —
+	// the flag applies to the main campaign, whose summary is printed.
 	base := campaign.Config{Workers: *workers, Fuel: *fuel}
 	if *progress {
 		base.Progress = func(done, total int) {
@@ -61,9 +65,13 @@ func main() {
 		cfg.Testbeds = engines.Testbeds()
 		cfg.Cases = *cases
 		cfg.Seed = *seed
+		cfg.ReduceWitnesses = *reduceW
 		res = campaign.Run(cfg)
 		fmt.Printf("campaign done: %d cases, %d findings, %d duplicates filtered\n\n",
 			res.CasesRun, len(res.Found), res.DuplicatesFiltered)
+		if *reduceW {
+			fmt.Println(campaign.ReductionSummary(res))
+		}
 	}
 	found := []*campaign.Defect{}
 	if res != nil {

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	jsreduce -engine Rhino -version v1.7.12 testcase.js
+//	jsreduce -engine V8 -version 8.4 -fuel 200000 -seed 2021 -workers 8 t.js
+//
+// -fuel and -seed must match the campaign that reported the divergence:
+// reducing under a different budget can chase a different divergence than
+// the one reported. -workers widens the reducer's speculative pool; the
+// output is byte-identical for every worker count.
 package main
 
 import (
@@ -11,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"comfort/internal/difftest"
 	"comfort/internal/engines"
 	"comfort/internal/reduce"
 )
@@ -20,10 +27,13 @@ func main() {
 		engine  = flag.String("engine", "", "engine family")
 		version = flag.String("version", "", "engine version or build")
 		strict  = flag.Bool("strict", false, "strict-mode testbed")
+		fuel    = flag.Int64("fuel", difftest.DefaultFuel, "interpreter step budget per execution (match the campaign's)")
+		seed    = flag.Int64("seed", 1, "deterministic runtime seed (match the campaign's)")
+		workers = flag.Int("workers", 0, "speculative reducer pool size; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 || *engine == "" {
-		fmt.Fprintln(os.Stderr, "usage: jsreduce -engine E -version V [-strict] file.js")
+		fmt.Fprintln(os.Stderr, "usage: jsreduce -engine E -version V [-strict] [-fuel N] [-seed N] [-workers N] file.js")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -31,21 +41,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	v, ok := engines.FindVersion(*engine, *version)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown engine version %s/%s\n", *engine, *version)
+	reduced, err := reduceSource(*engine, *version, *strict, *fuel, *seed, *workers, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	tb := engines.Testbed{Version: v, Strict: *strict}
-	opts := engines.RunOptions{Fuel: 500000, Seed: 1}
-	diverges := func(candidate string) bool {
-		return tb.Run(candidate, opts).Key() != engines.Reference(candidate, *strict, opts).Key()
-	}
-	if !diverges(string(src)) {
-		fmt.Fprintln(os.Stderr, "input does not diverge from the reference on that testbed")
-		os.Exit(1)
-	}
-	reduced := reduce.Reduce(string(src), diverges)
 	fmt.Println(reduced)
 	fmt.Fprintf(os.Stderr, "reduced %d bytes -> %d bytes\n", len(src), len(reduced))
+}
+
+// reduceSource resolves the testbed, prepares it and the reference once,
+// and runs the parallel reducer over the divergence predicate.
+func reduceSource(engine, version string, strict bool, fuel, seed int64, workers int, src string) (string, error) {
+	v, ok := engines.FindVersion(engine, version)
+	if !ok {
+		return "", fmt.Errorf("unknown engine version %s/%s", engine, version)
+	}
+	p := engines.Testbed{Version: v, Strict: strict}.Prepare()
+	ref := engines.ReferenceTestbed(strict).Prepare()
+	diverges := engines.Diverges(p, ref, engines.RunOptions{Fuel: fuel, Seed: seed})
+	if !diverges(src) {
+		return "", fmt.Errorf("input does not diverge from the reference on that testbed")
+	}
+	return reduce.Parallel(src, diverges, reduce.Options{Workers: workers}), nil
 }

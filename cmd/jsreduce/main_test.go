@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"comfort/internal/engines"
+)
+
+// witness returns a catalog defect whose own witness diverges on its
+// attributed version's testbed — the exact scenario jsreduce serves.
+func witnessDefect(t *testing.T) (*engines.Defect, engines.Version) {
+	t.Helper()
+	for _, d := range engines.Catalog() {
+		v, ok := engines.FindVersion(d.Engine, d.AttrVersion)
+		if !ok || d.WitnessStrict {
+			continue
+		}
+		return d, v
+	}
+	t.Fatal("no usable catalog witness")
+	return nil, engines.Version{}
+}
+
+// TestReduceSourceHonoursFlags is the regression test for the hardcoded
+// Fuel/Seed: the fuel, seed and workers values all flow into the
+// reduction, and the reduced output still diverges under those options.
+func TestReduceSourceHonoursFlags(t *testing.T) {
+	d, v := witnessDefect(t)
+	const fuel, seed = 500000, 1
+	padded := "var pad1 = 1;\nvar pad2 = [1, 2, 3];\n" + d.Witness + "\nprint(pad1);\n"
+	out, err := reduceSource(d.Engine, v.Name, false, fuel, seed, 2, padded)
+	if err != nil {
+		t.Fatalf("reduceSource: %v", err)
+	}
+	if len(out) >= len(padded) {
+		t.Errorf("no shrinkage: %d -> %d bytes", len(padded), len(out))
+	}
+	p := engines.Testbed{Version: v}.Prepare()
+	ref := engines.ReferenceTestbed(false).Prepare()
+	opts := engines.RunOptions{Fuel: fuel, Seed: seed}
+	if p.Run(out, opts).Key() == ref.Run(out, opts).Key() {
+		t.Errorf("reduced output no longer diverges:\n%s", out)
+	}
+
+	// Worker counts must not change the reduced bytes.
+	serial, err := reduceSource(d.Engine, v.Name, false, fuel, seed, 1, padded)
+	if err != nil {
+		t.Fatalf("reduceSource workers=1: %v", err)
+	}
+	if serial != out {
+		t.Errorf("workers=2 output differs from workers=1:\n%s\nvs\n%s", out, serial)
+	}
+}
+
+// TestReduceSourceRejectsNonDiverging pins the error path.
+func TestReduceSourceRejectsNonDiverging(t *testing.T) {
+	_, v := witnessDefect(t)
+	_, err := reduceSource(v.Engine, v.Name, false, 500000, 1, 4, "print(1);")
+	if err == nil || !strings.Contains(err.Error(), "does not diverge") {
+		t.Errorf("expected non-divergence error, got %v", err)
+	}
+}

@@ -20,8 +20,10 @@
 //   - internal/exec      — the execution scheduler: prepared testbeds,
 //     behaviour-class sharing, a parse-once cache and a streaming
 //     (case × testbed) worker pool
+//   - internal/reduce    — hierarchical ddmin test-case reduction with
+//     speculative parallel predicate evaluation (Section 3.5)
 //   - internal/campaign  — differential-testing campaigns (a fuzzer →
-//     scheduler → classify → dedup/attribute pipeline) and the
+//     scheduler → classify → dedup/attribute → reduce pipeline) and the
 //     table/figure generators
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for
@@ -55,6 +57,8 @@ type (
 	Defect = engines.Defect
 	// ExecResult is the observable behaviour of one testbed run.
 	ExecResult = engines.ExecResult
+	// RunOptions carries the per-execution fuel budget and seed.
+	RunOptions = engines.RunOptions
 	// CaseResult is a differential-testing outcome (Figure 5).
 	CaseResult = difftest.CaseResult
 	// ExecEntry pairs one testbed with its observed behaviour on a case.
@@ -104,6 +108,10 @@ func RunReference(src string, strict bool, fuel, seed int64) ExecResult {
 	return engines.Reference(src, strict, engines.RunOptions{Fuel: fuel, Seed: seed})
 }
 
+// ReferenceTestbed returns the defect-free reference testbed in the given
+// mode (prepare it once to run many candidates against the oracle).
+func ReferenceTestbed(strict bool) Testbed { return engines.ReferenceTestbed(strict) }
+
 // DiffTest differentially tests src across testbeds per Figure 5.
 func DiffTest(src string, testbeds []Testbed, fuel, seed int64) CaseResult {
 	return difftest.Run(src, testbeds, difftest.Options{Fuel: fuel, Seed: seed})
@@ -135,10 +143,22 @@ func MutateTestData(src string, maxVariants int, seed int64) []string {
 	return out
 }
 
+// ReduceOptions parameterises parallel test-case reduction.
+type ReduceOptions = reduce.Options
+
 // ReduceTestCase shrinks a bug-exposing test case while keep reports that
-// the anomaly still reproduces (Section 3.5).
+// the anomaly still reproduces (Section 3.5), using the sequential driver.
 func ReduceTestCase(src string, keep func(string) bool) string {
 	return reduce.Reduce(src, keep)
+}
+
+// ReduceTestCaseParallel shrinks a bug-exposing test case with the
+// hierarchical ddmin reducer, evaluating independent candidates
+// speculatively on a bounded worker pool. keep must be safe for concurrent
+// calls when Workers > 1; the result is byte-identical for every worker
+// count.
+func ReduceTestCaseParallel(src string, keep func(string) bool, opts ReduceOptions) string {
+	return reduce.Parallel(src, keep, opts)
 }
 
 // Tables regenerates the paper's evaluation artifacts from a campaign's

@@ -31,15 +31,19 @@ func main() {
 	v8 := comfort.Engines()[0].Latest()
 	tb := comfort.Testbed{Version: v8}
 
+	// Prepare once, run many: the prepared testbeds pay the catalog scan
+	// and option resolution a single time across all candidates.
+	p := comfort.PrepareTestbed(tb)
+	ref := comfort.PrepareTestbed(comfort.ReferenceTestbed(false))
 	diverges := func(src string) bool {
-		return comfort.RunTestbed(tb, src, 300000, 1).Key() !=
-			comfort.RunReference(src, false, 300000, 1).Key()
+		opts := comfort.RunOptions{Fuel: 300000, Seed: 1}
+		return p.Run(src, opts).Key() != ref.Run(src, opts).Key()
 	}
 	if !diverges(bloated) {
 		fmt.Println("unexpected: the bloated case does not diverge")
 		return
 	}
-	reduced := comfort.ReduceTestCase(bloated, diverges)
+	reduced := comfort.ReduceTestCaseParallel(bloated, diverges, comfort.ReduceOptions{Workers: 4})
 	fmt.Printf("original (%d bytes):\n%s\n\n", len(bloated), bloated)
 	fmt.Printf("reduced (%d bytes):\n%s\n", len(reduced), reduced)
 	fmt.Printf("\nstill diverges on %s: %v\n", tb.ID(), diverges(reduced))

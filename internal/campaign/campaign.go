@@ -8,6 +8,7 @@ package campaign
 import (
 	"context"
 	"math/rand"
+	"sort"
 
 	"comfort/internal/dedup"
 	"comfort/internal/difftest"
@@ -28,7 +29,11 @@ type Config struct {
 	Fuel    int64
 	Seed    int64
 	Workers int
-	// ReduceWitnesses runs test-case reduction on each new finding.
+	// ReduceWitnesses runs test-case reduction on each deduplicated
+	// finding's witness after the campaign stream completes (off the hot
+	// accounting path). Reduction uses the parallel ddmin subsystem with
+	// this config's Workers; the reduced witnesses are byte-identical for
+	// every worker count.
 	ReduceWitnesses bool
 	// DisableDedup turns the Figure-6 filter off (ablation).
 	DisableDedup bool
@@ -48,6 +53,21 @@ type Finding struct {
 	Reduced  string
 	Verdict  difftest.Verdict
 	Engine   string
+	// strict records the mode of the deviant testbed, so the reduction
+	// predicate replays the same divergence that was reported.
+	strict bool
+}
+
+// ReductionStats summarises witness reduction across a campaign's
+// findings (set when Config.ReduceWitnesses is on and anything was found).
+type ReductionStats struct {
+	Findings     int
+	OrigBytes    int
+	ReducedBytes int
+	// Min/Median/Mean are over the per-finding reduced witness sizes.
+	MinBytes    int
+	MedianBytes float64
+	MeanBytes   float64
 }
 
 // Defect aliases the engines type for the public API surface.
@@ -72,6 +92,9 @@ type Result struct {
 	// UnattributedFindings counts divergences that matched no single seeded
 	// defect in isolation (interaction effects).
 	UnattributedFindings int
+	// Reduction summarises witness reduction (nil unless
+	// Config.ReduceWitnesses was set and findings exist).
+	Reduction *ReductionStats
 }
 
 // FoundDefects returns the discovered defects.
@@ -161,7 +184,59 @@ func Run(cfg Config) *Result {
 			cfg.Progress(res.CasesRun, cfg.Cases)
 		}
 	}
+
+	// Stage 4 (optional): witness reduction, after the stream has drained
+	// and dedup/attribution settled — never on the hot accounting path.
+	if cfg.ReduceWitnesses {
+		reduceFindings(ctx, cfg, res)
+	}
 	return res
+}
+
+// reduceFindings shrinks every finding's witness with the parallel ddmin
+// reducer. Findings are processed in defect-ID order and the reducer is
+// worker-count independent, so the reduced witnesses are deterministic.
+func reduceFindings(ctx context.Context, cfg Config, res *Result) {
+	ids := make([]string, 0, len(res.Found))
+	for id := range res.Found {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var sizes []int
+	stats := &ReductionStats{}
+	for _, id := range ids {
+		f := res.Found[id]
+		f.Reduced = reduceFinding(ctx, f, cfg)
+		stats.Findings++
+		stats.OrigBytes += len(f.TestCase)
+		stats.ReducedBytes += len(f.Reduced)
+		sizes = append(sizes, len(f.Reduced))
+	}
+	if stats.Findings == 0 {
+		return
+	}
+	sort.Ints(sizes)
+	stats.MinBytes = sizes[0]
+	if n := len(sizes); n%2 == 1 {
+		stats.MedianBytes = float64(sizes[n/2])
+	} else {
+		stats.MedianBytes = float64(sizes[n/2-1]+sizes[n/2]) / 2
+	}
+	stats.MeanBytes = float64(stats.ReducedBytes) / float64(stats.Findings)
+	res.Reduction = stats
+}
+
+// reduceFinding shrinks a bug-exposing test case while the single-defect
+// divergence persists. The defect and reference executors are prepared
+// once; the predicate then costs two interpretations per candidate, which
+// the reducer evaluates speculatively in parallel.
+func reduceFinding(ctx context.Context, f *Finding, cfg Config) string {
+	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed}
+	buggy := engines.NewDefectRunner(f.Defect, f.strict)
+	ref := engines.NewDefectRunner(nil, f.strict)
+	return reduce.Parallel(f.TestCase, func(candidate string) bool {
+		return buggy.Run(candidate, opts).Key() != ref.Run(candidate, opts).Key()
+	}, reduce.Options{Workers: cfg.Workers, Context: ctx})
 }
 
 // accountCase folds one buggy case into the campaign result: Figure-6
@@ -185,22 +260,10 @@ func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difft
 			if _, seen := res.Found[d.ID]; seen {
 				continue
 			}
-			f := &Finding{Defect: d, TestCase: src, Verdict: cr.Verdict, Engine: engine}
-			if cfg.ReduceWitnesses {
-				f.Reduced = reduceFinding(src, dev.Testbed, d, cfg)
+			res.Found[d.ID] = &Finding{
+				Defect: d, TestCase: src, Verdict: cr.Verdict,
+				Engine: engine, strict: dev.Testbed.Strict,
 			}
-			res.Found[d.ID] = f
 		}
 	}
-}
-
-// reduceFinding shrinks a bug-exposing test case while the single-defect
-// divergence persists.
-func reduceFinding(src string, tb engines.Testbed, d *engines.Defect, cfg Config) string {
-	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed}
-	return reduce.Reduce(src, func(candidate string) bool {
-		buggy := engines.RunWithDefect(d, candidate, tb.Strict, opts)
-		ref := engines.RunWithDefect(nil, candidate, tb.Strict, opts)
-		return buggy.Key() != ref.Key()
-	})
 }

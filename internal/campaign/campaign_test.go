@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"comfort/internal/difftest"
 	"comfort/internal/engines"
 	"comfort/internal/fuzzers"
 )
@@ -35,16 +36,19 @@ func TestComfortCampaignFindsSeededBugs(t *testing.T) {
 }
 
 // TestCampaignWorkerCountIndependence pins the streaming pipeline's
-// determinism contract: at a fixed seed, the findings and the verdict
-// histogram are identical for a serial and a wide worker pool.
+// determinism contract: at a fixed seed, the findings, the verdict
+// histogram and the reduced witnesses are identical for a serial and a
+// wide worker pool (reduction enabled, so the reducer's own
+// worker-count-independence guarantee is exercised end to end).
 func TestCampaignWorkerCountIndependence(t *testing.T) {
 	run := func(workers int) *Result {
 		return Run(Config{
-			Fuzzer:   fuzzers.NewComfort(),
-			Testbeds: engines.Testbeds(),
-			Cases:    80,
-			Seed:     2021,
-			Workers:  workers,
+			Fuzzer:          fuzzers.NewComfort(),
+			Testbeds:        engines.Testbeds(),
+			Cases:           80,
+			Seed:            2021,
+			Workers:         workers,
+			ReduceWitnesses: true,
 		})
 	}
 	serial := run(1)
@@ -66,6 +70,13 @@ func TestCampaignWorkerCountIndependence(t *testing.T) {
 		if f.TestCase != g.TestCase || f.Verdict != g.Verdict || f.Engine != g.Engine {
 			t.Errorf("finding %s attributed differently across worker counts", id)
 		}
+		if f.Reduced != g.Reduced {
+			t.Errorf("finding %s reduced differently across worker counts:\nworkers=1:\n%s\nworkers=8:\n%s",
+				id, f.Reduced, g.Reduced)
+		}
+	}
+	if serial.Reduction != nil && wide.Reduction != nil && *serial.Reduction != *wide.Reduction {
+		t.Errorf("reduction stats differ: %+v vs %+v", *serial.Reduction, *wide.Reduction)
 	}
 	for v, n := range serial.Verdicts {
 		if wide.Verdicts[v] != n {
@@ -186,6 +197,72 @@ func TestWitnessReplayFindsEveryDefect(t *testing.T) {
 		}
 		t.Errorf("witness replay found %d/%d defects; missing: %v",
 			len(found), len(engines.Catalog()), missing)
+	}
+}
+
+// TestCampaignReductionShrinksWitnesses pins the end-to-end reduction
+// integration: reduced witnesses still reproduce their single-defect
+// divergence, are no larger than the original, and the stats aggregate
+// them correctly.
+func TestCampaignReductionShrinksWitnesses(t *testing.T) {
+	res := Run(Config{
+		Fuzzer:          fuzzers.NewComfort(),
+		Testbeds:        figure8Testbeds(),
+		Cases:           150,
+		Seed:            11,
+		ReduceWitnesses: true,
+	})
+	if len(res.Found) == 0 {
+		t.Fatal("campaign found nothing to reduce")
+	}
+	if res.Reduction == nil {
+		t.Fatal("Reduction stats missing")
+	}
+	if res.Reduction.Findings != len(res.Found) {
+		t.Errorf("stats cover %d findings, want %d", res.Reduction.Findings, len(res.Found))
+	}
+	total := 0
+	for id, f := range res.Found {
+		if f.Reduced == "" {
+			t.Errorf("finding %s not reduced", id)
+			continue
+		}
+		if len(f.Reduced) > len(f.TestCase) {
+			t.Errorf("finding %s grew: %d -> %d bytes", id, len(f.TestCase), len(f.Reduced))
+		}
+		total += len(f.Reduced)
+		// The reduced witness must still isolate the same defect under the
+		// campaign's fuel/seed — the reducer's predicate, replayed.
+		opts := engines.RunOptions{Fuel: difftest.DefaultFuel, Seed: 11}
+		buggy := engines.NewDefectRunner(f.Defect, f.strict)
+		ref := engines.NewDefectRunner(nil, f.strict)
+		if buggy.Run(f.Reduced, opts).Key() == ref.Run(f.Reduced, opts).Key() {
+			t.Errorf("finding %s: reduced witness no longer diverges", id)
+		}
+	}
+	if res.Reduction.ReducedBytes != total {
+		t.Errorf("ReducedBytes=%d, want %d", res.Reduction.ReducedBytes, total)
+	}
+	if s := ReductionSummary(res); !strings.Contains(s, "Median") {
+		t.Errorf("summary render missing stats:\n%s", s)
+	}
+}
+
+// TestTable2ToleratesUncataloguedEngine is the regression test for the
+// nil-map dereference: an engineOrder entry with zero catalog defects must
+// render a zero row, not panic (Table3-5 already tolerate this).
+func TestTable2ToleratesUncataloguedEngine(t *testing.T) {
+	orig := engineOrder
+	engineOrder = append(append([]string{}, orig...), "ImaginaryJS")
+	defer func() { engineOrder = orig }()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Table2 panicked on an engine with no catalog defects: %v", r)
+		}
+	}()
+	out := Table2(nil)
+	if !strings.Contains(out, "ImaginaryJS") {
+		t.Errorf("uncatalogued engine missing from Table 2:\n%s", out)
 	}
 }
 

@@ -112,6 +112,12 @@ func Table2(found []*Defect) string {
 	var tot, ftot triage
 	for _, e := range engineOrder {
 		p := paper[e]
+		if p == nil {
+			// An engine with no catalog defects still gets a row (Table3-5
+			// and Figure7 already tolerate absent keys; keep Table2
+			// consistent instead of dereferencing a nil map entry).
+			p = &triage{}
+		}
 		m := measured[e]
 		if m == nil {
 			m = &triage{}
@@ -284,6 +290,27 @@ func Figure7(found []*Defect) string {
 		t.row(c.String(), fmt.Sprint(r.confirmed), fmt.Sprint(r.fixed), fmt.Sprintf("| %d", r.foundC))
 	}
 	return t.render("Figure 7: bugs per compiler component (paper | campaign-found)")
+}
+
+// ReductionSummary renders the witness-reduction statistics of a campaign
+// next to the tables: total shrinkage plus min/median/mean reduced sizes.
+func ReductionSummary(res *Result) string {
+	if res == nil || res.Reduction == nil {
+		// Reduction is nil both when Config.ReduceWitnesses was off and
+		// when the campaign simply found nothing to reduce.
+		return "Reduction: no reduced witnesses (no findings, or Config.ReduceWitnesses disabled)\n"
+	}
+	s := res.Reduction
+	t := &tw{}
+	t.row("Findings", "Orig bytes", "Reduced bytes", "Kept", "Min", "Median", "Mean")
+	kept := "-"
+	if s.OrigBytes > 0 {
+		kept = fmt.Sprintf("%.0f%%", 100*float64(s.ReducedBytes)/float64(s.OrigBytes))
+	}
+	t.row(fmt.Sprint(s.Findings), fmt.Sprint(s.OrigBytes), fmt.Sprint(s.ReducedBytes),
+		kept, fmt.Sprint(s.MinBytes), fmt.Sprintf("%.1f", s.MedianBytes),
+		fmt.Sprintf("%.1f", s.MeanBytes))
+	return t.render("Reduction: witness sizes after Section-3.5 ddmin (bytes)")
 }
 
 // FuzzerComparison holds one fuzzer's Figure-8 measurements.

@@ -38,6 +38,61 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 	return res
 }
 
+// DefectRunner is the prepared form of RunWithDefect: the interpreter
+// config, parser options and hook for one (defect, mode) pair are resolved
+// once, so a reduction predicate that executes hundreds of candidates pays
+// the setup exactly once. A nil defect prepares the defect-free reference.
+// Run is safe for concurrent use (each call builds its own runtime).
+type DefectRunner struct {
+	d         *Defect
+	baseCfg   interp.Config // Strict + Configure deltas; Fuel/Seed per run
+	parseOpts parser.Options
+}
+
+// NewDefectRunner prepares a single-defect executor with semantics
+// identical to RunWithDefect(d, ·, strict, ·).
+func NewDefectRunner(d *Defect, strict bool) *DefectRunner {
+	r := &DefectRunner{
+		d:         d,
+		baseCfg:   interp.Config{Strict: strict},
+		parseOpts: parser.Options{Strict: strict},
+	}
+	if d != nil {
+		if d.Configure != nil {
+			d.Configure(&r.baseCfg)
+		}
+		if d.ParserOpts != nil {
+			d.ParserOpts(&r.parseOpts)
+		}
+		if d.Hook != nil && (!d.StrictOnly || strict) {
+			r.baseCfg.Hook = d.Hook
+		}
+	}
+	return r
+}
+
+// Run executes src with the prepared defect (or the reference when the
+// runner was prepared with a nil defect).
+func (r *DefectRunner) Run(src string, opts RunOptions) ExecResult {
+	if r.d != nil && r.d.PreParse != nil {
+		if msg := r.d.PreParse(src); msg != "" {
+			return ExecResult{Outcome: OutcomeParseError, Error: "SyntaxError: " + msg, ErrName: "SyntaxError"}
+		}
+	}
+	cfg := r.baseCfg
+	cfg.Fuel = opts.Fuel
+	cfg.Seed = opts.Seed
+	in := builtins.NewRuntime(cfg)
+	prog, err := parser.ParseWith(src, r.parseOpts)
+	if err != nil {
+		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
+	}
+	runErr := in.Run(prog)
+	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
+	classifyRunError(&res, runErr)
+	return res
+}
+
 // Attribute identifies which seeded defects of the testbed's version are
 // responsible for a divergence observed on src: each active defect is
 // re-run in isolation against the defect-free reference.

@@ -279,9 +279,15 @@ func (tb Testbed) Run(src string, opts RunOptions) ExecResult {
 	return tb.Prepare().Run(src, opts)
 }
 
+// ReferenceTestbed returns the defect-free reference testbed in the given
+// mode; prepare it once to run many candidates against the conformance
+// oracle (reduction predicates, witness replay).
+func ReferenceTestbed(strict bool) Testbed {
+	return Testbed{Version: Version{Engine: "Reference", Name: "spec", rank: 0}, Strict: strict}
+}
+
 // Reference runs src on the defect-free reference runtime (the conformance
 // oracle used by witness tests and ground-truth accounting).
 func Reference(src string, strict bool, opts RunOptions) ExecResult {
-	tb := Testbed{Version: Version{Engine: "Reference", Name: "spec", rank: 0}, Strict: strict}
-	return tb.Run(src, opts)
+	return ReferenceTestbed(strict).Run(src, opts)
 }

@@ -187,6 +187,37 @@ func classifyRunError(res *ExecResult, runErr error) {
 	}
 }
 
+// Diverges builds a reduction predicate over two prepared testbeds: it
+// reports whether src behaves differently on a and b under opts. When the
+// testbeds' parser options coincide (the common case — a version against
+// the reference) each candidate is parsed once and the AST shared between
+// both executions, so a reducer evaluating hundreds of candidates pays one
+// parse, not two, per candidate. The predicate is safe for concurrent
+// calls, as reduce.Parallel requires.
+func Diverges(a, b *PreparedTestbed, opts RunOptions) func(src string) bool {
+	if a.ParseFingerprint() != b.ParseFingerprint() {
+		return func(src string) bool {
+			return a.Run(src, opts).Key() != b.Run(src, opts).Key()
+		}
+	}
+	return func(src string) bool {
+		var prog *ast.Program
+		var perr error
+		parsed := false
+		runOne := func(p *PreparedTestbed) ExecResult {
+			if msg := p.PreParseError(src); msg != "" {
+				return PreParseResult(msg)
+			}
+			if !parsed {
+				prog, perr = a.Parse(src)
+				parsed = true
+			}
+			return p.ExecParsed(prog, perr, opts)
+		}
+		return runOne(a).Key() != runOne(b).Key()
+	}
+}
+
 // combineHooks merges the active defects' hooks; the first override wins.
 func combineHooks(defects []*Defect, strict bool) interp.Hook {
 	var hooks []*Defect

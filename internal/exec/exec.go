@@ -116,8 +116,10 @@ type task struct {
 // Run consumes cases from in and returns a channel of outcomes, emitted in
 // the order cases were received. The channel is closed when all input has
 // been processed or ctx is cancelled; cancellation never deadlocks — all
-// scheduler goroutines drain and exit, and partially-executed cases are
-// dropped rather than emitted.
+// scheduler goroutines drain and exit. The emitted outcomes are always a
+// contiguous prefix of the case sequence: once cancellation drops one
+// case (or pre-empts one emission), no later case is emitted either, even
+// if it happened to execute fully before the workers saw the cancel.
 func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 	nTB := len(s.prepared)
 	nCls := len(s.classes)
@@ -198,6 +200,7 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 	go func() {
 		defer close(out)
 		next := 0
+		dropped := false
 		pending := map[int]*caseState{}
 		for cs := range done {
 			pending[cs.seq] = cs
@@ -210,6 +213,14 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 				next++
 				<-sem
 				if atomic.LoadInt32(&c.cancelled) != 0 {
+					// A partially-executed case is dropped; later cases may
+					// still complete (their tasks ran before cancellation
+					// reached their worker), but emitting them would punch a
+					// hole in the in-order stream — the emitted outcomes
+					// must stay a contiguous prefix of the case sequence.
+					dropped = true
+				}
+				if dropped {
 					continue
 				}
 				oc := Outcome{Case: c.c, Entries: c.entries, Result: difftest.Classify(c.entries)}
@@ -217,7 +228,10 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 				case out <- oc:
 				case <-ctx.Done():
 					// The consumer may be gone; keep draining without
-					// emitting so the workers can finish.
+					// emitting so the workers can finish. This case can win
+					// even while the consumer still listens, so stop
+					// emitting altogether — the prefix contract again.
+					dropped = true
 				}
 			}
 		}

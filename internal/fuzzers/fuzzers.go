@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"unicode/utf8"
 
 	"comfort/internal/corpus"
 	"comfort/internal/gen"
@@ -207,66 +208,177 @@ func NewCodeAlchemist() *CodeAlchemist {
 	return &CodeAlchemist{bricks: bricks}
 }
 
-// mineBrick parses a fragment as a statement and extracts its def/use sets.
+// mineBrick parses a fragment as a statement and extracts its def/use
+// sets with proper scoping: defines are the names the brick hoists into
+// the scope it is placed in (top-level var/function declarations, all of
+// them hoisted regardless of pre-order position), and uses are the free
+// identifiers — names bound only inside a nested function do NOT leak
+// into the brick-wide environment. A flat walk-order analysis treats such
+// inner bindings as brick-wide defines, so assembled programs "use"
+// variables that were never defined, inflating invalid output beyond the
+// modeled textCorrupt rate.
 func mineBrick(frag string) (brick, bool) {
 	prog, err := parser.Parse(frag)
 	if err != nil || len(prog.Body) != 1 {
 		return brick{}, false
 	}
 	b := brick{src: frag}
-	defined := map[string]bool{}
-	ast.Walk(prog, func(n ast.Node) bool {
-		switch v := n.(type) {
+	top := &scope{bound: map[string]bool{}}
+	b.defines = hoistedBindings(prog, top.bound)
+	seenUse := map[string]bool{}
+	freeIdents(prog, top, func(name string) {
+		if !seenUse[name] {
+			seenUse[name] = true
+			b.uses = append(b.uses, name)
+		}
+	})
+	return b, true
+}
+
+// scope is one function (or catch) scope in a brick's binding chain.
+type scope struct {
+	bound  map[string]bool
+	parent *scope
+}
+
+func (s *scope) has(name string) bool {
+	for c := s; c != nil; c = c.parent {
+		if c.bound[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// hoistedBindings collects the names bound in the function scope rooted at
+// n — var/let/const declarators, for-in declarations and function
+// declarations — without descending into nested function bodies. It fills
+// bound and returns the names in first-appearance order.
+func hoistedBindings(n ast.Node, bound map[string]bool) []string {
+	var names []string
+	add := func(name string) {
+		if name != "" && !bound[name] {
+			bound[name] = true
+			names = append(names, name)
+		}
+	}
+	ast.Walk(n, func(m ast.Node) bool {
+		switch v := m.(type) {
 		case *ast.VarDecl:
 			for _, d := range v.Decls {
-				b.defines = append(b.defines, d.Name)
-				defined[d.Name] = true
+				add(d.Name)
 			}
+		case *ast.ForInStmt:
+			if v.Decl >= 0 {
+				add(v.Name)
+			}
+		case *ast.FuncDecl:
+			if v.Fn != nil {
+				add(v.Fn.Name)
+			}
+			return false // the body is a nested scope
 		case *ast.FuncLit:
-			for _, p := range v.Params {
-				defined[p] = true
-			}
-			if v.Name != "" {
-				defined[v.Name] = true
-			}
-		case *ast.Ident:
-			if !defined[v.Name] && !isGlobalName(v.Name) {
-				b.uses = append(b.uses, v.Name)
-			}
+			return false
 		}
 		return true
 	})
-	return b, true
+	return names
+}
+
+// freeIdents reports every identifier not bound by any enclosing scope
+// within the brick (and not a well-known global). Function literals open a
+// child scope holding their params, own name and hoisted body bindings;
+// catch clauses scope their parameter over the catch block only.
+func freeIdents(n ast.Node, sc *scope, report func(string)) {
+	switch v := n.(type) {
+	case *ast.FuncLit:
+		inner := map[string]bool{}
+		for _, p := range v.Params {
+			inner[p] = true
+		}
+		if v.Rest != "" {
+			inner[v.Rest] = true
+		}
+		if v.Name != "" {
+			inner[v.Name] = true
+		}
+		if v.Body != nil {
+			hoistedBindings(v.Body, inner)
+		}
+		child := &scope{bound: inner, parent: sc}
+		for _, c := range ast.Children(v) {
+			freeIdents(c, child, report)
+		}
+		return
+	case *ast.TryStmt:
+		freeIdents(v.Block, sc, report)
+		if v.Catch != nil {
+			cs := sc
+			if v.CatchParam != "" {
+				cs = &scope{bound: map[string]bool{v.CatchParam: true}, parent: sc}
+			}
+			freeIdents(v.Catch, cs, report)
+		}
+		if v.Finally != nil {
+			freeIdents(v.Finally, sc, report)
+		}
+		return
+	case *ast.ForInStmt:
+		if v.Decl < 0 && !sc.has(v.Name) && !isGlobalName(v.Name) {
+			report(v.Name)
+		}
+	case *ast.Ident:
+		if !sc.has(v.Name) && !isGlobalName(v.Name) {
+			report(v.Name)
+		}
+		return
+	}
+	for _, c := range ast.Children(n) {
+		freeIdents(c, sc, report)
+	}
+}
+
+// runeStart snaps a byte index back to the start of the rune containing
+// it, so corruption cuts never split a UTF-8 sequence. Byte-index cuts
+// that produce invalid UTF-8 model encoding corruption, a different
+// failure class than the intended mis-bracketing/truncation.
+func runeStart(src string, i int) int {
+	for i > 0 && !utf8.RuneStart(src[i]) {
+		i--
+	}
+	return i
 }
 
 // textCorrupt models the syntactically invalid share of the baselines'
 // output. The paper's Figure 9 measures every baseline below a 60% syntax
 // passing rate: mutational pipelines splice fragments across incompatible
 // contexts and emit truncated or mis-bracketed programs at these rates.
-// With probability p the source suffers one such splice error.
+// With probability p the source suffers one such splice error. All cut
+// points are rune-aligned: the corrupted output is valid UTF-8 whenever
+// the input is.
 func textCorrupt(src string, rng *rand.Rand, p float64) string {
 	if rng.Float64() >= p || len(src) < 8 {
 		return src
 	}
 	switch rng.Intn(4) {
 	case 0: // truncate mid-program
-		return src[:4+rng.Intn(len(src)-6)]
-	case 1: // drop a random brace/paren
+		return src[:runeStart(src, 4+rng.Intn(len(src)-6))]
+	case 1: // drop a random brace/paren (ASCII, so always a whole rune)
 		for attempt := 0; attempt < 20; attempt++ {
 			i := rng.Intn(len(src))
 			if strings.ContainsRune("{}()", rune(src[i])) {
 				return src[:i] + src[i+1:]
 			}
 		}
-		return src[:len(src)-1]
+		return src[:runeStart(src, len(src)-1)]
 	case 2: // duplicate a random operator
 		ops := []string{"+", "=", ")", "{", ","}
 		op := ops[rng.Intn(len(ops))]
-		i := rng.Intn(len(src))
+		i := runeStart(src, rng.Intn(len(src)))
 		return src[:i] + op + op + src[i:]
 	default: // splice an incompatible fragment
 		frag := []string{"} else {", "case 1:", ") => {", "var = ", "..."}[rng.Intn(5)]
-		i := rng.Intn(len(src))
+		i := runeStart(src, rng.Intn(len(src)))
 		return src[:i] + frag + src[i:]
 	}
 }
@@ -392,14 +504,23 @@ func (m *Montage) Next(rng *rand.Rand) []string {
 	return []string{textCorrupt(out, rng, 0.40)}
 }
 
+// firstExprLine truncates a neural sample at the first statement
+// terminator. A sample starting with ';' or a newline must yield the empty
+// fragment (which then fails to parse and falls back to the pool) — with
+// the old `i > 0` test such samples kept the entire multi-line raw string
+// as the candidate expression.
+func firstExprLine(raw string) string {
+	if i := strings.IndexAny(raw, ";\n"); i >= 0 {
+		raw = raw[:i]
+	}
+	return raw
+}
+
 // sampleExpr asks the neural model for a fragment and falls back to the
 // curated pool when the sample does not parse.
 func (m *Montage) sampleExpr(rng *rand.Rand) ast.Expr {
 	raw := m.gen.GenerateFrom("var x = ", rng)
-	raw = strings.TrimPrefix(raw, "var x = ")
-	if i := strings.IndexAny(raw, ";\n"); i > 0 {
-		raw = raw[:i]
-	}
+	raw = firstExprLine(strings.TrimPrefix(raw, "var x = "))
 	if e, err := parser.ParseExprString(raw); err == nil {
 		return e
 	}

@@ -3,6 +3,7 @@ package fuzzers
 import (
 	"math/rand"
 	"testing"
+	"unicode/utf8"
 
 	"comfort/internal/js/lint"
 )
@@ -84,6 +85,130 @@ func TestBaselineValidityBands(t *testing.T) {
 		rate := float64(valid) / float64(total)
 		if rate < 0.35 || rate > 0.75 {
 			t.Errorf("%s validity %.2f outside the Figure-9 band [0.35, 0.75]", f.Name(), rate)
+		}
+	}
+}
+
+// TestFirstExprLine is the regression test for the Montage sampleExpr
+// off-by-one: a neural sample starting with ';' or a newline must yield an
+// empty candidate (→ pool fallback), not the entire multi-line raw string.
+func TestFirstExprLine(t *testing.T) {
+	cases := map[string]string{
+		";var y = 2\nprint(y)":  "",
+		"\nvar y = 2\nprint(y)": "",
+		"a + b;rest":            "a + b",
+		"a + b\nrest":           "a + b",
+		"plain":                 "plain",
+		"":                      "",
+	}
+	for in, want := range cases {
+		if got := firstExprLine(in); got != want {
+			t.Errorf("firstExprLine(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMineBrickScoping is the regression test for the CodeAlchemist def/use
+// unsoundness: names bound only inside nested functions must not count as
+// brick-wide defines, hoisted declarations must, and nested-scope vars must
+// not leak into defines.
+func TestMineBrickScoping(t *testing.T) {
+	has := func(xs []string, n string) bool {
+		for _, x := range xs {
+			if x == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	// z is a param of the nested function; the trailing z is free in the
+	// brick. The walk-order analysis treated the outer z as defined.
+	b, ok := mineBrick(`var r = [function(z) { return z; }, z];`)
+	if !ok {
+		t.Fatal("brick not mined")
+	}
+	if !has(b.uses, "z") {
+		t.Errorf("outer z must be a use (param z is function-local): uses=%v", b.uses)
+	}
+	if !has(b.defines, "r") {
+		t.Errorf("r must be a define: defines=%v", b.defines)
+	}
+
+	// inner is declared inside the nested function body: neither a define
+	// of the brick nor a use.
+	b, ok = mineBrick(`var g = function() { var inner = 1; return inner; };`)
+	if !ok {
+		t.Fatal("brick not mined")
+	}
+	if has(b.defines, "inner") {
+		t.Errorf("nested var must not be a brick define: defines=%v", b.defines)
+	}
+	if has(b.uses, "inner") {
+		t.Errorf("nested var is bound locally, not a use: uses=%v", b.uses)
+	}
+
+	// w is used before its var in pre-order; hoisting makes it a define,
+	// not a free use.
+	b, ok = mineBrick(`if (w) { print(w); } else { var w = 1; }`)
+	if !ok {
+		t.Fatal("brick not mined")
+	}
+	if has(b.uses, "w") {
+		t.Errorf("hoisted w must not be a use: uses=%v", b.uses)
+	}
+	if !has(b.defines, "w") {
+		t.Errorf("hoisted w must be a define: defines=%v", b.defines)
+	}
+
+	// Function declarations define their name; params stay local.
+	b, ok = mineBrick(`function f(p) { return p + q; }`)
+	if !ok {
+		t.Fatal("brick not mined")
+	}
+	if !has(b.defines, "f") || has(b.defines, "p") {
+		t.Errorf("f defines, p does not: defines=%v", b.defines)
+	}
+	if !has(b.uses, "q") || has(b.uses, "p") {
+		t.Errorf("q is free, p is not: uses=%v", b.uses)
+	}
+}
+
+// TestCodeAlchemistBricksSound checks the assembled-program property behind
+// the fix: every mined brick's uses are exactly the free identifiers, so a
+// program assembled under the def-use constraint never references an
+// undefined name at the point of placement.
+func TestCodeAlchemistBricksSound(t *testing.T) {
+	c := NewCodeAlchemist()
+	if len(c.bricks) == 0 {
+		t.Fatal("no bricks mined")
+	}
+	for _, b := range c.bricks {
+		seen := map[string]bool{}
+		for _, u := range b.uses {
+			if isGlobalName(u) {
+				t.Errorf("brick %q uses global %q (should be filtered)", b.src, u)
+			}
+			if seen[u] {
+				t.Errorf("brick %q duplicates use %q", b.src, u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+// TestTextCorruptRuneSafe is the regression test for mid-rune slicing:
+// corrupted output must remain valid UTF-8 whenever the input is.
+func TestTextCorruptRuneSafe(t *testing.T) {
+	src := `var s = "héllo wörld — ünïcode ΩΩΩ 日本語"; print(s + "…");`
+	if !utf8.ValidString(src) {
+		t.Fatal("test input must be valid UTF-8")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		out := textCorrupt(src, rng, 1.0)
+		if !utf8.ValidString(out) {
+			t.Fatalf("iteration %d produced invalid UTF-8: %q", i, out)
 		}
 	}
 }

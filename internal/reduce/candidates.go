@@ -1,0 +1,212 @@
+package reduce
+
+import (
+	"comfort/internal/js/ast"
+)
+
+// candidate is one speculative transform of the shared tree. apply mutates
+// the tree in place and returns the inverse; committing a candidate means
+// applying it and not undoing. Every transform strictly decreases the
+// lexicographic measure (multi-declarator count, non-trivial expression
+// slots, node count), so the tier fixpoint terminates.
+type candidate struct {
+	apply func() (undo func())
+}
+
+// stmtLists enumerates all statement containers of the tree in
+// deterministic pre-order: the program body, block bodies (including
+// function bodies) and switch-case bodies.
+func (r *reducer) stmtLists() []*[]ast.Stmt {
+	lists := []*[]ast.Stmt{&r.prog.Body}
+	ast.Walk(r.prog, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BlockStmt:
+			lists = append(lists, &v.Body)
+		case *ast.SwitchCase:
+			lists = append(lists, &v.Body)
+		}
+		return true
+	})
+	return lists
+}
+
+func (r *reducer) totalStmts() int {
+	total := 0
+	for _, l := range r.stmtLists() {
+		total += len(*l)
+	}
+	return total
+}
+
+// removeChunk builds the transform deleting (*l)[i:j]. The replacement
+// slice is freshly allocated so the undo can restore the original header.
+func removeChunk(l *[]ast.Stmt, i, j int) candidate {
+	return candidate{apply: func() func() {
+		orig := *l
+		next := make([]ast.Stmt, 0, len(orig)-(j-i))
+		next = append(next, orig[:i]...)
+		next = append(next, orig[j:]...)
+		*l = next
+		return func() { *l = orig }
+	}}
+}
+
+// chunkCandidates enumerates the removal of every aligned chunk of `size`
+// statements from every container, later chunks first (trailing
+// statements are the least depended-upon, so they go first, matching the
+// greedy reducer's reverse scan at size 1).
+func (r *reducer) chunkCandidates(size int) []candidate {
+	var cands []candidate
+	for _, l := range r.stmtLists() {
+		l := l
+		n := len(*l)
+		if n == 0 {
+			continue
+		}
+		for start := ((n - 1) / size) * size; start >= 0; start -= size {
+			end := start + size
+			if end > n {
+				end = n
+			}
+			cands = append(cands, removeChunk(l, start, end))
+		}
+	}
+	return cands
+}
+
+// replaceStmt builds the transform swapping (*l)[n] for repl.
+func replaceStmt(l *[]ast.Stmt, n int, repl ast.Stmt) candidate {
+	return candidate{apply: func() func() {
+		orig := (*l)[n]
+		(*l)[n] = repl
+		return func() { (*l)[n] = orig }
+	}}
+}
+
+// structureCandidates unwraps structured statements to their bodies:
+// if→then, if→else, loops→body, try→block, label→body.
+func (r *reducer) structureCandidates() []candidate {
+	var cands []candidate
+	for _, l := range r.stmtLists() {
+		l := l
+		for n, s := range *l {
+			n := n
+			var repls []ast.Stmt
+			switch v := s.(type) {
+			case *ast.IfStmt:
+				repls = append(repls, v.Then)
+				if v.Else != nil {
+					repls = append(repls, v.Else)
+				}
+			case *ast.WhileStmt:
+				repls = append(repls, v.Body)
+			case *ast.DoWhileStmt:
+				repls = append(repls, v.Body)
+			case *ast.ForStmt:
+				repls = append(repls, v.Body)
+			case *ast.ForInStmt:
+				repls = append(repls, v.Body)
+			case *ast.TryStmt:
+				repls = append(repls, ast.Stmt(v.Block))
+			case *ast.LabeledStmt:
+				repls = append(repls, v.Body)
+			}
+			for _, repl := range repls {
+				if repl != nil {
+					cands = append(cands, replaceStmt(l, n, repl))
+				}
+			}
+		}
+	}
+	return cands
+}
+
+// zeroLit builds the literal 0 used as the universal replacement
+// expression.
+func zeroLit() ast.Expr { return &ast.NumberLit{Value: 0, Raw: "0"} }
+
+// trivialExpr reports whether e is already as simple as the replacement
+// would make it (so no candidate is generated and the tier terminates).
+func trivialExpr(e ast.Expr) bool {
+	_, ok := e.(*ast.NumberLit)
+	return ok
+}
+
+// exprCandidates enumerates the expression tier: call/new arguments and
+// declaration initialisers replaced by 0, multi-declarator var statements
+// split into single declarators (so tier 1 can remove them one by one),
+// and else-branches dropped.
+func (r *reducer) exprCandidates() []candidate {
+	var cands []candidate
+	ast.Walk(r.prog, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			for i := range v.Args {
+				i, c := i, v
+				if !trivialExpr(c.Args[i]) {
+					cands = append(cands, candidate{apply: func() func() {
+						orig := c.Args[i]
+						c.Args[i] = zeroLit()
+						return func() { c.Args[i] = orig }
+					}})
+				}
+			}
+		case *ast.NewExpr:
+			for i := range v.Args {
+				i, c := i, v
+				if !trivialExpr(c.Args[i]) {
+					cands = append(cands, candidate{apply: func() func() {
+						orig := c.Args[i]
+						c.Args[i] = zeroLit()
+						return func() { c.Args[i] = orig }
+					}})
+				}
+			}
+		case *ast.VarDecl:
+			for i := range v.Decls {
+				i, d := i, v
+				if d.Decls[i].Init != nil && !trivialExpr(d.Decls[i].Init) {
+					cands = append(cands, candidate{apply: func() func() {
+						orig := d.Decls[i].Init
+						d.Decls[i].Init = zeroLit()
+						return func() { d.Decls[i].Init = orig }
+					}})
+				}
+			}
+		case *ast.IfStmt:
+			if v.Else != nil {
+				c := v
+				cands = append(cands, candidate{apply: func() func() {
+					orig := c.Else
+					c.Else = nil
+					return func() { c.Else = orig }
+				}})
+			}
+		}
+		return true
+	})
+	// Multi-declarator splits need the enclosing container, so they are
+	// enumerated per statement list rather than per node.
+	for _, l := range r.stmtLists() {
+		l := l
+		for n, s := range *l {
+			decl, ok := s.(*ast.VarDecl)
+			if !ok || len(decl.Decls) < 2 {
+				continue
+			}
+			n, decl := n, decl
+			cands = append(cands, candidate{apply: func() func() {
+				orig := *l
+				next := make([]ast.Stmt, 0, len(orig)+len(decl.Decls)-1)
+				next = append(next, orig[:n]...)
+				for _, d := range decl.Decls {
+					next = append(next, &ast.VarDecl{Kind: decl.Kind, Decls: []ast.Declarator{d}})
+				}
+				next = append(next, orig[n+1:]...)
+				*l = next
+				return func() { *l = orig }
+			}})
+		}
+	}
+	return cands
+}

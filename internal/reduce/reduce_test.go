@@ -1,9 +1,195 @@
 package reduce
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
+
+// propertySources pairs multi-construct programs with the substring their
+// predicate must preserve, exercising every candidate tier.
+var propertySources = []struct {
+	name, src, keep string
+}{
+	{
+		name: "flat",
+		src: `var a = 1;
+var b = 2;
+var needle = "KEEP";
+var c = 3;
+print(needle);
+print(a + b + c);`,
+		keep: "KEEP",
+	},
+	{
+		name: "nested",
+		src: `var unrelated = [1, 2, 3].map(function(x) { return x * 2; });
+function helper(n) {
+  return n + 1;
+}
+var foo = function() {
+  var counter = 0;
+  for (var i = 0; i < 3; i++) {
+    counter += helper(i);
+  }
+  if (counter > 1) {
+    print("KEEP");
+  } else {
+    print("other");
+  }
+  return counter;
+};
+foo();
+print(unrelated.join(","));`,
+		keep: "KEEP",
+	},
+	{
+		name: "structured",
+		src: `var x = 0;
+while (x < 2) {
+  x++;
+  try {
+    print("KEEP");
+  } catch (e) {
+    print(e);
+  }
+}
+switch (x) {
+case 1:
+  print("one");
+  break;
+default:
+  print("many");
+}`,
+		keep: "KEEP",
+	},
+}
+
+// TestReduceOutputSatisfiesPredicate pins the reducer's core contract: the
+// result of a reduction always satisfies the predicate that drove it.
+func TestReduceOutputSatisfiesPredicate(t *testing.T) {
+	for _, tc := range propertySources {
+		t.Run(tc.name, func(t *testing.T) {
+			pred := func(s string) bool { return strings.Contains(s, tc.keep) }
+			out := Reduce(tc.src, pred)
+			if !pred(out) {
+				t.Fatalf("reduced output lost the predicate:\n%s", out)
+			}
+			if len(out) >= len(tc.src) {
+				t.Errorf("no shrinkage: %d -> %d bytes", len(tc.src), len(out))
+			}
+		})
+	}
+}
+
+// TestReduceFixpoint pins idempotence: re-reducing a reduced witness
+// changes nothing.
+func TestReduceFixpoint(t *testing.T) {
+	for _, tc := range propertySources {
+		t.Run(tc.name, func(t *testing.T) {
+			pred := func(s string) bool { return strings.Contains(s, tc.keep) }
+			once := Reduce(tc.src, pred)
+			twice := Reduce(once, pred)
+			if once != twice {
+				t.Errorf("not a fixpoint:\nonce:\n%s\ntwice:\n%s", once, twice)
+			}
+		})
+	}
+}
+
+// TestReduceWorkerCountIndependence pins the speculative driver's
+// determinism contract: the reduced output is byte-identical for every
+// worker count, like the exec scheduler's.
+func TestReduceWorkerCountIndependence(t *testing.T) {
+	for _, tc := range propertySources {
+		t.Run(tc.name, func(t *testing.T) {
+			pred := func(s string) bool { return strings.Contains(s, tc.keep) }
+			serial := Parallel(tc.src, pred, Options{Workers: 1})
+			for _, w := range []int{2, 8} {
+				wide := Parallel(tc.src, pred, Options{Workers: w})
+				if wide != serial {
+					t.Errorf("workers=%d diverged from workers=1:\nserial:\n%s\nwide:\n%s",
+						w, serial, wide)
+				}
+			}
+		})
+	}
+}
+
+// TestReduceExpressionTier checks that call arguments and initialisers
+// irrelevant to the predicate collapse to 0.
+func TestReduceExpressionTier(t *testing.T) {
+	src := `var setup = Math.pow(2, 10) + parseInt("42");
+print(setup * 2, "KEEP");`
+	out := Reduce(src, func(s string) bool { return strings.Contains(s, "KEEP") })
+	if strings.Contains(out, "Math.pow") || strings.Contains(out, "parseInt") {
+		t.Errorf("complex expressions should reduce to 0:\n%s", out)
+	}
+	if !strings.Contains(out, "KEEP") {
+		t.Fatalf("property lost:\n%s", out)
+	}
+}
+
+// TestReduceSplitsMultiDeclarators checks that splitting a multi-declarator
+// var unlocks removal of the irrelevant declarators.
+func TestReduceSplitsMultiDeclarators(t *testing.T) {
+	src := `var a = 1, needle = "KEEP", z = 9;
+print(needle);`
+	out := Reduce(src, func(s string) bool { return strings.Contains(s, "KEEP") })
+	if strings.Contains(out, "a = 1") || strings.Contains(out, "z = 9") {
+		t.Errorf("irrelevant declarators should be removed after the split:\n%s", out)
+	}
+	if !strings.Contains(out, "KEEP") {
+		t.Fatalf("property lost:\n%s", out)
+	}
+}
+
+// TestReduceDropsElse checks the else-branch drop candidate.
+func TestReduceDropsElse(t *testing.T) {
+	src := `if (print("KEEP")) {
+  print("then");
+} else {
+  print("irrelevant else");
+}`
+	out := Reduce(src, func(s string) bool { return strings.Contains(s, "KEEP") })
+	if strings.Contains(out, "irrelevant else") {
+		t.Errorf("else branch should be dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "KEEP") {
+		t.Fatalf("property lost:\n%s", out)
+	}
+}
+
+// TestReduceNeverGrows pins the no-growth guarantee: when every committed
+// intermediate (here a var split whose declarators are all load-bearing)
+// fails to unlock a removal, the input is returned rather than a larger
+// fixpoint.
+func TestReduceNeverGrows(t *testing.T) {
+	src := `var a = 1, b = 2;`
+	out := Reduce(src, func(s string) bool {
+		return strings.Contains(s, "a = 1") && strings.Contains(s, "b = 2")
+	})
+	if len(out) > len(src) {
+		t.Errorf("reduction grew the witness: %d -> %d bytes:\n%s", len(src), len(out), out)
+	}
+	if out != src {
+		t.Errorf("no removal possible, input should come back unchanged, got:\n%s", out)
+	}
+}
+
+// TestReduceCancellation checks that a cancelled context returns the input
+// (the best committed state so far) instead of hanging.
+func TestReduceCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := propertySources[0].src
+	out := Parallel(src, func(s string) bool {
+		return strings.Contains(s, "KEEP")
+	}, Options{Workers: 4, Context: ctx})
+	if out != src {
+		t.Errorf("cancelled reduction should return the input unchanged, got:\n%s", out)
+	}
+}
 
 func TestReduceKeepsProperty(t *testing.T) {
 	src := `var a = 1;

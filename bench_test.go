@@ -232,7 +232,7 @@ func BenchmarkAblationReduction(b *testing.B) {
 // BenchmarkCampaignThroughput measures testbed executions per second on a
 // full-testbed campaign — the scheduler's headline metric (EXPERIMENTS.md
 // records the seed-path baseline against the prepared-testbed + parse-cache
-// + behaviour-class pipeline).
+// + behaviour-class pipeline, and now the resolve-once interpreter).
 func BenchmarkCampaignThroughput(b *testing.B) {
 	var executed int64
 	b.ResetTimer()
@@ -247,6 +247,71 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		executed += int64(res.Executed)
 	}
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// BenchmarkCampaignThroughputMapScopes is the same campaign shape on the
+// legacy dynamic map-scope evaluator (DisableResolve) — the ablation pair
+// for BenchmarkCampaignThroughput.
+func BenchmarkCampaignThroughputMapScopes(b *testing.B) {
+	var executed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := campaign.Run(campaign.Config{
+			Fuzzer:         fuzzers.NewComfort(),
+			Testbeds:       engines.Testbeds(),
+			Cases:          120,
+			Seed:           2021,
+			Workers:        8,
+			DisableResolve: true,
+		})
+		executed += int64(res.Executed)
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// loopFuzzer emits a fixed set of interpreter-bound programs (deep loops,
+// calls, element traffic) so the campaign benchmark variant below measures
+// the evaluator, not generation or parse.
+type loopFuzzer struct{ i int }
+
+func (f *loopFuzzer) Name() string { return "loop-bench" }
+
+func (f *loopFuzzer) Next(_ *rand.Rand) []string {
+	progs := []string{
+		`function w(n){ var a = 0, b = 1; for (var i = 0; i < n; i++) { var t = a + b; a = b; b = t % 99991; } return a; } print(w(3000));`,
+		`function leaf(x){ return x + 1; } function w(n){ var acc = 0; for (var i = 0; i < n; i++) { acc += leaf(i) % 17; } return acc; } print(w(1500));`,
+		`function w(n){ var a = []; for (var i = 0; i < n; i++) { a[i] = i; } var s = 0; for (var j = 0; j < n; j++) { s += a[j]; } return s; } print(w(1200));`,
+	}
+	f.i++
+	return []string{progs[f.i%len(progs)]}
+}
+
+// BenchmarkCampaignThroughputInterpBound drives the full campaign pipeline
+// with interpreter-bound cases: per-case cost is dominated by evaluation,
+// so this is where the resolve-once interpreter shows up at campaign
+// level. Sub-benchmarks contrast the slot and map evaluators.
+func BenchmarkCampaignThroughputInterpBound(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"resolved", false}, {"map", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var executed int64
+			for i := 0; i < b.N; i++ {
+				res := campaign.Run(campaign.Config{
+					Fuzzer:         &loopFuzzer{},
+					Testbeds:       engines.Testbeds(),
+					Cases:          30,
+					Seed:           2021,
+					Workers:        8,
+					Fuel:           2_000_000,
+					DisableResolve: mode.disable,
+				})
+				executed += int64(res.Executed)
+			}
+			b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+		})
+	}
 }
 
 // BenchmarkReduce measures Section-3.5 witness reduction: the seed's

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"comfort/internal/campaign"
 	"comfort/internal/engines"
@@ -32,8 +34,38 @@ func main() {
 		fuel     = flag.Int64("fuel", 0, "interpreter step budget per execution; 0 = default")
 		progress = flag.Bool("progress", false, "print campaign progress to stderr")
 		reduceW  = flag.Bool("reduce", false, "reduce each finding's witness after the campaign (Section 3.5)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	// base carries the scheduler options every campaign in this invocation
 	// shares (including the per-fuzzer campaigns behind -figure 8).
@@ -42,9 +74,10 @@ func main() {
 	// the flag applies to the main campaign, whose summary is printed.
 	base := campaign.Config{Workers: *workers, Fuel: *fuel}
 	if *progress {
-		base.Progress = func(done, total int) {
-			if done%100 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "  %d/%d cases\n", done, total)
+		base.Progress = func(p campaign.Progress) {
+			if p.Done%100 == 0 || p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted)\n",
+					p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions)
 			}
 		}
 	}

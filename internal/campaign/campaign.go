@@ -37,13 +37,26 @@ type Config struct {
 	ReduceWitnesses bool
 	// DisableDedup turns the Figure-6 filter off (ablation).
 	DisableDedup bool
+	// DisableResolve keeps execution on the interpreter's dynamic
+	// map-scope path instead of the slot-indexed resolve-once path — the
+	// oracle/ablation knob, threaded through to the exec scheduler.
+	DisableResolve bool
 	// Context cancels the campaign early; Run returns the findings
 	// accounted so far. Nil means context.Background().
 	Context context.Context
 	// Progress, when non-nil, is called from the accounting goroutine after
-	// each case is classified and accounted (done counts cases, total is
-	// the configured budget).
-	Progress func(done, total int)
+	// each case is classified and accounted.
+	Progress func(Progress)
+}
+
+// Progress is one campaign progress sample: case accounting position plus
+// the scheduler's compiled-program cache counters.
+type Progress struct {
+	// Done counts classified cases; Total is the configured budget.
+	Done, Total int
+	// CacheHits/CacheMisses/CacheEvictions are the scheduler's
+	// compiled-program (parse-and-resolve-once) cache counters so far.
+	CacheHits, CacheMisses, CacheEvictions int64
 }
 
 // Finding is one unique discovered bug, attributed to its seeded defect.
@@ -95,6 +108,9 @@ type Result struct {
 	// Reduction summarises witness reduction (nil unless
 	// Config.ReduceWitnesses was set and findings exist).
 	Reduction *ReductionStats
+	// CacheHits/CacheMisses/CacheEvictions are the final compiled-program
+	// cache counters of the campaign's scheduler.
+	CacheHits, CacheMisses, CacheEvictions int64
 }
 
 // FoundDefects returns the discovered defects.
@@ -164,10 +180,11 @@ func Run(cfg Config) *Result {
 
 	// Stage 2: the scheduler.
 	sched := exec.New(exec.Config{
-		Testbeds: cfg.Testbeds,
-		Workers:  cfg.Workers,
-		Fuel:     cfg.Fuel,
-		Seed:     cfg.Seed,
+		Testbeds:       cfg.Testbeds,
+		Workers:        cfg.Workers,
+		Fuel:           cfg.Fuel,
+		Seed:           cfg.Seed,
+		DisableResolve: cfg.DisableResolve,
 	})
 	outcomes := sched.Run(ctx, caseCh)
 
@@ -181,9 +198,14 @@ func Run(cfg Config) *Result {
 			accountCase(cfg, res, tree, oc.Src, cr)
 		}
 		if cfg.Progress != nil {
-			cfg.Progress(res.CasesRun, cfg.Cases)
+			h, m, e := sched.CacheStats()
+			cfg.Progress(Progress{
+				Done: res.CasesRun, Total: cfg.Cases,
+				CacheHits: h, CacheMisses: m, CacheEvictions: e,
+			})
 		}
 	}
+	res.CacheHits, res.CacheMisses, res.CacheEvictions = sched.CacheStats()
 
 	// Stage 4 (optional): witness reduction, after the stream has drained
 	// and dedup/attribution settled — never on the hot accounting path.
@@ -231,12 +253,14 @@ func reduceFindings(ctx context.Context, cfg Config, res *Result) {
 // once; the predicate then costs two interpretations per candidate, which
 // the reducer evaluates speculatively in parallel.
 func reduceFinding(ctx context.Context, f *Finding, cfg Config) string {
-	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed}
+	// The predicate replays divergences on the same evaluator path the
+	// campaign observed them on, and shares one compiled candidate between
+	// the defect and reference executions when parser options coincide.
+	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed, DisableResolve: cfg.DisableResolve}
 	buggy := engines.NewDefectRunner(f.Defect, f.strict)
 	ref := engines.NewDefectRunner(nil, f.strict)
-	return reduce.Parallel(f.TestCase, func(candidate string) bool {
-		return buggy.Run(candidate, opts).Key() != ref.Run(candidate, opts).Key()
-	}, reduce.Options{Workers: cfg.Workers, Context: ctx})
+	return reduce.Parallel(f.TestCase, engines.DivergesRunners(buggy, ref, opts),
+		reduce.Options{Workers: cfg.Workers, Context: ctx})
 }
 
 // accountCase folds one buggy case into the campaign result: Figure-6
@@ -251,7 +275,7 @@ func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difft
 			continue
 		}
 		attributed := engines.Attribute(src, dev.Testbed,
-			engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed})
+			engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed, DisableResolve: cfg.DisableResolve})
 		if len(attributed) == 0 {
 			res.UnattributedFindings++
 			continue

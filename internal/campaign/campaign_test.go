@@ -103,8 +103,8 @@ func TestCampaignCancellation(t *testing.T) {
 			Seed:     3,
 			Workers:  4,
 			Context:  ctx,
-			Progress: func(n, total int) {
-				if n == 5 {
+			Progress: func(p Progress) {
+				if p.Done == 5 {
 					cancel()
 				}
 			},
@@ -133,11 +133,14 @@ func TestCampaignProgressStreams(t *testing.T) {
 		Cases:    20,
 		Seed:     2,
 		Workers:  4,
-		Progress: func(done, total int) {
-			if total != 20 {
-				t.Errorf("progress total = %d, want 20", total)
+		Progress: func(p Progress) {
+			if p.Total != 20 {
+				t.Errorf("progress total = %d, want 20", p.Total)
 			}
-			calls = append(calls, done)
+			if p.CacheHits+p.CacheMisses == 0 {
+				t.Error("progress carried no compiled-program cache activity")
+			}
+			calls = append(calls, p.Done)
 		},
 	})
 	if len(calls) != 20 {

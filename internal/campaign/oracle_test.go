@@ -1,0 +1,169 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"comfort/internal/engines"
+	"comfort/internal/fuzzers"
+	"comfort/internal/js/resolve"
+)
+
+// oracleTestbeds picks a behaviour-diverse testbed subset: the defect-free
+// reference in both modes plus the oldest (defect-richest) and newest
+// version of every engine family, both modes each.
+func oracleTestbeds() []engines.Testbed {
+	tbs := []engines.Testbed{
+		engines.ReferenceTestbed(false),
+		engines.ReferenceTestbed(true),
+	}
+	for _, e := range engines.All() {
+		for _, v := range []engines.Version{e.Versions[0], e.Latest()} {
+			tbs = append(tbs, engines.Testbed{Version: v, Strict: false})
+			tbs = append(tbs, engines.Testbed{Version: v, Strict: true})
+		}
+	}
+	return tbs
+}
+
+// TestEvaluatorOracle is the differential oracle for the resolve-once
+// interpreter: every program the six fuzzers generate from fixed seeds must
+// produce byte-identical ExecResults — output, outcome, error rendering and
+// fuel consumption — whether it executes on the slot-indexed path or the
+// legacy map-scope path, across defect-laden and reference testbeds in both
+// modes.
+func TestEvaluatorOracle(t *testing.T) {
+	tbs := oracleTestbeds()
+	prepared := make([]*engines.PreparedTestbed, len(tbs))
+	for i, tb := range tbs {
+		prepared[i] = tb.Prepare()
+	}
+	opts := engines.RunOptions{Fuel: 150000, Seed: 9}
+	const perFuzzer = 25
+	for fi, f := range fuzzers.All() {
+		rng := rand.New(rand.NewSource(int64(100 + fi)))
+		var cases []string
+		for len(cases) < perFuzzer {
+			batch := f.Next(rng)
+			if len(batch) == 0 {
+				break
+			}
+			cases = append(cases, batch...)
+		}
+		if len(cases) > perFuzzer {
+			cases = cases[:perFuzzer]
+		}
+		for ci, src := range cases {
+			for _, p := range prepared {
+				if msg := p.PreParseError(src); msg != "" {
+					continue // identical gate on both paths
+				}
+				rProg, rErr := p.Parse(src)
+				resolvedRes := p.ExecParsed(rProg, rErr, opts)
+				mProg, mErr := p.ParseUnresolved(src)
+				mapRes := p.ExecParsed(mProg, mErr, opts)
+				if resolvedRes != mapRes {
+					t.Fatalf("%s case %d on %s: evaluator paths diverge\nresolved: %+v\nmap:      %+v\nprogram:\n%s",
+						f.Name(), ci, p.Testbed.ID(), resolvedRes, mapRes, src)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignResolveOracle runs the same campaign on both evaluator paths
+// and requires identical findings, verdict tallies and execution counts.
+func TestCampaignResolveOracle(t *testing.T) {
+	run := func(disable bool) *Result {
+		return Run(Config{
+			Fuzzer:         fuzzers.NewComfort(),
+			Testbeds:       engines.Testbeds(),
+			Cases:          150,
+			Seed:           2021,
+			Workers:        4,
+			DisableResolve: disable,
+		})
+	}
+	resolved := run(false)
+	mapped := run(true)
+	if got, want := findingsKey(resolved), findingsKey(mapped); got != want {
+		t.Errorf("findings differ between evaluator paths:\nresolved: %s\nmap:      %s", got, want)
+	}
+	if resolved.Executed != mapped.Executed {
+		t.Errorf("executed %d on resolved path, %d on map path", resolved.Executed, mapped.Executed)
+	}
+	for v, n := range resolved.Verdicts {
+		if mapped.Verdicts[v] != n {
+			t.Errorf("verdict %s: %d resolved vs %d map", v, n, mapped.Verdicts[v])
+		}
+	}
+}
+
+// TestCampaignWorkerIndependenceResolved pins worker-count independence
+// with resolution enabled (the default path): findings and tallies must not
+// depend on scheduling.
+func TestCampaignWorkerIndependenceResolved(t *testing.T) {
+	run := func(workers int) *Result {
+		return Run(Config{
+			Fuzzer:   fuzzers.NewComfort(),
+			Testbeds: engines.Testbeds(),
+			Cases:    120,
+			Seed:     77,
+			Workers:  workers,
+		})
+	}
+	a, b := run(1), run(8)
+	if got, want := findingsKey(a), findingsKey(b); got != want {
+		t.Errorf("findings depend on worker count:\n1 worker: %s\n8 workers: %s", got, want)
+	}
+	if a.CasesRun != b.CasesRun || a.Executed != b.Executed {
+		t.Errorf("case accounting depends on worker count: (%d,%d) vs (%d,%d)",
+			a.CasesRun, a.Executed, b.CasesRun, b.Executed)
+	}
+}
+
+// findingsKey renders a campaign's findings deterministically for
+// comparison.
+func findingsKey(r *Result) string {
+	ids := make([]string, 0, len(r.Found))
+	for id := range r.Found {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	out := ""
+	for _, id := range ids {
+		f := r.Found[id]
+		out += fmt.Sprintf("%s[%s|%s|%d];", id, f.Engine, f.Verdict, len(f.TestCase))
+	}
+	if out == "" {
+		out = "(none)"
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestResolveIdempotent guards the compiled-program cache's sharing
+// assumption: resolving twice must be a no-op.
+func TestResolveIdempotent(t *testing.T) {
+	p := engines.ReferenceTestbed(false).Prepare()
+	prog, err := p.Parse("function f(a){var b=a+1; return b;} print(f(2));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.ResolvedScopes {
+		t.Fatal("PreparedTestbed.Parse did not resolve the program")
+	}
+	resolve.Program(prog) // second resolution must not disturb annotations
+	res := p.Exec(prog, engines.RunOptions{Fuel: 10000, Seed: 1})
+	if res.Output != "3\n" {
+		t.Fatalf("unexpected output %q", res.Output)
+	}
+}

@@ -1,9 +1,11 @@
 package engines
 
 import (
+	"comfort/internal/js/ast"
 	"comfort/internal/js/builtins"
 	"comfort/internal/js/interp"
 	"comfort/internal/js/parser"
+	"comfort/internal/js/resolve"
 )
 
 // RunWithDefect executes src with exactly one defect installed — the
@@ -31,6 +33,9 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 	prog, err := parser.ParseWith(src, parseOpts)
 	if err != nil {
 		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
+	}
+	if !opts.DisableResolve {
+		resolve.Program(prog)
 	}
 	runErr := in.Run(prog)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
@@ -72,25 +77,76 @@ func NewDefectRunner(d *Defect, strict bool) *DefectRunner {
 }
 
 // Run executes src with the prepared defect (or the reference when the
-// runner was prepared with a nil defect).
+// runner was prepared with a nil defect). RunOptions.DisableResolve keeps
+// the execution on the dynamic map-scope evaluator.
 func (r *DefectRunner) Run(src string, opts RunOptions) ExecResult {
+	if msg := r.preParseError(src); msg != "" {
+		return PreParseResult(msg)
+	}
+	prog, err := parser.ParseWith(src, r.parseOpts)
+	if err == nil && !opts.DisableResolve {
+		resolve.Program(prog)
+	}
+	return r.execParsed(prog, err, opts)
+}
+
+// preParseError runs the defect's pre-parse interceptor, if any.
+func (r *DefectRunner) preParseError(src string) string {
 	if r.d != nil && r.d.PreParse != nil {
 		if msg := r.d.PreParse(src); msg != "" {
-			return ExecResult{Outcome: OutcomeParseError, Error: "SyntaxError: " + msg, ErrName: "SyntaxError"}
+			return "SyntaxError: " + msg
 		}
+	}
+	return ""
+}
+
+// execParsed executes an already-compiled (and pre-parse-gated) program.
+func (r *DefectRunner) execParsed(prog *ast.Program, err error, opts RunOptions) ExecResult {
+	if err != nil {
+		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
 	}
 	cfg := r.baseCfg
 	cfg.Fuel = opts.Fuel
 	cfg.Seed = opts.Seed
 	in := builtins.NewRuntime(cfg)
-	prog, err := parser.ParseWith(src, r.parseOpts)
-	if err != nil {
-		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
-	}
 	runErr := in.Run(prog)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
 	classifyRunError(&res, runErr)
 	return res
+}
+
+// DivergesRunners builds a reduction predicate over two prepared
+// single-defect runners: it reports whether src behaves differently under
+// a and b. When the runners’ parser options coincide (the common case —
+// a defect without parser interceptors against the defect-free reference)
+// each candidate is compiled once and the program shared between both
+// executions, halving the per-candidate parse+resolve cost of a campaign
+// reduction. Safe for concurrent calls, as reduce.Parallel requires.
+func DivergesRunners(a, b *DefectRunner, opts RunOptions) func(src string) bool {
+	if a.parseOpts.Fingerprint() != b.parseOpts.Fingerprint() {
+		return func(src string) bool {
+			return a.Run(src, opts).Key() != b.Run(src, opts).Key()
+		}
+	}
+	return func(src string) bool {
+		var prog *ast.Program
+		var perr error
+		parsed := false
+		runOne := func(r *DefectRunner) ExecResult {
+			if msg := r.preParseError(src); msg != "" {
+				return PreParseResult(msg)
+			}
+			if !parsed {
+				prog, perr = parser.ParseWith(src, a.parseOpts)
+				if perr == nil && !opts.DisableResolve {
+					resolve.Program(prog)
+				}
+				parsed = true
+			}
+			return r.execParsed(prog, perr, opts)
+		}
+		return runOne(a).Key() != runOne(b).Key()
+	}
 }
 
 // Attribute identifies which seeded defects of the testbed's version are

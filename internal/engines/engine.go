@@ -259,6 +259,14 @@ type RunOptions struct {
 	Fuel int64
 	Seed int64
 	Cov  *interp.Coverage
+	// DisableResolve keeps the execution on the dynamic map-scope
+	// evaluator instead of the resolve-once slot path — honoured by the
+	// single-defect executors (RunWithDefect, DefectRunner,
+	// DivergesRunners) so a DisableResolve campaign's attribution and
+	// reduction replay on the evaluator that observed the divergence.
+	// The scheduler path carries the same knob in exec.Config instead
+	// (its compiled programs are cached across calls).
+	DisableResolve bool
 }
 
 // ActiveDefects returns the catalog defects present in the given version.

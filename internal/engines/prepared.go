@@ -9,6 +9,7 @@ import (
 	"comfort/internal/js/builtins"
 	"comfort/internal/js/interp"
 	"comfort/internal/js/parser"
+	"comfort/internal/js/resolve"
 )
 
 // PreparedTestbed is a testbed with everything that is constant across runs
@@ -95,8 +96,12 @@ func (p *PreparedTestbed) ActiveDefects() []*Defect { return p.defects }
 // ParseOptions returns the resolved parser options for this testbed.
 func (p *PreparedTestbed) ParseOptions() parser.Options { return p.parseOps }
 
-// ParseFingerprint keys parse-result caches: two testbeds with equal
-// fingerprints accept exactly the same programs with the same ASTs.
+// ParseFingerprint keys parse-and-resolve caches: two testbeds with equal
+// fingerprints accept exactly the same programs with the same ASTs. The
+// fingerprint also covers every resolver-relevant input — the resolve pass
+// consumes nothing beyond the AST itself (scope layout is mode- and
+// defect-independent in this subset), so parse equivalence implies
+// compiled-program equivalence; parser/options_test.go pins the property.
 func (p *PreparedTestbed) ParseFingerprint() uint64 { return p.parseOps.Fingerprint() }
 
 // PreParseError runs the testbed's pre-parse defect interceptors (parser
@@ -111,8 +116,24 @@ func (p *PreparedTestbed) PreParseError(src string) string {
 	return ""
 }
 
-// Parse parses src under the testbed's resolved parser options.
+// Parse compiles src under the testbed's resolved parser options: a parse
+// followed by the resolve-once scope pass, so every execution of the
+// returned program — the scheduler shares it across behaviour classes, and
+// reduction predicates across their two testbeds — takes the interpreter's
+// slot-indexed fast path.
 func (p *PreparedTestbed) Parse(src string) (*ast.Program, error) {
+	prog, err := parser.ParseWith(src, p.parseOps)
+	if err == nil {
+		resolve.Program(prog)
+	}
+	return prog, err
+}
+
+// ParseUnresolved parses src without the resolve pass, leaving execution on
+// the interpreter's dynamic map-scope path. It exists for the differential
+// oracle that cross-checks the two evaluator paths (and the campaign
+// ablation behind exec.Config.DisableResolve).
+func (p *PreparedTestbed) ParseUnresolved(src string) (*ast.Program, error) {
 	return parser.ParseWith(src, p.parseOps)
 }
 
@@ -121,14 +142,23 @@ func PreParseResult(msg string) ExecResult {
 	return ExecResult{Outcome: OutcomeParseError, Error: msg, ErrName: "SyntaxError"}
 }
 
-// Run executes src on the prepared testbed: pre-parse interceptors, parse,
-// then Exec.
+// Run executes src on the prepared testbed: pre-parse interceptors,
+// compile (or plain parse under RunOptions.DisableResolve), then Exec.
 func (p *PreparedTestbed) Run(src string, opts RunOptions) ExecResult {
 	if msg := p.PreParseError(src); msg != "" {
 		return PreParseResult(msg)
 	}
-	prog, err := p.Parse(src)
+	prog, err := p.parseFor(src, opts)
 	return p.ExecParsed(prog, err, opts)
+}
+
+// parseFor compiles src for an execution under opts, honouring the
+// map-scope ablation knob.
+func (p *PreparedTestbed) parseFor(src string, opts RunOptions) (*ast.Program, error) {
+	if opts.DisableResolve {
+		return p.ParseUnresolved(src)
+	}
+	return p.Parse(src)
 }
 
 // ExecParsed adapts an (already pre-parse-checked) parse result — typically
@@ -209,7 +239,7 @@ func Diverges(a, b *PreparedTestbed, opts RunOptions) func(src string) bool {
 				return PreParseResult(msg)
 			}
 			if !parsed {
-				prog, perr = a.Parse(src)
+				prog, perr = a.parseFor(src, opts)
 				parsed = true
 			}
 			return p.ExecParsed(prog, perr, opts)

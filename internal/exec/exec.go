@@ -41,9 +41,17 @@ type Config struct {
 	Workers int
 	Fuel    int64
 	Seed    int64
-	// ParseCacheCap bounds the parse cache's entry count; <=0 means the
-	// default (4096). When the cap is hit the cache resets wholesale.
+	// ParseCacheCap bounds the compiled-program cache's entry count; <=0
+	// means the default (4096). Eviction is generational: when the young
+	// generation fills, the old generation is dropped and the young one
+	// ages — entries touched within the last generation survive, so a long
+	// campaign never re-parses its entire live working set at once.
 	ParseCacheCap int
+	// DisableResolve keeps cached programs on the interpreter's dynamic
+	// map-scope path instead of running the resolve-once pass after each
+	// parse — the differential oracle and ablation knob for the
+	// slot-indexed evaluator.
+	DisableResolve bool
 }
 
 // Scheduler executes cases over prepared testbeds. One Scheduler is one
@@ -74,7 +82,7 @@ func New(cfg Config) *Scheduler {
 	if len(cfg.Testbeds) == 0 {
 		cfg.Testbeds = engines.LatestTestbeds()
 	}
-	s := &Scheduler{cfg: cfg, cache: newParseCache(cfg.ParseCacheCap)}
+	s := &Scheduler{cfg: cfg, cache: newParseCache(cfg.ParseCacheCap, cfg.DisableResolve)}
 	classOf := map[string]int{}
 	for _, tb := range cfg.Testbeds {
 		p := tb.Prepare()
@@ -96,8 +104,9 @@ func New(cfg Config) *Scheduler {
 // testbeds collapse into (of interest to benchmarks and progress output).
 func (s *Scheduler) Classes() int { return len(s.classes) }
 
-// CacheStats reports parse-cache hits and misses so far.
-func (s *Scheduler) CacheStats() (hits, misses int64) { return s.cache.stats() }
+// CacheStats reports compiled-program cache hits, misses and evicted
+// entries so far.
+func (s *Scheduler) CacheStats() (hits, misses, evictions int64) { return s.cache.stats() }
 
 // caseState tracks one in-flight case across its testbed executions.
 type caseState struct {
@@ -263,7 +272,7 @@ func FromSlice(ctx context.Context, srcs []string) <-chan Case {
 	return ch
 }
 
-// ---------- parse-once cache ----------
+// ---------- compiled-program (parse-and-resolve-once) cache ----------
 
 type parseKey struct {
 	fp  uint64
@@ -275,50 +284,97 @@ type parsedResult struct {
 	err  error
 }
 
-// parseCache shares parse results between the testbeds (and cases) whose
-// resolved parser options coincide. Sharing the *ast.Program across
-// concurrent interpreter runs is safe because the interpreter never
-// mutates the AST. The cache resets wholesale at its cap, which bounds
-// memory for arbitrarily long campaigns while keeping the common case —
-// 102 testbeds with a handful of distinct option fingerprints hitting the
-// same source back-to-back — almost always hot.
+// parseCache shares compiled programs — parsed and scope-resolved ASTs —
+// between the testbeds (and cases) whose resolved parser options coincide.
+// Sharing the *ast.Program across concurrent interpreter runs is safe
+// because execution never mutates the tree; the resolve pass runs exactly
+// once, before the program is published.
+//
+// Eviction is generational: entries are inserted into a young generation,
+// and when it reaches half the configured cap the old generation's entries
+// are discarded while the young generation ages in their place. A hit in
+// the old generation promotes the entry back to young. Total residency
+// stays bounded by cap, but — unlike the previous wholesale reset — the
+// working set a long campaign touched within the last generation survives
+// every eviction, so the scheduler never stalls re-parsing everything at
+// once.
 type parseCache struct {
-	mu     sync.RWMutex
-	m      map[parseKey]parsedResult
-	cap    int
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu        sync.RWMutex
+	young     map[parseKey]parsedResult
+	old       map[parseKey]parsedResult
+	genCap    int
+	noResolve bool
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 const defaultParseCacheCap = 4096
 
-func newParseCache(cap int) *parseCache {
+func newParseCache(cap int, noResolve bool) *parseCache {
 	if cap <= 0 {
 		cap = defaultParseCacheCap
 	}
-	return &parseCache{m: make(map[parseKey]parsedResult), cap: cap}
+	genCap := cap / 2
+	if genCap < 1 {
+		genCap = 1
+	}
+	return &parseCache{
+		young:     make(map[parseKey]parsedResult),
+		old:       make(map[parseKey]parsedResult),
+		genCap:    genCap,
+		noResolve: noResolve,
+	}
 }
 
 func (pc *parseCache) parse(p *engines.PreparedTestbed, src string) (*ast.Program, error) {
 	key := parseKey{fp: p.ParseFingerprint(), src: src}
 	pc.mu.RLock()
-	r, ok := pc.m[key]
+	r, inYoung := pc.young[key]
+	ok := inYoung
+	if !ok {
+		r, ok = pc.old[key]
+	}
 	pc.mu.RUnlock()
 	if ok {
 		pc.hits.Add(1)
+		if !inYoung {
+			// Old-generation hit: promote so the entry survives the next
+			// rotation, and remove the aged copy so it is not counted as
+			// an eviction later. The write lock is brief and only taken
+			// while the working set re-warms after a rotation.
+			pc.mu.Lock()
+			if _, dup := pc.young[key]; !dup {
+				delete(pc.old, key)
+				pc.insertLocked(key, r)
+			}
+			pc.mu.Unlock()
+		}
 		return r.prog, r.err
 	}
 	pc.misses.Add(1)
-	r.prog, r.err = p.Parse(src)
-	pc.mu.Lock()
-	if len(pc.m) >= pc.cap {
-		pc.m = make(map[parseKey]parsedResult)
+	if pc.noResolve {
+		r.prog, r.err = p.ParseUnresolved(src)
+	} else {
+		r.prog, r.err = p.Parse(src)
 	}
-	pc.m[key] = r
+	pc.mu.Lock()
+	pc.insertLocked(key, r)
 	pc.mu.Unlock()
 	return r.prog, r.err
 }
 
-func (pc *parseCache) stats() (hits, misses int64) {
-	return pc.hits.Load(), pc.misses.Load()
+// insertLocked adds an entry to the young generation, rotating the
+// generations when young is full. Callers hold mu.
+func (pc *parseCache) insertLocked(key parseKey, r parsedResult) {
+	if len(pc.young) >= pc.genCap {
+		pc.evictions.Add(int64(len(pc.old)))
+		pc.old = pc.young
+		pc.young = make(map[parseKey]parsedResult, pc.genCap)
+	}
+	pc.young[key] = r
+}
+
+func (pc *parseCache) stats() (hits, misses, evictions int64) {
+	return pc.hits.Load(), pc.misses.Load(), pc.evictions.Load()
 }

@@ -105,7 +105,7 @@ func TestBehaviorClassesCollapse(t *testing.T) {
 func TestParseCacheShares(t *testing.T) {
 	s := New(schedCfg(4))
 	collect(t, s, testSrcs)
-	hits, misses := s.CacheStats()
+	hits, misses, _ := s.CacheStats()
 	if hits == 0 {
 		t.Error("parse cache recorded no hits on a full-testbed run")
 	}

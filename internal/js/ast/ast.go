@@ -33,6 +33,76 @@ type Stmt interface {
 	stmtNode()
 }
 
+// ---------- static scope annotations ----------
+//
+// The types below are populated by internal/js/resolve, which runs once per
+// parsed program and records the static scope layout: every scope node gets
+// a ScopeInfo (frame size plus the named slot roles) and every identifier
+// reference gets a ScopeRef. The interpreter consults the annotations when
+// present and falls back to its dynamic map-based environments when they are
+// absent (synthetic fuzzer ASTs, eval'd code that was not resolved), so a
+// zero-valued annotation always means "use the dynamic path".
+
+// RefKind selects how an identifier reference is resolved at run time.
+type RefKind uint8
+
+// Reference kinds.
+const (
+	// RefDynamic (the zero value) walks the environment chain by name —
+	// the behaviour of an unresolved AST, and the fallback for references
+	// the resolver cannot prove live (e.g. a name read before its `let`
+	// declaration has executed).
+	RefDynamic RefKind = iota
+	// RefSlot reads frame Depth levels up the chain of materialised
+	// frames, at index Slot. Emitted only when the binding is provably
+	// declared at every execution of the reference.
+	RefSlot
+	// RefGlobal resolves on the global environment (top-level lexical
+	// bindings) and then the global object — emitted when no intervening
+	// scope can ever bind the name.
+	RefGlobal
+)
+
+// ScopeRef is the resolved coordinate of one identifier reference.
+type ScopeRef struct {
+	Kind  RefKind
+	Depth uint16 // materialised frames to walk up (RefSlot)
+	Slot  uint16 // index into the target frame (RefSlot)
+}
+
+// ScopeInfo is the static layout of one scope (a function body, block,
+// for/for-in loop head, switch body, or catch clause). A scope materialises
+// a frame at run time iff NumSlots > 0; empty scopes reuse the enclosing
+// frame, which is what makes ScopeRef depths stable.
+type ScopeInfo struct {
+	// NumSlots is the frame size; Names maps slot index to the declared
+	// name (needed by dynamic fallback lookups scanning the frame).
+	NumSlots int
+	Names    []string
+
+	// Function scopes only. ParamSlots has one entry per parameter (in
+	// order; duplicate names share a slot). The *Slot fields are -1 when
+	// the corresponding binding does not exist. ArgumentsSlot is -1 when
+	// the body provably never observes `arguments`, which lets the
+	// interpreter skip building the arguments object.
+	ParamSlots    []uint16
+	RestSlot      int32
+	ArgumentsSlot int32
+	SelfSlot      int32
+
+	// CatchParamSlot is the catch parameter's slot in a catch-clause
+	// scope, -1 otherwise.
+	CatchParamSlot int32
+
+	// VarSlots lists the slots created by var and function-declaration
+	// hoisting that are not already initialised as parameters; they are
+	// set to undefined at frame entry. HoistFuncs/HoistSlots are the
+	// function declarations instantiated at entry, in source order.
+	VarSlots   []uint16
+	HoistFuncs []*FuncLit
+	HoistSlots []uint16
+}
+
 // Expr is implemented by expression nodes.
 type Expr interface {
 	Node
@@ -49,6 +119,9 @@ type Program struct {
 	// NodeCount is the total number of nodes allocated by the parser,
 	// used to size coverage bitmaps.
 	NodeCount int
+	// ResolvedScopes marks that internal/js/resolve has annotated this
+	// tree (resolution is idempotent and keyed off this flag).
+	ResolvedScopes bool
 }
 
 // VarKind distinguishes var/let/const declarations.
@@ -76,6 +149,10 @@ func (k VarKind) String() string {
 type Declarator struct {
 	Name string
 	Init Expr // may be nil
+	// Ref is the declaration's slot target (set by internal/js/resolve;
+	// RefDynamic for top-level declarations, which stay on the dynamic
+	// global path).
+	Ref ScopeRef
 }
 
 // VarDecl is a var/let/const statement.
@@ -104,6 +181,9 @@ type ExprStmt struct {
 type BlockStmt struct {
 	base
 	Body []Stmt
+	// Scope is the block's static layout (see ScopeInfo). For a TryStmt's
+	// catch block it additionally holds the catch parameter.
+	Scope *ScopeInfo
 }
 
 // IfStmt is an if/else statement.
@@ -121,6 +201,8 @@ type ForStmt struct {
 	Cond Expr // may be nil
 	Post Expr // may be nil
 	Body Stmt
+	// Scope holds the loop head's lexical declarations (let/const inits).
+	Scope *ScopeInfo
 }
 
 // ForInStmt is for (x in obj) — and doubles as for-of when Of is set.
@@ -131,6 +213,10 @@ type ForInStmt struct {
 	Obj  Expr
 	Body Stmt
 	Of   bool
+	// Scope holds the loop variable for let/const declarations; NameRef is
+	// the resolved target of the per-iteration binding or assignment.
+	Scope   *ScopeInfo
+	NameRef ScopeRef
 }
 
 // WhileStmt is a while loop.
@@ -159,6 +245,10 @@ type SwitchStmt struct {
 	base
 	Disc  Expr
 	Cases []*SwitchCase
+	// Scope is the shared scope of all case bodies. Because execution may
+	// enter at any case, its lexical bindings are never statically
+	// resolvable; the scope exists for frame sizing only.
+	Scope *ScopeInfo
 }
 
 // BreakStmt is break [label].
@@ -234,6 +324,9 @@ func (*Program) stmtNode()      {}
 type Ident struct {
 	base
 	Name string
+	// Ref is the statically resolved scope coordinate (RefDynamic when the
+	// tree has not been resolved or the reference is not provable).
+	Ref ScopeRef
 }
 
 // NumberLit is a numeric literal; Value is the parsed float64.
@@ -316,6 +409,9 @@ type FuncLit struct {
 	// the body is `return ExprBody`.
 	ExprBody Expr
 	Strict   bool // body has a "use strict" directive
+	// Scope is the function frame's static layout (params, hoisted vars
+	// and declarations, arguments/self slots).
+	Scope *ScopeInfo
 }
 
 func (*FuncLit) exprNode() {}

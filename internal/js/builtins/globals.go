@@ -7,6 +7,7 @@ import (
 	"comfort/internal/js/interp"
 	"comfort/internal/js/jsnum"
 	"comfort/internal/js/parser"
+	"comfort/internal/js/resolve"
 )
 
 func installGlobals(r *registry) {
@@ -17,47 +18,59 @@ func installGlobals(r *registry) {
 	in.Global.SetSlot("undefined", interp.Undefined(), 0)
 	in.Global.SetSlot("globalThis", interp.ObjValue(in.Global), interp.Writable|interp.Configurable)
 
-	print := r.fn("print", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		var parts []string
-		for _, a := range args {
-			s, err := in.ToString(a)
-			if err != nil {
-				return interp.Undefined(), err
-			}
-			parts = append(parts, s)
+	// print and console are built by one shared thunk so console.log stays
+	// an alias of print however the pair is first reached.
+	printed := false
+	installPrint := func() {
+		if printed {
+			return
 		}
-		in.Print(strings.Join(parts, " "))
-		return interp.Undefined(), nil
-	})
-	r.global("print", interp.ObjValue(print))
-	// console.log aliases print, since corpus programs use both.
-	console := interp.NewObject(in.Protos["Object"])
-	console.SetSlot("log", interp.ObjValue(print), interp.DefaultAttr)
-	console.SetSlot("error", interp.ObjValue(print), interp.DefaultAttr)
-	console.SetSlot("warn", interp.ObjValue(print), interp.DefaultAttr)
-	r.global("console", interp.ObjValue(console))
+		printed = true
+		print := r.fn("print", 1, printImpl)
+		r.global("print", interp.ObjValue(print))
+		// console.log aliases print, since corpus programs use both.
+		console := interp.NewObject(in.Protos["Object"])
+		console.SetSlot("log", interp.ObjValue(print), interp.DefaultAttr)
+		console.SetSlot("error", interp.ObjValue(print), interp.DefaultAttr)
+		console.SetSlot("warn", interp.ObjValue(print), interp.DefaultAttr)
+		r.global("console", interp.ObjValue(console))
+	}
+	in.Global.SetLazy("print", installPrint)
+	in.Global.SetLazy("console", installPrint)
 
-	evalFn := r.fn("eval", 1, evalImpl)
-	r.global("eval", interp.ObjValue(evalFn))
+	r.globalFn("eval", 1, evalImpl)
+	r.globalFn("parseInt", 2, parseIntImpl)
+	r.globalFn("parseFloat", 1, parseFloatImpl)
 
-	r.global("parseInt", interp.ObjValue(r.fn("parseInt", 2, parseIntImpl)))
-	r.global("parseFloat", interp.ObjValue(r.fn("parseFloat", 1, parseFloatImpl)))
-
-	r.global("isNaN", interp.ObjValue(r.fn("isNaN", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	r.globalFn("isNaN", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		n, err := in.ToNumber(arg(args, 0))
 		if err != nil {
 			return interp.Undefined(), err
 		}
 		return interp.Bool(math.IsNaN(n)), nil
-	})))
+	})
 
-	r.global("isFinite", interp.ObjValue(r.fn("isFinite", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	r.globalFn("isFinite", 1, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		n, err := in.ToNumber(arg(args, 0))
 		if err != nil {
 			return interp.Undefined(), err
 		}
 		return interp.Bool(!math.IsNaN(n) && !math.IsInf(n, 0)), nil
-	})))
+	})
+}
+
+// printImpl implements the print builtin (and console.log/error/warn).
+func printImpl(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+	var parts []string
+	for _, a := range args {
+		s, err := in.ToString(a)
+		if err != nil {
+			return interp.Undefined(), err
+		}
+		parts = append(parts, s)
+	}
+	in.Print(strings.Join(parts, " "))
+	return interp.Undefined(), nil
 }
 
 // evalImpl implements the global eval function, including the
@@ -90,6 +103,11 @@ func evalImpl(in *interp.Interp, this interp.Value, args []interp.Value) (interp
 	if err != nil {
 		return interp.Undefined(), in.SyntaxErrorf("%v", err)
 	}
+	// Resolve the freshly parsed tree: eval always executes in the global
+	// environment, whose top level is the resolver's dynamic root, so the
+	// annotations are sound here and functions the eval'd code defines run
+	// on the slot-indexed path.
+	resolve.Program(prog)
 	return in.RunInEnv(prog, in.GlobalEnv, in.Strict)
 }
 

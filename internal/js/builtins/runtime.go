@@ -97,15 +97,33 @@ func (r *registry) fn(name string, arity int, f interp.NativeFunc) *interp.Objec
 	return interp.NewNativeFunc(r.in.Protos["Function"], name, shortName(name), arity, f)
 }
 
-// method attaches a native method to obj under its short name.
+// method attaches a native method to obj under its short name. The
+// function object is built lazily on first access: realm construction runs
+// once per testbed execution, and a generated program touches a handful of
+// the library's hundreds of methods, so deferring NewNativeFunc (an object,
+// a property map and two descriptors each) is the single largest
+// construction saving. Materialisation order remains the registration
+// order, and delete/overwrite interactions go through the existing lazy
+// resolution in Object.
 func (r *registry) method(obj *interp.Object, name string, arity int, f interp.NativeFunc) {
-	fo := r.fn(name, arity, f)
-	obj.SetSlot(shortName(name), interp.ObjValue(fo), interp.Writable|interp.Configurable)
+	short := shortName(name)
+	obj.SetLazy(short, func() {
+		fo := r.fn(name, arity, f)
+		obj.SetSlot(short, interp.ObjValue(fo), interp.Writable|interp.Configurable)
+	})
 }
 
 // global binds a value on the global object.
 func (r *registry) global(name string, v interp.Value) {
 	r.in.Global.SetSlot(name, v, interp.Writable|interp.Configurable)
+}
+
+// globalFn binds a native function on the global object, building it
+// lazily on first access like method does.
+func (r *registry) globalFn(name string, arity int, f interp.NativeFunc) {
+	r.in.Global.SetLazy(name, func() {
+		r.global(name, interp.ObjValue(r.fn(name, arity, f)))
+	})
 }
 
 // ctor creates a constructor function wired to a prototype object, registers

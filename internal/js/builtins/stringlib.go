@@ -324,16 +324,33 @@ func installString(r *registry) {
 			if err := in.Burn(int64(target) / 16); err != nil {
 				return interp.Undefined(), err
 			}
-			fr := []rune(filler)
-			var padRunes []rune
-			for len(padRunes) < target-len(s) {
-				padRunes = append(padRunes, fr...)
+			// Build the result in one pre-sized buffer: the previous
+			// rune-slice append loop re-allocated its way to the target
+			// length on every call, which dominated whole campaigns when a
+			// generated program padded inside a loop.
+			need := target - len(s)
+			var b strings.Builder
+			b.Grow(target) // exact for ASCII; the builder grows otherwise
+			writePad := func() {
+				rem := need
+				for rem > 0 {
+					for _, fr := range filler {
+						if rem == 0 {
+							break
+						}
+						b.WriteRune(fr)
+						rem--
+					}
+				}
 			}
-			padRunes = padRunes[:target-len(s)]
 			if start {
-				return interp.String(string(padRunes) + string(s)), nil
+				writePad()
+				b.WriteString(string(s))
+				return interp.String(b.String()), nil
 			}
-			return interp.String(string(s) + string(padRunes)), nil
+			b.WriteString(string(s))
+			writePad()
+			return interp.String(b.String()), nil
 		})
 	}
 	pad("String.prototype.padStart", true)

@@ -350,8 +350,7 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env, strict bool) (ctrl, error) {
 		}
 		return ctrl{val: v}, nil
 	case *ast.BlockStmt:
-		inner := NewEnv(env, false)
-		return in.execStmts(st.Body, inner, strict)
+		return in.execStmts(st.Body, in.scopeEnv(env, st.Scope), strict)
 	case *ast.EmptyStmt, *ast.DebuggerStmt:
 		return ctrlOK, nil
 	case *ast.IfStmt:
@@ -375,7 +374,7 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env, strict bool) (ctrl, error) {
 	case *ast.ForStmt:
 		label := in.pendingLabel
 		in.pendingLabel = ""
-		loopEnv := NewEnv(env, false)
+		loopEnv := in.scopeEnv(env, st.Scope)
 		switch init := st.Init.(type) {
 		case *ast.VarDecl:
 			if _, err := in.execVarDecl(init, loopEnv, strict); err != nil {
@@ -459,6 +458,18 @@ func (in *Interp) execVarDecl(st *ast.VarDecl, env *Env, strict bool) (ctrl, err
 				v.Obj().SetSlot("name", String(d.Name), Configurable)
 			}
 		}
+		if d.Ref.Kind == ast.RefSlot {
+			b := env.at(d.Ref.Depth, d.Ref.Slot)
+			switch st.Kind {
+			case ast.Var:
+				b.declareVarWrite(v)
+			case ast.Let:
+				*b = binding{v: v, mutable: true, live: true}
+			case ast.Const:
+				*b = binding{v: v, mutable: false, live: true}
+			}
+			continue
+		}
 		switch st.Kind {
 		case ast.Var:
 			if env == in.GlobalEnv {
@@ -540,17 +551,26 @@ func (in *Interp) execForIn(st *ast.ForInStmt, env *Env, strict bool) (ctrl, err
 	if err != nil {
 		return ctrlOK, err
 	}
-	loopEnv := NewEnv(env, false)
+	loopEnv := in.scopeEnv(env, st.Scope)
 	assign := func(v Value) error {
 		switch st.Decl {
 		case ast.Let, ast.Const:
+			if st.NameRef.Kind == ast.RefSlot {
+				// The map evaluator declares both kinds mutable here.
+				loopEnv.slots[st.NameRef.Slot] = binding{v: v, mutable: true, live: true}
+				return nil
+			}
 			loopEnv.declareLexical(st.Name, v, true)
 			return nil
 		case ast.Var:
+			if st.NameRef.Kind == ast.RefSlot {
+				loopEnv.at(st.NameRef.Depth, st.NameRef.Slot).declareVarWrite(v)
+				return nil
+			}
 			loopEnv.declareVar(st.Name, v)
 			return nil
 		default:
-			return in.assignIdent(st.Name, v, loopEnv, strict)
+			return in.assignIdentRef(st.Name, st.NameRef, v, loopEnv, strict)
 		}
 	}
 	var items []Value
@@ -638,7 +658,7 @@ func (in *Interp) execSwitch(st *ast.SwitchStmt, env *Env, strict bool) (ctrl, e
 	if err != nil {
 		return ctrlOK, err
 	}
-	inner := NewEnv(env, false)
+	inner := in.scopeEnv(env, st.Scope)
 	matched := -1
 	for i, c := range st.Cases {
 		if c.Test == nil {
@@ -686,18 +706,22 @@ func (in *Interp) execSwitch(st *ast.SwitchStmt, env *Env, strict bool) (ctrl, e
 }
 
 func (in *Interp) execTry(st *ast.TryStmt, env *Env, strict bool) (ctrl, error) {
-	c, err := in.execStmts(st.Block.Body, NewEnv(env, false), strict)
+	c, err := in.execStmts(st.Block.Body, in.scopeEnv(env, st.Block.Scope), strict)
 	if err != nil {
 		if t, ok := IsThrow(err); ok && st.Catch != nil {
-			catchEnv := NewEnv(env, false)
+			catchEnv := in.scopeEnv(env, st.Catch.Scope)
 			if st.CatchParam != "" {
-				catchEnv.declareLexical(st.CatchParam, t.Val, true)
+				if sc := st.Catch.Scope; sc != nil && sc.CatchParamSlot >= 0 {
+					catchEnv.slots[sc.CatchParamSlot] = binding{v: t.Val, mutable: true, live: true}
+				} else {
+					catchEnv.declareLexical(st.CatchParam, t.Val, true)
+				}
 			}
 			c, err = in.execStmts(st.Catch.Body, catchEnv, strict)
 		}
 	}
 	if st.Finally != nil {
-		fc, ferr := in.execStmts(st.Finally.Body, NewEnv(env, false), strict)
+		fc, ferr := in.execStmts(st.Finally.Body, in.scopeEnv(env, st.Finally.Scope), strict)
 		if ferr != nil {
 			return ctrlOK, ferr
 		}
@@ -716,7 +740,7 @@ func (in *Interp) evalExpr(e ast.Expr, env *Env, strict bool) (Value, error) {
 	}
 	switch x := e.(type) {
 	case *ast.Ident:
-		return in.lookupIdent(x.Name, env)
+		return in.lookupIdentRef(x, env)
 	case *ast.NumberLit:
 		return Number(x.Value), nil
 	case *ast.StringLit:
@@ -804,11 +828,18 @@ func (in *Interp) evalExpr(e ast.Expr, env *Env, strict bool) (Value, error) {
 	case *ast.NewExpr:
 		return in.evalNew(x, env, strict)
 	case *ast.MemberExpr:
-		obj, key, err := in.evalMemberParts(x, env, strict)
+		if x.Computed {
+			obj, kv, err := in.evalComputedParts(x, env, strict)
+			if err != nil {
+				return Undefined(), err
+			}
+			return in.getPropByValue(obj, kv)
+		}
+		obj, err := in.evalExpr(x.Obj, env, strict)
 		if err != nil {
 			return Undefined(), err
 		}
-		return in.GetPropKey(obj, key)
+		return in.GetPropKey(obj, x.Name)
 	case *ast.SeqExpr:
 		var last Value
 		for _, sub := range x.Exprs {
@@ -865,10 +896,36 @@ func (in *Interp) evalObjectLit(x *ast.ObjectLit, env *Env, strict bool) (Value,
 	return ObjValue(o), nil
 }
 
+// lookupIdentRef reads an identifier through its resolved reference: a slot
+// access for provable bindings, a direct global lookup when no scope can
+// intervene, and the dynamic chain walk otherwise.
+func (in *Interp) lookupIdentRef(x *ast.Ident, env *Env) (Value, error) {
+	switch x.Ref.Kind {
+	case ast.RefSlot:
+		return env.at(x.Ref.Depth, x.Ref.Slot).v, nil
+	case ast.RefGlobal:
+		return in.lookupGlobal(x.Name)
+	}
+	return in.lookupIdent(x.Name, env)
+}
+
 func (in *Interp) lookupIdent(name string, env *Env) (Value, error) {
 	if b, ok := env.lookup(name); ok {
 		return b.v, nil
 	}
+	return in.lookupGlobalTail(name)
+}
+
+// lookupGlobal resolves a name on the global environment (top-level
+// lexical bindings) and then the global object — the RefGlobal fast path.
+func (in *Interp) lookupGlobal(name string) (Value, error) {
+	if b, ok := in.GlobalEnv.lookup(name); ok {
+		return b.v, nil
+	}
+	return in.lookupGlobalTail(name)
+}
+
+func (in *Interp) lookupGlobalTail(name string) (Value, error) {
 	if name == "undefined" {
 		return Undefined(), nil
 	}
@@ -884,23 +941,47 @@ func (in *Interp) lookupIdent(name string, env *Env) (Value, error) {
 	return Undefined(), in.ReferenceErrorf("%s is not defined", name)
 }
 
+// assignBinding writes v through a resolved binding, honouring mutability
+// and the function-self-name rules.
+func (in *Interp) assignBinding(b *binding, v Value, strict bool) error {
+	if !b.mutable {
+		if b.silent && !strict && !in.MutableFuncName {
+			return nil // sloppy-mode write to a function self-name
+		}
+		if b.silent && in.MutableFuncName {
+			// Seeded defect (Montage Listing-13 case): the engine treats
+			// the function self-name binding as an ordinary variable.
+			b.v = v
+			return nil
+		}
+		return in.TypeErrorf("Assignment to constant variable.")
+	}
+	b.v = v
+	return nil
+}
+
+// assignIdentRef writes an identifier through its resolved reference.
+func (in *Interp) assignIdentRef(name string, ref ast.ScopeRef, v Value, env *Env, strict bool) error {
+	switch ref.Kind {
+	case ast.RefSlot:
+		return in.assignBinding(env.at(ref.Depth, ref.Slot), v, strict)
+	case ast.RefGlobal:
+		if b, ok := in.GlobalEnv.lookup(name); ok {
+			return in.assignBinding(b, v, strict)
+		}
+		return in.assignGlobalTail(name, v, strict)
+	}
+	return in.assignIdent(name, v, env, strict)
+}
+
 func (in *Interp) assignIdent(name string, v Value, env *Env, strict bool) error {
 	if b, ok := env.lookup(name); ok {
-		if !b.mutable {
-			if b.silent && !strict && !in.MutableFuncName {
-				return nil // sloppy-mode write to a function self-name
-			}
-			if b.silent && in.MutableFuncName {
-				// Seeded defect (Montage Listing-13 case): the engine treats
-				// the function self-name binding as an ordinary variable.
-				b.v = v
-				return nil
-			}
-			return in.TypeErrorf("Assignment to constant variable.")
-		}
-		b.v = v
-		return nil
+		return in.assignBinding(b, v, strict)
 	}
+	return in.assignGlobalTail(name, v, strict)
+}
+
+func (in *Interp) assignGlobalTail(name string, v Value, strict bool) error {
 	if in.Global.HasOwn(name) {
 		return in.SetProp(ObjValue(in.Global), name, v, strict)
 	}
@@ -933,9 +1014,19 @@ func (in *Interp) evalMemberParts(x *ast.MemberExpr, env *Env, strict bool) (Val
 func (in *Interp) evalUnary(x *ast.UnaryExpr, env *Env, strict bool) (Value, error) {
 	if x.Op == token.TYPEOF {
 		if id, ok := x.X.(*ast.Ident); ok {
-			if !env.Has(id.Name) && !in.hasGlobal(id.Name) &&
-				id.Name != "undefined" && id.Name != "globalThis" {
-				return String("undefined"), nil
+			switch id.Ref.Kind {
+			case ast.RefSlot:
+				// Provably declared — fall through and evaluate.
+			case ast.RefGlobal:
+				if !in.GlobalEnv.Has(id.Name) && !in.hasGlobal(id.Name) &&
+					id.Name != "undefined" && id.Name != "globalThis" {
+					return String("undefined"), nil
+				}
+			default:
+				if !env.Has(id.Name) && !in.hasGlobal(id.Name) &&
+					id.Name != "undefined" && id.Name != "globalThis" {
+					return String("undefined"), nil
+				}
 			}
 		}
 		v, err := in.evalExpr(x.X, env, strict)
@@ -960,8 +1051,17 @@ func (in *Interp) evalUnary(x *ast.UnaryExpr, env *Env, strict bool) (Value, err
 			return Bool(ok), nil
 		}
 		if id, ok := x.X.(*ast.Ident); ok {
-			if env.Has(id.Name) {
+			switch id.Ref.Kind {
+			case ast.RefSlot:
 				return Bool(false), nil
+			case ast.RefGlobal:
+				if in.GlobalEnv.Has(id.Name) {
+					return Bool(false), nil
+				}
+			default:
+				if env.Has(id.Name) {
+					return Bool(false), nil
+				}
 			}
 			return Bool(in.Global.DeleteOwn(id.Name)), nil
 		}
@@ -1039,7 +1139,7 @@ func (in *Interp) evalUpdate(x *ast.UpdateExpr, env *Env, strict bool) (Value, e
 func (in *Interp) evalRef(e ast.Expr, env *Env, strict bool) (Value, func(Value) error, error) {
 	switch t := e.(type) {
 	case *ast.Ident:
-		v, err := in.lookupIdent(t.Name, env)
+		v, err := in.lookupIdentRef(t, env)
 		if err != nil {
 			if _, isThrow := IsThrow(err); !isThrow {
 				return Undefined(), nil, err
@@ -1052,7 +1152,7 @@ func (in *Interp) evalRef(e ast.Expr, env *Env, strict bool) (Value, func(Value)
 			v = Undefined()
 			err = nil
 		}
-		return v, func(nv Value) error { return in.assignIdent(t.Name, nv, env, strict) }, nil
+		return v, func(nv Value) error { return in.assignIdentRef(t.Name, t.Ref, nv, env, strict) }, nil
 	case *ast.MemberExpr:
 		obj, key, err := in.evalMemberParts(t, env, strict)
 		if err != nil {
@@ -1079,12 +1179,26 @@ func (in *Interp) evalAssign(x *ast.AssignExpr, env *Env, strict bool) (Value, e
 			if fn, ok := x.R.(*ast.FuncLit); ok && fn.Name == "" && v.IsObject() {
 				v.Obj().SetSlot("name", String(t.Name), Configurable)
 			}
-			if err := in.assignIdent(t.Name, v, env, strict); err != nil {
+			if err := in.assignIdentRef(t.Name, t.Ref, v, env, strict); err != nil {
 				return Undefined(), err
 			}
 			return v, nil
 		case *ast.MemberExpr:
-			obj, key, err := in.evalMemberParts(t, env, strict)
+			if t.Computed {
+				obj, kv, err := in.evalComputedParts(t, env, strict)
+				if err != nil {
+					return Undefined(), err
+				}
+				v, err := in.evalExpr(x.R, env, strict)
+				if err != nil {
+					return Undefined(), err
+				}
+				if err := in.setPropByValue(obj, kv, v, strict); err != nil {
+					return Undefined(), err
+				}
+				return v, nil
+			}
+			obj, err := in.evalExpr(t.Obj, env, strict)
 			if err != nil {
 				return Undefined(), err
 			}
@@ -1092,7 +1206,7 @@ func (in *Interp) evalAssign(x *ast.AssignExpr, env *Env, strict bool) (Value, e
 			if err != nil {
 				return Undefined(), err
 			}
-			if err := in.SetProp(obj, key, v, strict); err != nil {
+			if err := in.SetProp(obj, t.Name, v, strict); err != nil {
 				return Undefined(), err
 			}
 			return v, nil
@@ -1473,20 +1587,48 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 	}
 	lit := fn.Fn.Lit
 	strict := lit.Strict || in.Strict || fn.HasOwn("__strict__")
-	callEnv := NewEnv(fn.Fn.Env, true)
-	for i, p := range lit.Params {
-		if i < len(args) {
-			callEnv.declareLexical(p, args[i], true)
+	var callEnv *Env
+	if sc := lit.Scope; sc != nil {
+		// Resolved path: a pre-sized slot frame replaces the map, the
+		// hoist walk is precomputed, and the arguments object is built
+		// only when the body can observe it. Empty frames (slotless
+		// arrows) reuse the closure environment, matching the resolver's
+		// depth accounting.
+		if sc.NumSlots == 0 {
+			callEnv = fn.Fn.Env
 		} else {
-			callEnv.declareLexical(p, Undefined(), true)
+			callEnv = newFrame(fn.Fn.Env, sc, true)
+			for i, psl := range sc.ParamSlots {
+				var pv Value
+				if i < len(args) {
+					pv = args[i]
+				}
+				callEnv.slots[psl] = binding{v: pv, mutable: true, live: true}
+			}
+			if sc.RestSlot >= 0 {
+				rest := in.NewArray(nil)
+				for i := len(lit.Params); i < len(args); i++ {
+					rest.AppendElem(args[i])
+				}
+				callEnv.slots[sc.RestSlot] = binding{v: ObjValue(rest), mutable: true, live: true}
+			}
 		}
-	}
-	if lit.Rest != "" {
-		rest := in.NewArray(nil)
-		for i := len(lit.Params); i < len(args); i++ {
-			rest.AppendElem(args[i])
+	} else {
+		callEnv = NewEnv(fn.Fn.Env, true)
+		for i, p := range lit.Params {
+			if i < len(args) {
+				callEnv.declareLexical(p, args[i], true)
+			} else {
+				callEnv.declareLexical(p, Undefined(), true)
+			}
 		}
-		callEnv.declareLexical(lit.Rest, ObjValue(rest), true)
+		if lit.Rest != "" {
+			rest := in.NewArray(nil)
+			for i := len(lit.Params); i < len(args); i++ {
+				rest.AppendElem(args[i])
+			}
+			callEnv.declareLexical(lit.Rest, ObjValue(rest), true)
+		}
 	}
 	// this binding.
 	var thisVal Value
@@ -1505,26 +1647,50 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 				thisVal = ObjValue(boxed)
 			}
 		}
-		// arguments object.
-		argsObj := NewObject(in.Protos["Object"])
-		argsObj.Class = "Arguments"
-		for i, a := range args {
-			argsObj.SetSlot(jsnum.Format(float64(i)), a, DefaultAttr)
-		}
-		argsObj.SetSlot("length", Number(float64(len(args))), Writable|Configurable)
-		callEnv.declareLexical("arguments", ObjValue(argsObj), true)
-		if lit.Name != "" && !callEnv.Has(lit.Name) {
-			callEnv.declareFuncSelfName(lit.Name, ObjValue(fn))
+		if sc := lit.Scope; sc != nil {
+			if sc.ArgumentsSlot >= 0 {
+				callEnv.slots[sc.ArgumentsSlot] = binding{v: in.makeArguments(args), mutable: true, live: true}
+			}
+			// The self-name binds only when the name is not already
+			// visible up the closure chain — the dynamic path's
+			// callEnv.Has gate, whose own-frame half (params, rest,
+			// arguments) the resolver already ruled out statically.
+			if sc.SelfSlot >= 0 && !fn.Fn.Env.Has(lit.Name) {
+				callEnv.slots[sc.SelfSlot] = binding{v: ObjValue(fn), mutable: false, silent: true, live: true}
+			}
+		} else {
+			callEnv.declareLexical("arguments", in.makeArguments(args), true)
+			if lit.Name != "" && !callEnv.Has(lit.Name) {
+				callEnv.declareFuncSelfName(lit.Name, ObjValue(fn))
+			}
 		}
 	}
 	in.thisStack = append(in.thisStack, thisVal)
 	defer func() { in.thisStack = in.thisStack[:len(in.thisStack)-1] }()
 
+	if sc := lit.Scope; sc != nil && sc.NumSlots > 0 {
+		// Precomputed hoisting: var slots come live as undefined, then the
+		// hoisted function declarations are instantiated in source order
+		// (value writes only — flag state mirrors declareVar's).
+		for _, vs := range sc.VarSlots {
+			b := &callEnv.slots[vs]
+			if !b.live {
+				*b = binding{v: Undefined(), mutable: true, live: true}
+			}
+		}
+		for i, hf := range sc.HoistFuncs {
+			fobj := in.MakeFunction(hf, callEnv, strict)
+			callEnv.slots[sc.HoistSlots[i]].v = ObjValue(fobj)
+		}
+	}
+
 	if lit.ExprBody != nil {
 		return in.evalExpr(lit.ExprBody, callEnv, strict)
 	}
 	in.coverFunc(lit.ID())
-	in.hoist(lit.Body.Body, callEnv, false, strict)
+	if lit.Scope == nil {
+		in.hoist(lit.Body.Body, callEnv, false, strict)
+	}
 	c, err := in.execStmts(lit.Body.Body, callEnv, strict)
 	if err != nil {
 		return Undefined(), err
@@ -1533,6 +1699,17 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 		return c.val, nil
 	}
 	return Undefined(), nil
+}
+
+// makeArguments builds the (non-strict-spec, unmapped) arguments object.
+func (in *Interp) makeArguments(args []Value) Value {
+	argsObj := NewObject(in.Protos["Object"])
+	argsObj.Class = "Arguments"
+	for i, a := range args {
+		argsObj.SetSlot(jsnum.Format(float64(i)), a, DefaultAttr)
+	}
+	argsObj.SetSlot("length", Number(float64(len(args))), Writable|Configurable)
+	return ObjValue(argsObj)
 }
 
 func (in *Interp) evalNew(x *ast.NewExpr, env *Env, strict bool) (Value, error) {
@@ -1596,6 +1773,90 @@ func (in *Interp) GetProp(v Value, key string) (Value, error) {
 	return in.GetPropKey(v, key)
 }
 
+// evalComputedParts evaluates a computed member expression's object and
+// key. Object keys are converted to strings immediately — the conversion
+// can run user code (toString), so it must happen at the key's evaluation
+// position, before anything that follows (e.g. an assignment's right-hand
+// side). Primitive keys stay unconverted for the by-value fast paths;
+// their conversion is pure and deferrable.
+func (in *Interp) evalComputedParts(x *ast.MemberExpr, env *Env, strict bool) (Value, Value, error) {
+	obj, err := in.evalExpr(x.Obj, env, strict)
+	if err != nil {
+		return Undefined(), Undefined(), err
+	}
+	kv, err := in.evalExpr(x.Prop, env, strict)
+	if err != nil {
+		return Undefined(), Undefined(), err
+	}
+	if kv.IsObject() {
+		key, err := in.ToPropertyKey(kv)
+		if err != nil {
+			return Undefined(), Undefined(), err
+		}
+		kv = String(key)
+	}
+	return obj, kv, nil
+}
+
+// denseIndex reports whether f is a canonical index into a dense array of
+// length n.
+func denseIndex(f float64, n int) (int, bool) {
+	i := int(f)
+	if float64(i) != f || i < 0 || i >= n {
+		return 0, false
+	}
+	return i, true
+}
+
+// getPropByValue reads obj[key] with the key still a language value: dense
+// integer reads on arrays skip the number→string conversion and the
+// property-descriptor boxing entirely. Every other shape converts and takes
+// the generic path, so behaviour (including conversion side effects, which
+// are pure for non-object keys) is unchanged.
+func (in *Interp) getPropByValue(obj, key Value) (Value, error) {
+	if key.Kind() == KindNumber && obj.IsObject() {
+		o := obj.Obj()
+		if o.IsArray() {
+			if idx, ok := denseIndex(key.Num(), len(o.elems)); ok {
+				if err := in.charge(1); err != nil {
+					return Undefined(), err
+				}
+				return o.elems[idx], nil
+			}
+		}
+	}
+	k, err := in.ToPropertyKey(key)
+	if err != nil {
+		return Undefined(), err
+	}
+	return in.GetPropKey(obj, k)
+}
+
+// setPropByValue writes obj[key] = v with the key still a language value.
+// The fast path covers in-bounds dense array elements when no defect hook
+// is installed (hooks observe property sets and array growth) and the
+// array is not frozen; it performs exactly the write the generic path
+// would.
+func (in *Interp) setPropByValue(target, key, v Value, strict bool) error {
+	if key.Kind() == KindNumber && target.IsObject() && in.Hook == nil {
+		o := target.Obj()
+		if o.IsArray() {
+			if idx, ok := denseIndex(key.Num(), len(o.elems)); ok && !o.arrayFrozen() {
+				if err := in.charge(1); err != nil {
+					return err
+				}
+				o.elems[idx] = v
+				return nil
+			}
+		}
+	}
+	k, err := in.ToPropertyKey(key)
+	if err != nil {
+		return err
+	}
+	return in.SetProp(target, k, v, strict)
+}
+
 // GetPropKey reads a property with a precomputed key.
 func (in *Interp) GetPropKey(v Value, key string) (Value, error) {
 	if err := in.charge(1); err != nil {
@@ -1614,13 +1875,12 @@ func (in *Interp) GetPropKey(v Value, key string) (Value, error) {
 		}
 		return Undefined(), nil
 	case KindString:
-		runes := []rune(v.Str())
 		if key == "length" {
-			return Number(float64(len(runes))), nil
+			return Number(float64(runeLen(v.Str()))), nil
 		}
 		if idx, ok := arrayIndex(key); ok {
-			if int(idx) < len(runes) {
-				return String(string(runes[idx])), nil
+			if r, ok := runeAt(v.Str(), int(idx)); ok {
+				return String(r), nil
 			}
 			return Undefined(), nil
 		}
@@ -1652,6 +1912,17 @@ func (in *Interp) getPropOnObject(o *Object, key string) (Value, bool, error) {
 
 func (in *Interp) getPropOnObjectWithThis(o *Object, key string, this Value) (Value, bool, error) {
 	for cur := o; cur != nil; cur = cur.Proto {
+		// Array virtual slots are data properties; answer them without
+		// materialising a descriptor (getOwn allocates one per hit, which
+		// used to dominate element-read cost).
+		if cur.IsArray() {
+			if key == "length" {
+				return Number(float64(cur.arrayLen)), true, nil
+			}
+			if idx, ok := arrayIndex(key); ok && int(idx) < len(cur.elems) {
+				return cur.elems[idx], true, nil
+			}
+		}
 		p, ok := cur.getOwn(key)
 		if !ok {
 			continue
@@ -1704,6 +1975,16 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 	}
 	// Accessor on the prototype chain?
 	for cur := o; cur != nil; cur = cur.Proto {
+		// Array virtual slots are writable data properties wherever they
+		// sit in the chain; stop the walk without boxing a descriptor.
+		if cur.IsArray() {
+			if key == "length" {
+				break
+			}
+			if idx, ok := arrayIndex(key); ok && int(idx) < len(cur.elems) {
+				break
+			}
+		}
 		p, ok := cur.getOwn(key)
 		if !ok {
 			continue

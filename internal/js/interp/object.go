@@ -3,10 +3,29 @@ package interp
 import (
 	"sort"
 	"strconv"
+	"unicode/utf8"
 
 	"comfort/internal/js/ast"
 	"comfort/internal/js/regex"
 )
+
+// runeLen is the rune count of s — string "length" in this evaluator's
+// rune-indexed model — without materialising a rune slice.
+func runeLen(s string) int { return utf8.RuneCountInString(s) }
+
+// runeAt returns the idx-th rune of s as a string, slicing the original
+// backing store — no rune-slice materialisation, no allocation. ok is
+// false when idx is out of range.
+func runeAt(s string, idx int) (string, bool) {
+	n := 0
+	for i, r := range s {
+		if n == idx {
+			return s[i : i+utf8.RuneLen(r)], true
+		}
+		n++
+	}
+	return "", false
+}
 
 // PropAttr holds property descriptor attribute bits.
 type PropAttr uint8
@@ -116,11 +135,16 @@ type Object struct {
 	ArrayLen int // element count for typed arrays, byte length for DataView
 
 	// lazy maps own-property names to thunks that materialise them on
-	// first access — the global object's deferred stdlib sections. The
+	// first access — deferred stdlib sections and prototype methods. The
 	// ordered key list keeps OwnKeys deterministic when everything must be
-	// materialised at once.
+	// materialised at once; registration also reserves the name's position
+	// in keys, so enumeration order matches the eager install order no
+	// matter which properties a program happens to touch first.
 	lazy     map[string]func()
 	lazyKeys []string
+	// lazyInstalling counts nested lazy-thunk executions; while non-zero,
+	// SetSlot must not re-append a reserved key.
+	lazyInstalling int
 }
 
 // NewObject allocates a plain object with the given prototype. The property
@@ -132,15 +156,18 @@ func NewObject(proto *Object) *Object {
 }
 
 // SetLazy registers a thunk that installs the named own property (and
-// possibly siblings sharing the thunk) when it is first needed. Used by the
-// builtins package to defer expensive stdlib sections that most programs
-// never touch.
+// possibly siblings sharing the thunk) when it is first needed. Used by
+// the builtins package to defer expensive stdlib sections and prototype
+// methods that most programs never touch. The thunk must install the key
+// it was registered under; the key's enumeration position is reserved at
+// registration so access order cannot perturb property order.
 func (o *Object) SetLazy(key string, install func()) {
 	if o.lazy == nil {
 		o.lazy = map[string]func(){}
 	}
 	o.lazy[key] = install
 	o.lazyKeys = append(o.lazyKeys, key)
+	o.keys = append(o.keys, key)
 }
 
 // resolveLazy materialises the named lazy property if one is pending. It
@@ -151,7 +178,9 @@ func (o *Object) resolveLazy(key string) bool {
 		return false
 	}
 	delete(o.lazy, key)
+	o.lazyInstalling++
 	th()
+	o.lazyInstalling--
 	return true
 }
 
@@ -192,6 +221,13 @@ func (o *Object) IsCallable() bool {
 // IsArray reports whether the object is an Array exotic object.
 func (o *Object) IsArray() bool { return o != nil && o.Class == "Array" }
 
+// arrayFrozen reports the hidden __frozen__ marker Object.freeze maintains
+// on arrays and typed arrays, without boxing a descriptor.
+func (o *Object) arrayFrozen() bool {
+	_, ok := o.props["__frozen__"]
+	return ok
+}
+
 // arrayIndex parses a canonical array index from a property key; ok is
 // false for non-index keys.
 func arrayIndex(key string) (uint32, bool) {
@@ -223,12 +259,13 @@ func (o *Object) getOwn(key string) (*Property, bool) {
 		}
 	}
 	if o.Class == "String" && o.HasPrim {
-		s := []rune(o.Prim.Str())
 		if key == "length" {
-			return &Property{Value: Number(float64(len(s)))}, true
+			return &Property{Value: Number(float64(runeLen(o.Prim.Str())))}, true
 		}
-		if idx, ok := arrayIndex(key); ok && int(idx) < len(s) {
-			return &Property{Value: String(string(s[idx])), Attr: Enumerable}, true
+		if idx, ok := arrayIndex(key); ok {
+			if r, ok := runeAt(o.Prim.Str(), int(idx)); ok {
+				return &Property{Value: String(r), Attr: Enumerable}, true
+			}
 		}
 	}
 	if o.ElemKind != ElemNone && o.Class != "DataView" {
@@ -275,7 +312,21 @@ func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
 		o.props = map[string]*Property{}
 	}
 	o.props[key] = &Property{Value: v, Attr: attr}
+	if o.lazyInstalling > 0 && o.keyReserved(key) {
+		return // the key's position was reserved at lazy registration
+	}
 	o.keys = append(o.keys, key)
+}
+
+// keyReserved reports whether key is already present in the insertion
+// order (only consulted during lazy installs, which run once per realm).
+func (o *Object) keyReserved(key string) bool {
+	for _, k := range o.keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
 }
 
 // DefineOwn installs a property descriptor, honouring configurability.
@@ -314,7 +365,7 @@ func (o *Object) DefineOwn(key string, p *Property) bool {
 	if o.props == nil {
 		o.props = map[string]*Property{}
 	}
-	if !ok {
+	if !ok && !(o.lazyInstalling > 0 && o.keyReserved(key)) {
 		o.keys = append(o.keys, key)
 	}
 	o.props[key] = p
@@ -364,7 +415,7 @@ func (o *Object) OwnKeys() []string {
 		}
 	}
 	if o.Class == "String" && o.HasPrim {
-		for i := range []rune(o.Prim.Str()) {
+		for i, n := 0, runeLen(o.Prim.Str()); i < n; i++ {
 			ints = append(ints, uint32(i))
 		}
 	}

@@ -10,6 +10,18 @@ import (
 	"strings"
 )
 
+// smallInts interns the renderings of small non-negative integers — the
+// overwhelmingly common Format inputs (array indices, loop counters,
+// arguments-object keys) — so hot property-key conversion allocates
+// nothing.
+var smallInts = func() [1024]string {
+	var t [1024]string
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return t
+}()
+
 // Format renders f using the ECMAScript ToString(Number) algorithm.
 func Format(f float64) string {
 	switch {
@@ -21,6 +33,9 @@ func Format(f float64) string {
 		return "Infinity"
 	case math.IsInf(f, -1):
 		return "-Infinity"
+	}
+	if i := int(f); float64(i) == f && i > 0 && i < len(smallInts) {
+		return smallInts[i]
 	}
 	if f == math.Trunc(f) && math.Abs(f) < 1e21 {
 		return strconv.FormatFloat(f, 'f', -1, 64)

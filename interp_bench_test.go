@@ -1,0 +1,124 @@
+// Interpreter microbenchmarks: workload-shaped programs executed on the
+// resolve-once slot path and on the legacy dynamic map path, so every perf
+// PR can see exactly what the evaluator change bought (EXPERIMENTS.md
+// records the numbers). The programs are interpreter-bound: one parse and
+// one realm per measurement loop iteration would drown the signal, so the
+// program is parsed once and the runtime rebuilt per iteration only where
+// required for isolation (global state is mutated by runs).
+package comfort
+
+import (
+	"testing"
+
+	"comfort/internal/js/ast"
+	"comfort/internal/js/builtins"
+	"comfort/internal/js/interp"
+	"comfort/internal/js/parser"
+	"comfort/internal/js/resolve"
+)
+
+// interpBenchSrcs are the four workload shapes of the BenchmarkInterp
+// suite. Work happens inside functions (the slot path's target — top-level
+// code stays on the dynamic global path by design).
+var interpBenchSrcs = map[string]string{
+	"idents": `
+function work(n) {
+  var a = 1, b = 2, c = 3, d = 4;
+  var acc = 0;
+  for (var i = 0; i < n; i++) {
+    var t = a + b - c + d;
+    acc = acc + t - b + c - d + a;
+    if (acc > 1000000) { acc = acc - 1000000; }
+  }
+  return acc;
+}
+print(work(4000));`,
+	"calls": `
+function leaf(x, y) { return x + y; }
+function mid(x) { var s = leaf(x, 1) + leaf(x, 2); return s + leaf(x, 3); }
+function work(n) {
+  var acc = 0;
+  for (var i = 0; i < n; i++) { acc = acc + mid(i % 7); }
+  return acc;
+}
+print(work(1200));`,
+	"arrays": `
+function work(n) {
+  var a = [];
+  for (var i = 0; i < n; i++) { a[i] = i * 2; }
+  var acc = 0;
+  for (var j = 0; j < n; j++) { acc = acc + a[j]; a[j] = acc % 9973; }
+  return acc + a.length;
+}
+print(work(2500));`,
+	"strings": `
+function work(n) {
+  var s = "";
+  for (var i = 0; i < n; i++) { s = s + "ab"; }
+  var acc = 0;
+  for (var j = 0; j < s.length; j = j + 7) { acc = acc + s.charCodeAt(j); }
+  return acc + s.length;
+}
+print(work(600));`,
+}
+
+var interpBenchOrder = []string{"idents", "calls", "arrays", "strings"}
+
+func parseBench(b *testing.B, src string, resolved bool) *ast.Program {
+	b.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	if resolved {
+		resolve.Program(prog)
+	}
+	return prog
+}
+
+func runBenchProgram(b *testing.B, prog *ast.Program) {
+	b.Helper()
+	in := builtins.NewRuntime(interp.Config{Fuel: 50_000_000})
+	if err := in.Run(prog); err != nil {
+		b.Fatalf("run: %v", err)
+	}
+}
+
+// BenchmarkInterp measures the evaluator itself on identifier-, call-,
+// array- and string-heavy programs, on both scope paths.
+func BenchmarkInterp(b *testing.B) {
+	for _, name := range interpBenchOrder {
+		src := interpBenchSrcs[name]
+		b.Run(name+"/resolved", func(b *testing.B) {
+			prog := parseBench(b, src, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runBenchProgram(b, prog)
+			}
+		})
+		b.Run(name+"/map", func(b *testing.B) {
+			prog := parseBench(b, src, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runBenchProgram(b, prog)
+			}
+		})
+	}
+}
+
+// BenchmarkResolvePass isolates the resolve-once pass itself (it runs once
+// per parse; campaigns amortise it across every behaviour class and case
+// sharing the compiled program).
+func BenchmarkResolvePass(b *testing.B) {
+	src := interpBenchSrcs["calls"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolve.Program(prog)
+	}
+}

@@ -1,0 +1,61 @@
+package comfort
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// benchHistory mirrors BENCH_campaign.json — the machine-readable
+// campaign-throughput trajectory that each perf PR appends to (the
+// human-readable analysis lives in EXPERIMENTS.md).
+type benchHistory struct {
+	Benchmark string `json:"benchmark"`
+	Metric    string `json:"metric"`
+	Shape     string `json:"shape"`
+	History   []struct {
+		PR          int     `json:"pr"`
+		ExecsPerSec float64 `json:"execs_per_sec"`
+		Note        string  `json:"note"`
+	} `json:"history"`
+}
+
+// TestBenchCampaignJSON keeps the perf-trajectory file parseable and
+// coherent: strictly increasing PR numbers, positive measurements, and a
+// trajectory that never ends below where it started — a PR that regresses
+// the headline benchmark must say so in EXPERIMENTS.md, not silently
+// corrupt the record.
+func TestBenchCampaignJSON(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_campaign.json")
+	if err != nil {
+		t.Fatalf("BENCH_campaign.json unreadable: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var h benchHistory
+	if err := dec.Decode(&h); err != nil {
+		t.Fatalf("BENCH_campaign.json schema drift: %v", err)
+	}
+	if h.Benchmark != "BenchmarkCampaignThroughput" || h.Metric != "execs/sec" {
+		t.Fatalf("unexpected benchmark/metric: %q / %q", h.Benchmark, h.Metric)
+	}
+	if len(h.History) == 0 {
+		t.Fatal("empty history")
+	}
+	for i, e := range h.History {
+		if e.ExecsPerSec <= 0 {
+			t.Errorf("entry %d: non-positive measurement %v", i, e.ExecsPerSec)
+		}
+		if e.Note == "" {
+			t.Errorf("entry %d: missing note", i)
+		}
+		if i > 0 && e.PR <= h.History[i-1].PR {
+			t.Errorf("entry %d: PR numbers not strictly increasing (%d after %d)",
+				i, e.PR, h.History[i-1].PR)
+		}
+	}
+	if last, first := h.History[len(h.History)-1], h.History[0]; last.ExecsPerSec < first.ExecsPerSec {
+		t.Errorf("trajectory ends below its start: %v < %v", last.ExecsPerSec, first.ExecsPerSec)
+	}
+}

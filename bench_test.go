@@ -249,6 +249,27 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
 }
 
+// BenchmarkCampaignThroughputMapLM is the same campaign shape with
+// generation on the map-backed LM and a single generator shard — the
+// generation-side ablation pair for BenchmarkCampaignThroughput
+// (execution stays on the resolve-once path in both).
+func BenchmarkCampaignThroughputMapLM(b *testing.B) {
+	var executed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := campaign.Run(campaign.Config{
+			Fuzzer:    fuzzers.NewComfortLM(fuzzers.LMOptions{DisableFrozenLM: true}),
+			Testbeds:  engines.Testbeds(),
+			Cases:     120,
+			Seed:      2021,
+			Workers:   8,
+			GenShards: 1,
+		})
+		executed += int64(res.Executed)
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+}
+
 // BenchmarkCampaignThroughputMapScopes is the same campaign shape on the
 // legacy dynamic map-scope evaluator (DisableResolve) — the ablation pair
 // for BenchmarkCampaignThroughput.
@@ -547,12 +568,47 @@ func BenchmarkInterpreterPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkGeneration measures whole-program generation per LM-backed
+// fuzzer configuration — COMFORT's long-context generator, DeepSmith's
+// short-context model, and Montage's expression sampler — contrasting the
+// frozen token-ID sampler against the map-backed oracle implementation.
+// tokens/sec counts sampled LM tokens (the acceptance metric; the frozen
+// path's bar is ≥ 5× map). EXPERIMENTS.md records the measurements.
 func BenchmarkGeneration(b *testing.B) {
-	g := lm.Train(corpus.Programs(), corpus.Headers(), lm.Config{Arch: lm.ArchGPT2})
-	rng := rand.New(rand.NewSource(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g.Generate(rng)
+	type fz struct {
+		name   string
+		arch   lm.Arch
+		header string // "" = random corpus header, the fuzzer's own priming
+	}
+	fuzzersLM := []fz{
+		{"COMFORT", lm.ArchGPT2, ""},
+		{"DeepSmith", lm.ArchLSTM, ""},
+		{"Montage", lm.ArchLSTM, "var x = "},
+	}
+	for _, f := range fuzzersLM {
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"frozen", false}, {"map", true}} {
+			b.Run(f.name+"/"+mode.name, func(b *testing.B) {
+				headers := corpus.Headers()
+				g := lm.Train(corpus.Programs(), headers,
+					lm.Config{Arch: f.arch, DisableFrozenLM: mode.disable})
+				rng := rand.New(rand.NewSource(1))
+				tokens := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					header := f.header
+					if header == "" {
+						header = headers[rng.Intn(len(headers))]
+					}
+					_, n := g.GenerateFromN(header, rng)
+					tokens += n
+				}
+				b.ReportMetric(float64(tokens)/b.Elapsed().Seconds(), "tokens/sec")
+			})
+		}
 	}
 }
 

@@ -8,6 +8,7 @@
 //	comfort -figure 8 -cases 300        # fuzzer comparison
 //	comfort -figure 9 -n 200            # quality metrics
 //	comfort -cases 2000 -workers 16     # wider scheduler pool
+//	comfort -cases 5000 -gen-shards 4 -progress -progress-every 500
 package main
 
 import (
@@ -31,8 +32,10 @@ func main() {
 		seed     = flag.Int64("seed", 2021, "campaign seed")
 		fuzzer   = flag.String("fuzzer", "COMFORT", "fuzzer for single-fuzzer campaigns")
 		workers  = flag.Int("workers", 0, "scheduler worker pool size; 0 = default")
+		genShard = flag.Int("gen-shards", 0, "generator shards for forkable fuzzers; 0 = default (stream is shard-count independent)")
 		fuel     = flag.Int64("fuel", 0, "interpreter step budget per execution; 0 = default")
 		progress = flag.Bool("progress", false, "print campaign progress to stderr")
+		progEach = flag.Int("progress-every", 100, "cases between progress samples (1 = every case)")
 		reduceW  = flag.Bool("reduce", false, "reduce each finding's witness after the campaign (Section 3.5)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -72,13 +75,17 @@ func main() {
 	// ReduceWitnesses stays out of base: Figure 8 only reads Found counts,
 	// so reducing inside its six campaigns would be silent wasted work —
 	// the flag applies to the main campaign, whose summary is printed.
-	base := campaign.Config{Workers: *workers, Fuel: *fuel}
+	base := campaign.Config{
+		Workers: *workers, Fuel: *fuel,
+		GenShards: *genShard, ProgressEvery: *progEach,
+	}
 	if *progress {
+		// The sampling cadence lives in ProgressEvery now: the campaign only
+		// reads the cache counters and invokes this callback on sampled
+		// cases, so large campaigns stop paying per-case progress overhead.
 		base.Progress = func(p campaign.Progress) {
-			if p.Done%100 == 0 || p.Done == p.Total {
-				fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted)\n",
-					p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions)
-			}
+			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted)\n",
+				p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions)
 		}
 	}
 

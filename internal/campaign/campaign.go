@@ -7,7 +7,6 @@ package campaign
 
 import (
 	"context"
-	"math/rand"
 	"sort"
 
 	"comfort/internal/dedup"
@@ -29,6 +28,13 @@ type Config struct {
 	Fuel    int64
 	Seed    int64
 	Workers int
+	// GenShards is the number of concurrent generator shards for fuzzers
+	// implementing fuzzers.Forkable; 0 picks a default (min(4, GOMAXPROCS)).
+	// The case stream is byte-identical for every shard count — shard s
+	// owns batch indices j ≡ s (mod GenShards) and every batch's RNG is
+	// derived from (Seed, j) alone — so this is purely a throughput knob.
+	// Fuzzers without Fork generate serially regardless.
+	GenShards int
 	// ReduceWitnesses runs test-case reduction on each deduplicated
 	// finding's witness after the campaign stream completes (off the hot
 	// accounting path). Reduction uses the parallel ddmin subsystem with
@@ -45,8 +51,15 @@ type Config struct {
 	// accounted so far. Nil means context.Background().
 	Context context.Context
 	// Progress, when non-nil, is called from the accounting goroutine after
-	// each case is classified and accounted.
+	// each ProgressEvery-th case is classified and accounted (and always on
+	// the final case of the budget).
 	Progress func(Progress)
+	// ProgressEvery throttles the Progress callback — and the per-sample
+	// scheduler cache-counter reads behind it — to every N-th classified
+	// case. 0 means 1 (every case), preserving the historical behaviour;
+	// large campaigns set it higher so accounting stops paying the
+	// callback on the hot path.
+	ProgressEvery int
 }
 
 // Progress is one campaign progress sample: case accounting position plus
@@ -145,7 +158,6 @@ func Run(cfg Config) *Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{
 		FuzzerName: cfg.Fuzzer.Name(),
 		Verdicts:   map[difftest.Verdict]int{},
@@ -153,30 +165,18 @@ func Run(cfg Config) *Result {
 	}
 	tree := dedup.New(dedup.KnownAPIsFromSpec(spec.Default().Names()))
 
-	// Stage 1: the fuzzer. Generation order depends only on the seed, so
-	// the stream is reproducible regardless of scheduling downstream.
+	// Stage 1: the fuzzer. The stream depends only on the seed — Forkable
+	// fuzzers generate as GenShards concurrent shards whose batches are
+	// pure functions of (seed, batch index) and merge back in index order,
+	// stateful fuzzers keep the single sequential RNG — so the stream is
+	// reproducible regardless of shard count and downstream scheduling
+	// (see generate.go).
+	shards := cfg.GenShards
+	if shards <= 0 {
+		shards = defaultGenShards()
+	}
 	caseCh := make(chan exec.Case)
-	go func() {
-		defer close(caseCh)
-		produced := 0
-		for produced < cfg.Cases {
-			batch := cfg.Fuzzer.Next(rng)
-			if len(batch) == 0 {
-				return
-			}
-			for _, src := range batch {
-				if produced >= cfg.Cases {
-					return
-				}
-				select {
-				case <-ctx.Done():
-					return
-				case caseCh <- exec.Case{Index: produced, Src: src}:
-					produced++
-				}
-			}
-		}
-	}()
+	go generateCases(ctx, cfg, shards, caseCh)
 
 	// Stage 2: the scheduler.
 	sched := exec.New(exec.Config{
@@ -189,6 +189,10 @@ func Run(cfg Config) *Result {
 	outcomes := sched.Run(ctx, caseCh)
 
 	// Stage 3: the sink — classify/dedup/attribute in stream order.
+	progressEvery := cfg.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 1
+	}
 	for oc := range outcomes {
 		res.CasesRun++
 		res.Executed += len(oc.Entries)
@@ -197,7 +201,7 @@ func Run(cfg Config) *Result {
 		if cr.Verdict.IsBuggy() {
 			accountCase(cfg, res, tree, oc.Src, cr)
 		}
-		if cfg.Progress != nil {
+		if cfg.Progress != nil && (res.CasesRun%progressEvery == 0 || res.CasesRun == cfg.Cases) {
 			h, m, e := sched.CacheStats()
 			cfg.Progress(Progress{
 				Done: res.CasesRun, Total: cfg.Cases,

@@ -1,0 +1,135 @@
+// Stage 1 of the campaign pipeline: test-case generation. Fuzzers that
+// implement fuzzers.Forkable generate as N concurrent shards — shard s
+// owns batch indices j ≡ s (mod N), every batch j draws from an RNG
+// derived deterministically from (campaign seed, j), and a reorder buffer
+// (the per-shard lookahead channels below, the same receipt-order merge
+// idea as internal/exec's outcome collector) splices the batches back
+// into index order. Because each batch is a pure function of (seed, j),
+// the emitted case stream is byte-identical for every shard count;
+// fuzzers without Fork keep the legacy single-RNG serial path, whose
+// stream is unchanged from previous releases.
+package campaign
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+
+	"comfort/internal/exec"
+	"comfort/internal/fuzzers"
+)
+
+// genLookahead bounds each shard's unconsumed batches, so one slow batch
+// never lets the other shards race arbitrarily far ahead of the merge
+// point (memory stays bounded by shards × lookahead batches).
+const genLookahead = 4
+
+// defaultGenShards picks the shard count when Config.GenShards is 0.
+func defaultGenShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// batchSeed derives batch j's RNG seed from the campaign seed via a
+// splitmix64 round — consecutive indices land on uncorrelated streams,
+// and the derivation depends only on (seed, j), never on the shard
+// layout.
+func batchSeed(seed int64, j int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(j+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// generateCases produces the campaign's deterministic case stream on out,
+// closing it when the budget is met, the fuzzer is exhausted (an empty
+// batch), or ctx is cancelled.
+func generateCases(ctx context.Context, cfg Config, shards int, out chan<- exec.Case) {
+	defer close(out)
+	forkable, ok := cfg.Fuzzer.(fuzzers.Forkable)
+	if !ok {
+		generateSerial(ctx, cfg, out)
+		return
+	}
+	if shards <= 1 {
+		// One shard: the same per-batch-derived RNG scheme, run inline.
+		emit := newEmitter(ctx, cfg, out)
+		for j := 0; ; j++ {
+			batch := cfg.Fuzzer.Next(rand.New(rand.NewSource(batchSeed(cfg.Seed, j))))
+			if len(batch) == 0 || !emit(batch) {
+				return
+			}
+		}
+	}
+
+	// Shard ctx: cancelled when the merge loop returns, so producer
+	// goroutines blocked on a full lookahead channel always drain.
+	shardCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	chans := make([]chan []string, shards)
+	for s := 0; s < shards; s++ {
+		ch := make(chan []string, genLookahead)
+		chans[s] = ch
+		go func(s int, f fuzzers.Fuzzer) {
+			defer close(ch)
+			for j := s; ; j += shards {
+				batch := f.Next(rand.New(rand.NewSource(batchSeed(cfg.Seed, j))))
+				select {
+				case <-shardCtx.Done():
+					return
+				case ch <- batch:
+					if len(batch) == 0 {
+						return // exhausted; the merger stops at this index
+					}
+				}
+			}
+		}(s, forkable.Fork(batchSeed(cfg.Seed, -1-s)))
+	}
+	emit := newEmitter(ctx, cfg, out)
+	for j := 0; ; j++ {
+		batch, ok := <-chans[j%shards]
+		if !ok || len(batch) == 0 || !emit(batch) {
+			return
+		}
+	}
+}
+
+// generateSerial is the legacy path: one RNG advanced batch to batch — the
+// determinism anchor for fuzzers whose state evolves across Next calls.
+func generateSerial(ctx context.Context, cfg Config, out chan<- exec.Case) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	emit := newEmitter(ctx, cfg, out)
+	for {
+		batch := cfg.Fuzzer.Next(rng)
+		if len(batch) == 0 || !emit(batch) {
+			return
+		}
+	}
+}
+
+// newEmitter returns a closure that forwards one batch's cases to the
+// scheduler under the campaign budget, reporting false when generation
+// should stop (budget met or context cancelled).
+func newEmitter(ctx context.Context, cfg Config, out chan<- exec.Case) func([]string) bool {
+	produced := 0
+	return func(batch []string) bool {
+		for _, src := range batch {
+			if produced >= cfg.Cases {
+				return false
+			}
+			select {
+			case <-ctx.Done():
+				return false
+			case out <- exec.Case{Index: produced, Src: src}:
+				produced++
+			}
+		}
+		return produced < cfg.Cases
+	}
+}

@@ -100,6 +100,43 @@ func TestCampaignResolveOracle(t *testing.T) {
 	}
 }
 
+// TestCampaignFrozenLMOracle runs the same campaign with the generator on
+// the frozen token-ID sampler and on the map-backed oracle sampler, for
+// every LM-backed fuzzer, and requires identical findings, tallies and
+// accounting — the generation-side twin of TestCampaignResolveOracle.
+func TestCampaignFrozenLMOracle(t *testing.T) {
+	for _, mk := range []func(fuzzers.LMOptions) fuzzers.Fuzzer{
+		func(o fuzzers.LMOptions) fuzzers.Fuzzer { return fuzzers.NewComfortLM(o) },
+		func(o fuzzers.LMOptions) fuzzers.Fuzzer { return fuzzers.NewDeepSmithLM(o) },
+		func(o fuzzers.LMOptions) fuzzers.Fuzzer { return fuzzers.NewMontageLM(o) },
+	} {
+		run := func(disable bool) *Result {
+			return Run(Config{
+				Fuzzer:   mk(fuzzers.LMOptions{DisableFrozenLM: disable}),
+				Testbeds: engines.Testbeds(),
+				Cases:    100,
+				Seed:     2021,
+				Workers:  4,
+			})
+		}
+		frozen := run(false)
+		mapped := run(true)
+		if got, want := findingsKey(frozen), findingsKey(mapped); got != want {
+			t.Errorf("%s: findings differ between LM implementations:\nfrozen: %s\nmap:    %s",
+				frozen.FuzzerName, got, want)
+		}
+		if frozen.Executed != mapped.Executed || frozen.CasesRun != mapped.CasesRun {
+			t.Errorf("%s: accounting differs between LM implementations: (%d,%d) vs (%d,%d)",
+				frozen.FuzzerName, frozen.CasesRun, frozen.Executed, mapped.CasesRun, mapped.Executed)
+		}
+		for v, n := range frozen.Verdicts {
+			if mapped.Verdicts[v] != n {
+				t.Errorf("%s: verdict %s: %d frozen vs %d map", frozen.FuzzerName, v, n, mapped.Verdicts[v])
+			}
+		}
+	}
+}
+
 // TestCampaignWorkerIndependenceResolved pins worker-count independence
 // with resolution enabled (the default path): findings and tallies must not
 // depend on scheduling.

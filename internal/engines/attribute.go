@@ -151,12 +151,38 @@ func DivergesRunners(a, b *DefectRunner, opts RunOptions) func(src string) bool 
 
 // Attribute identifies which seeded defects of the testbed's version are
 // responsible for a divergence observed on src: each active defect is
-// re-run in isolation against the defect-free reference.
+// re-run in isolation against the defect-free reference. Candidates whose
+// resolved parser options coincide share one compiled program — the same
+// trick DivergesRunners uses — so a witness is parsed (and scope-resolved)
+// once per distinct option fingerprint instead of once per candidate;
+// only the handful of defects with parser interceptors pay their own
+// parse. Execution semantics are unchanged: each candidate still runs
+// with exactly its own config, hook and pre-parse gate.
 func Attribute(src string, tb Testbed, opts RunOptions) []*Defect {
-	ref := RunWithDefect(nil, src, tb.Strict, opts)
+	type compiled struct {
+		prog *ast.Program
+		err  error
+	}
+	cache := map[uint64]compiled{}
+	runOne := func(r *DefectRunner) ExecResult {
+		if msg := r.preParseError(src); msg != "" {
+			return PreParseResult(msg)
+		}
+		fp := r.parseOpts.Fingerprint()
+		c, ok := cache[fp]
+		if !ok {
+			c.prog, c.err = parser.ParseWith(src, r.parseOpts)
+			if c.err == nil && !opts.DisableResolve {
+				resolve.Program(c.prog)
+			}
+			cache[fp] = c
+		}
+		return r.execParsed(c.prog, c.err, opts)
+	}
+	ref := runOne(NewDefectRunner(nil, tb.Strict))
 	var out []*Defect
 	for _, d := range ActiveDefects(tb.Version) {
-		r := RunWithDefect(d, src, tb.Strict, opts)
+		r := runOne(NewDefectRunner(d, tb.Strict))
 		if r.Key() != ref.Key() {
 			out = append(out, d)
 		}

@@ -29,6 +29,32 @@ type Fuzzer interface {
 	Next(rng *rand.Rand) []string
 }
 
+// Forkable marks fuzzers whose Next is a pure function of the rng passed
+// in — no internal state evolves across calls — so a campaign may run
+// several generator shards concurrently, each shard deriving its batches'
+// RNGs from (campaign seed, batch index). Fork returns an independent
+// handle for one shard; forks share the expensive immutable state (trained
+// models, mined bricks, seed pools) and must be safe to drive from
+// different goroutines. shardSeed is entropy for any shard-local scratch a
+// future implementation needs; the current pure fuzzers ignore it.
+//
+// Fuzzers whose strategy is inherently sequential — DIE's class grows a
+// mutation corpus from its own output and Montage's subtree inventory
+// evolves with the seeds it has consumed — do not implement Forkable and
+// automatically stay on the campaign's serial generation path.
+type Forkable interface {
+	Fuzzer
+	Fork(shardSeed int64) Fuzzer
+}
+
+// LMOptions configures the LM-backed fuzzers' generators.
+type LMOptions struct {
+	// DisableFrozenLM keeps generation on the map-backed string sampler
+	// instead of the frozen token-ID model — the differential-oracle knob
+	// mirroring campaign.Config.DisableResolve.
+	DisableFrozenLM bool
+}
+
 // All instantiates the six fuzzers of the paper's comparison.
 func All() []Fuzzer {
 	return []Fuzzer{
@@ -56,13 +82,23 @@ type Comfort struct {
 }
 
 // NewComfort trains the generator on the embedded corpus.
-func NewComfort() *Comfort {
-	g := lm.Train(corpus.Programs(), corpus.Headers(), lm.Config{Arch: lm.ArchGPT2})
+func NewComfort() *Comfort { return NewComfortLM(LMOptions{}) }
+
+// NewComfortLM trains COMFORT with an explicit LM configuration.
+func NewComfortLM(o LMOptions) *Comfort {
+	g := lm.Train(corpus.Programs(), corpus.Headers(),
+		lm.Config{Arch: lm.ArchGPT2, DisableFrozenLM: o.DisableFrozenLM})
 	return &Comfort{pipeline: gen.New(g), db: spec.Default()}
 }
 
 // Name implements Fuzzer.
 func (c *Comfort) Name() string { return "COMFORT" }
+
+// Fork implements Forkable: Next reads only the trained pipeline and the
+// spec database, both immutable after construction, so shards share them.
+func (c *Comfort) Fork(shardSeed int64) Fuzzer {
+	return &Comfort{pipeline: c.pipeline.Fork(), db: c.db}
+}
 
 // Next generates a program and its spec-guided data variants.
 func (c *Comfort) Next(rng *rand.Rand) []string {
@@ -89,12 +125,20 @@ type DeepSmith struct {
 }
 
 // NewDeepSmith trains the short-context model.
-func NewDeepSmith() *DeepSmith {
-	return &DeepSmith{gen: lm.Train(corpus.Programs(), corpus.Headers(), lm.Config{Arch: lm.ArchLSTM})}
+func NewDeepSmith() *DeepSmith { return NewDeepSmithLM(LMOptions{}) }
+
+// NewDeepSmithLM trains DeepSmith with an explicit LM configuration.
+func NewDeepSmithLM(o LMOptions) *DeepSmith {
+	return &DeepSmith{gen: lm.Train(corpus.Programs(), corpus.Headers(),
+		lm.Config{Arch: lm.ArchLSTM, DisableFrozenLM: o.DisableFrozenLM})}
 }
 
 // Name implements Fuzzer.
 func (d *DeepSmith) Name() string { return "DeepSmith" }
+
+// Fork implements Forkable: the trained generator is immutable and
+// sampling is read-only, so shards share it.
+func (d *DeepSmith) Fork(shardSeed int64) Fuzzer { return &DeepSmith{gen: d.gen} }
 
 // Next implements Fuzzer.
 func (d *DeepSmith) Next(rng *rand.Rand) []string {
@@ -402,6 +446,12 @@ func isGlobalName(n string) bool { return globalNames[n] }
 // Name implements Fuzzer.
 func (c *CodeAlchemist) Name() string { return "CodeAlchemist" }
 
+// Fork implements Forkable: brick assembly reads the mined brick set and
+// nothing else, so shards share it.
+func (c *CodeAlchemist) Fork(shardSeed int64) Fuzzer {
+	return &CodeAlchemist{bricks: c.bricks}
+}
+
 // Next implements Fuzzer.
 func (c *CodeAlchemist) Next(rng *rand.Rand) []string {
 	defined := map[string]bool{}
@@ -441,11 +491,17 @@ type Montage struct {
 	gen   *lm.Generator
 }
 
-// NewMontage trains the subtree model.
-func NewMontage() *Montage {
+// NewMontage trains the subtree model. Montage stays off the Forkable
+// sharded path by design: the strategy class it models maintains an
+// evolving AST-subtree inventory, so the campaign keeps it serial.
+func NewMontage() *Montage { return NewMontageLM(LMOptions{}) }
+
+// NewMontageLM trains Montage with an explicit LM configuration.
+func NewMontageLM(o LMOptions) *Montage {
 	return &Montage{
 		seeds: corpus.Programs(),
-		gen:   lm.Train(corpus.Programs(), corpus.Headers(), lm.Config{Arch: lm.ArchLSTM}),
+		gen: lm.Train(corpus.Programs(), corpus.Headers(),
+			lm.Config{Arch: lm.ArchLSTM, DisableFrozenLM: o.DisableFrozenLM}),
 	}
 }
 

@@ -62,6 +62,101 @@ func TestFuzzerDeterminism(t *testing.T) {
 	}
 }
 
+// TestForkableSet pins which fuzzers opt into sharded generation: the
+// pure-per-batch strategies fork, the corpus-evolving strategy classes
+// (DIE, Montage) stay on the campaign's serial path.
+func TestForkableSet(t *testing.T) {
+	want := map[string]bool{
+		"COMFORT": true, "DeepSmith": true, "Fuzzilli": true,
+		"CodeAlchemist": true, "DIE": false, "Montage": false,
+	}
+	for _, f := range All() {
+		_, forkable := f.(Forkable)
+		if forkable != want[f.Name()] {
+			t.Errorf("%s: Forkable=%v, want %v", f.Name(), forkable, want[f.Name()])
+		}
+	}
+}
+
+// TestForkPurity is the contract behind shard-count-independent campaign
+// streams: for every Forkable fuzzer, any fork fed a fresh RNG seeded for
+// batch j must emit exactly the batch the parent emits for that seed —
+// regardless of which fork runs which batch, and regardless of how many
+// batches the fork has produced before.
+func TestForkPurity(t *testing.T) {
+	for _, f := range All() {
+		forkable, ok := f.(Forkable)
+		if !ok {
+			continue
+		}
+		t.Run(f.Name(), func(t *testing.T) {
+			want := make([][]string, 12)
+			for j := range want {
+				want[j] = f.Next(rand.New(rand.NewSource(int64(100 + j))))
+			}
+			a, b := forkable.Fork(1), forkable.Fork(2)
+			// Interleave the batches across the two forks out of order.
+			order := []int{7, 0, 11, 3, 1, 10, 2, 9, 4, 8, 5, 6}
+			for i, j := range order {
+				fz := a
+				if i%2 == 1 {
+					fz = b
+				}
+				got := fz.Next(rand.New(rand.NewSource(int64(100 + j))))
+				if len(got) != len(want[j]) {
+					t.Fatalf("batch %d: fork emitted %d cases, parent %d", j, len(got), len(want[j]))
+				}
+				for k := range got {
+					if got[k] != want[j][k] {
+						t.Fatalf("batch %d case %d: fork output differs from parent", j, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForkConcurrent drives four forks of each Forkable fuzzer from four
+// goroutines at once (the campaign's shard shape) — the race detector
+// guards the shared trained state, and the merged per-batch outputs must
+// match a serial replay.
+func TestForkConcurrent(t *testing.T) {
+	for _, f := range All() {
+		forkable, ok := f.(Forkable)
+		if !ok {
+			continue
+		}
+		t.Run(f.Name(), func(t *testing.T) {
+			const shards, batches = 4, 16
+			got := make([][]string, batches)
+			done := make(chan struct{})
+			for s := 0; s < shards; s++ {
+				go func(s int, fz Fuzzer) {
+					defer func() { done <- struct{}{} }()
+					for j := s; j < batches; j += shards {
+						got[j] = fz.Next(rand.New(rand.NewSource(int64(j))))
+					}
+				}(s, forkable.Fork(int64(s)))
+			}
+			for s := 0; s < shards; s++ {
+				<-done
+			}
+			for j := 0; j < batches; j++ {
+				want := f.Next(rand.New(rand.NewSource(int64(j))))
+				if len(got[j]) != len(want) {
+					t.Fatalf("batch %d: concurrent shard emitted %d cases, serial %d",
+						j, len(got[j]), len(want))
+				}
+				for k := range want {
+					if got[j][k] != want[k] {
+						t.Fatalf("batch %d case %d: concurrent output differs from serial", j, k)
+					}
+				}
+			}
+		})
+	}
+}
+
 // The baselines deliberately emit a share of syntactically invalid output
 // (the paper's Figure 9 measures all of them below a 60% passing rate), so
 // their validity is checked as a band, not a guarantee.

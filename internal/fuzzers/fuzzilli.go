@@ -52,6 +52,12 @@ func NewFuzzilli() *Fuzzilli {
 // Name implements Fuzzer.
 func (f *Fuzzilli) Name() string { return "Fuzzilli" }
 
+// Fork implements fuzzers.Forkable: Next copies the picked corpus program
+// before mutating it, so shards can share the seed IL corpus.
+func (f *Fuzzilli) Fork(shardSeed int64) Fuzzer {
+	return &Fuzzilli{corpusIL: f.corpusIL}
+}
+
 // Next implements Fuzzer: pick a corpus program, mutate it, lift it.
 func (f *Fuzzilli) Next(rng *rand.Rand) []string {
 	base := f.corpusIL[rng.Intn(len(f.corpusIL))]

@@ -29,6 +29,16 @@ func New(g *lm.Generator) *Pipeline {
 	return &Pipeline{Gen: g, KeepInvalid: 0.2}
 }
 
+// Fork returns a pipeline sharing this one's trained generator and filter
+// configuration. The generator is immutable after training and the lint
+// filter is stateless, so forks may generate concurrently; Next stays a
+// pure function of the rng argument — the property campaign generator
+// shards rely on.
+func (p *Pipeline) Fork() *Pipeline {
+	cp := *p
+	return &cp
+}
+
 // Next produces the next test program that survives the filter.
 func (p *Pipeline) Next(rng *rand.Rand) Program {
 	for {

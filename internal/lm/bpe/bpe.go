@@ -142,10 +142,15 @@ func (v *Vocab) EncodeWord(w string) []string {
 func Decode(tokens []string) string {
 	var b strings.Builder
 	for _, t := range tokens {
-		b.WriteString(strings.TrimSuffix(t, contMarker))
+		b.WriteString(Strip(t))
 	}
 	return b.String()
 }
+
+// Strip returns one token's decoded text — the token with its
+// continuation marker removed. It is the allocation-free single-token
+// form of Decode, used by the generator's pre-sized detokenizer.
+func Strip(tok string) string { return strings.TrimSuffix(tok, contMarker) }
 
 // IsContinued reports whether tok is continued by its successor.
 func IsContinued(tok string) bool { return strings.HasSuffix(tok, contMarker) }

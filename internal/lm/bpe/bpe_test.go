@@ -71,6 +71,28 @@ func TestContinuationMarkers(t *testing.T) {
 	}
 }
 
+// TestStripMatchesDecode pins the single-token decoder the pre-sized
+// detokenizer relies on: Strip(tok) == Decode([tok]) for every vocabulary
+// token, continued or not, and stripping is allocation-free.
+func TestStripMatchesDecode(t *testing.T) {
+	v := Train(corpusWords(), 100)
+	for _, w := range append(corpusWords(), "functionally", "zz") {
+		for _, tok := range v.EncodeWord(w) {
+			if Strip(tok) != Decode([]string{tok}) {
+				t.Errorf("Strip(%q)=%q != Decode=%q", tok, Strip(tok), Decode([]string{tok}))
+			}
+		}
+	}
+	toks := v.EncodeWord("functionally")
+	if allocs := testing.AllocsPerRun(100, func() {
+		for _, tok := range toks {
+			_ = Strip(tok)
+		}
+	}); allocs != 0 {
+		t.Errorf("Strip allocates %.1f objects, want 0", allocs)
+	}
+}
+
 func TestDeterministicTraining(t *testing.T) {
 	a := Train(corpusWords(), 100)
 	b := Train(corpusWords(), 100)

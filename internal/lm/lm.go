@@ -39,11 +39,30 @@ func (a Arch) String() string {
 	return "gpt2"
 }
 
-// Generator is a trained code generator.
+// Generator is a trained code generator. Generation runs on the frozen
+// token-ID sampler by default (interned int32 vocabulary, precomputed
+// per-context candidate lists, zero allocations per token); the map-backed
+// model is retained as the differential oracle's second implementation and
+// drives generation when Config.DisableFrozenLM is set — the knob
+// mirroring the interpreter's DisableResolve.
 type Generator struct {
-	arch    Arch
-	vocab   *bpe.Vocab
-	model   *ngram.Model
+	arch   Arch
+	vocab  *bpe.Vocab
+	model  *ngram.Model
+	frozen *ngram.Frozen // nil when Config.DisableFrozenLM
+	detok  []string      // token ID → decoded text (continuation marker stripped)
+	lbrace int32         // interned "{", or -1
+	rbrace int32         // interned "}", or -1
+	// wordSubs memoises EncodeWord for every word seen while training
+	// (corpus and headers), so priming a generation does not re-run the
+	// merge rules per word. Read-only after Train — generator shards
+	// consult it concurrently; unseen words fall back to EncodeWord
+	// without populating it.
+	wordSubs map[string][]string
+	// primed precompiles each seed header's tokenised/interned prefix and
+	// brace state once at train time (read-only afterwards), so the frozen
+	// hot path starts a generation with one map hit and one ID copy.
+	primed  map[string]*primedHeader
 	headers []string
 	topK    int
 	// MaxTokens is the generation cap (the paper's 5,000-word limit).
@@ -55,6 +74,10 @@ type Config struct {
 	Arch      Arch
 	TopK      int // 0 = the paper's k=10
 	NumMerges int // BPE merges; 0 = 400
+	// DisableFrozenLM keeps generation on the map-backed string sampler
+	// instead of the frozen token-ID model — the oracle/ablation knob;
+	// both paths are byte-identical for a fixed seed (pinned by test).
+	DisableFrozenLM bool
 }
 
 // Train builds a generator from a corpus of programs plus seed headers.
@@ -76,20 +99,73 @@ func Train(programs, headers []string, cfg Config) *Generator {
 	}
 	vocab := bpe.Train(words, cfg.NumMerges)
 	model := ngram.New(cfg.Arch.order())
+	memo := map[string][]string{}
 	for _, p := range programs {
-		stream := encode(vocab, TokenizeCode(p))
+		stream := encodeWith(vocab, memo, TokenizeCode(p), true)
 		stream = append(stream, "<EOF>")
 		model.Train(stream)
 	}
-	return &Generator{
+	// Pre-warm the memo with the seed headers so generation priming never
+	// misses on its own vocabulary.
+	for _, h := range headers {
+		encodeWith(vocab, memo, TokenizeCode(h), true)
+	}
+	g := &Generator{
 		arch:      cfg.Arch,
 		vocab:     vocab,
 		model:     model,
+		wordSubs:  memo,
 		headers:   headers,
 		topK:      cfg.TopK,
 		MaxTokens: 5000,
 	}
+	if !cfg.DisableFrozenLM {
+		g.frozen = model.Freeze()
+		g.detok = make([]string, g.frozen.VocabSize())
+		for id := range g.detok {
+			g.detok[id] = bpe.Strip(g.frozen.Token(int32(id)))
+		}
+		g.lbrace = g.frozen.TokenID("{")
+		g.rbrace = g.frozen.TokenID("}")
+		g.primed = make(map[string]*primedHeader, len(headers))
+		for _, h := range headers {
+			if _, ok := g.primed[h]; !ok {
+				g.primed[h] = g.primeHeader(h)
+			}
+		}
+	}
+	return g
 }
+
+// primedHeader is one seed header's precompiled generation prefix.
+type primedHeader struct {
+	toks     []string
+	ids      []int32
+	depth    int
+	sawBrace bool
+}
+
+// primeHeader tokenises, BPE-encodes and interns one header.
+func (g *Generator) primeHeader(header string) *primedHeader {
+	p := &primedHeader{
+		toks:     g.encodeTokens(TokenizeCode(header)),
+		sawBrace: strings.Contains(header, "{"),
+	}
+	p.ids = make([]int32, len(p.toks))
+	for i, tok := range p.toks {
+		p.ids[i] = g.frozen.TokenID(tok)
+		switch tok {
+		case "{":
+			p.depth++
+		case "}":
+			p.depth--
+		}
+	}
+	return p
+}
+
+// FrozenLM reports whether generation runs on the frozen token-ID model.
+func (g *Generator) FrozenLM() bool { return g.frozen != nil }
 
 // Vocab exposes the trained BPE vocabulary.
 func (g *Generator) Vocab() *bpe.Vocab { return g.vocab }
@@ -107,7 +183,20 @@ func (g *Generator) Generate(rng *rand.Rand) string {
 
 // GenerateFrom produces a program from an explicit seed header.
 func (g *Generator) GenerateFrom(header string, rng *rand.Rand) string {
-	stream := encode(g.vocab, TokenizeCode(header))
+	src, _ := g.GenerateFromN(header, rng)
+	return src
+}
+
+// GenerateFromN produces a program from an explicit seed header and
+// reports how many tokens the LM sampled for it (the generation
+// benchmarks' token-throughput denominator). The frozen and map paths
+// return byte-identical programs and counts for a fixed seed.
+func (g *Generator) GenerateFromN(header string, rng *rand.Rand) (string, int) {
+	if g.frozen != nil {
+		return g.generateFrozen(header, rng)
+	}
+	stream := g.encodeTokens(TokenizeCode(header))
+	prefix := len(stream)
 	depth := braceDepth(stream, 0)
 	sawBrace := strings.Contains(header, "{")
 	for len(stream) < g.MaxTokens {
@@ -123,11 +212,72 @@ func (g *Generator) GenerateFrom(header string, rng *rand.Rand) string {
 		case "}":
 			depth--
 			if sawBrace && depth <= 0 {
-				return detokenize(stream) + trailerFor(header)
+				return detokenize(stream) + trailerFor(header), len(stream) - prefix
 			}
 		}
 	}
-	return detokenize(stream)
+	return detokenize(stream), len(stream) - prefix
+}
+
+// generateFrozen is the token-ID hot path: the stream is an []int32, each
+// token costs one hash lookup plus one rng draw, and the program text is
+// materialised exactly once at the end through a pre-sized builder. Header
+// tokens outside the trained vocabulary keep their ID as -1 — they can
+// never extend a trained context, which is precisely the map model's
+// failed-lookup backoff — and their text is recovered from the header's
+// own token strings at detokenization.
+func (g *Generator) generateFrozen(header string, rng *rand.Rand) (string, int) {
+	p, ok := g.primed[header]
+	if !ok {
+		p = g.primeHeader(header) // ad-hoc header (Montage's expression priming)
+	}
+	prefix := p.toks
+	ids := make([]int32, len(p.ids), len(p.ids)+256)
+	copy(ids, p.ids)
+	depth := p.depth
+	sawBrace := p.sawBrace
+	eof := g.frozen.EOF()
+	for len(ids) < g.MaxTokens {
+		id, ok := g.frozen.SampleID(ids, g.topK, rng)
+		if !ok || id == eof {
+			break
+		}
+		ids = append(ids, id)
+		if id == g.lbrace {
+			depth++
+			sawBrace = true
+		} else if id == g.rbrace {
+			depth--
+			if sawBrace && depth <= 0 {
+				return g.detokenizeIDs(prefix, ids) + trailerFor(header), len(ids) - len(prefix)
+			}
+		}
+	}
+	return g.detokenizeIDs(prefix, ids), len(ids) - len(prefix)
+}
+
+// detokenizeIDs renders an ID stream to source through one exactly-sized
+// builder. IDs < 0 only occur in the header prefix (sampled tokens are
+// always interned), so their text comes from the prefix tokens.
+func (g *Generator) detokenizeIDs(prefix []string, ids []int32) string {
+	n := 0
+	for i, id := range ids {
+		if id >= 0 {
+			n += len(g.detok[id])
+		} else {
+			n += len(bpe.Strip(prefix[i]))
+		}
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for i, id := range ids {
+		if id >= 0 {
+			b.WriteString(g.detok[id])
+		} else {
+			b.WriteString(bpe.Strip(prefix[i]))
+		}
+	}
+	return b.String()
 }
 
 // trailerFor closes the idiom the seed header opened: function-expression
@@ -238,26 +388,37 @@ func isWordToken(tok string) bool {
 // encode expands word tokens into BPE subwords; everything else passes
 // through verbatim.
 func encode(v *bpe.Vocab, tokens []string) []string {
-	var out []string
+	return encodeWith(v, nil, tokens, false)
+}
+
+// encodeWith is encode backed by a word→subwords memo: running the merge
+// rules over a word costs O(merges × len), so repeated words — which is
+// most of a corpus and every header — resolve through one map hit
+// instead. learn populates the memo (training); generation passes false
+// so the map stays read-only and shard-safe.
+func encodeWith(v *bpe.Vocab, memo map[string][]string, tokens []string, learn bool) []string {
+	out := make([]string, 0, len(tokens)+8)
 	for _, t := range tokens {
-		if isWordToken(t) && len(t) > 1 {
-			out = append(out, v.EncodeWord(t)...)
-		} else {
+		if !isWordToken(t) || len(t) == 1 {
 			out = append(out, t)
+			continue
 		}
+		subs, ok := memo[t]
+		if !ok {
+			subs = v.EncodeWord(t)
+			if learn {
+				memo[t] = subs
+			}
+		}
+		out = append(out, subs...)
 	}
 	return out
 }
 
-// detokenize re-joins a BPE/code token stream into source text.
-func detokenize(tokens []string) string {
-	var b strings.Builder
-	for _, t := range tokens {
-		if bpe.IsContinued(t) {
-			b.WriteString(bpe.Decode([]string{t}))
-			continue
-		}
-		b.WriteString(t)
-	}
-	return b.String()
+// encodeTokens is the generation-time encoder: memo hits only.
+func (g *Generator) encodeTokens(tokens []string) []string {
+	return encodeWith(g.vocab, g.wordSubs, tokens, false)
 }
+
+// detokenize re-joins a BPE/code token stream into source text.
+func detokenize(tokens []string) string { return bpe.Decode(tokens) }

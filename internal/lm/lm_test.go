@@ -87,6 +87,57 @@ func TestGenerationDeterminism(t *testing.T) {
 	}
 }
 
+// TestFrozenMatchesMapGenerator is the generator-level differential
+// oracle: for both architectures, programs generated on the frozen
+// token-ID path must be byte-identical — same text, same sampled-token
+// count, same RNG consumption — to the map-backed path, across many
+// consecutive generations from one shared RNG (so any drift in draw
+// counts desynchronises the streams and fails loudly).
+func TestFrozenMatchesMapGenerator(t *testing.T) {
+	for _, arch := range []Arch{ArchGPT2, ArchLSTM} {
+		frozen := Train(corpus.Programs(), corpus.Headers(), Config{Arch: arch})
+		mapped := Train(corpus.Programs(), corpus.Headers(), Config{Arch: arch, DisableFrozenLM: true})
+		if !frozen.FrozenLM() || mapped.FrozenLM() {
+			t.Fatalf("%s: frozen knob not honoured", arch)
+		}
+		for _, seed := range []int64{1, 42, 2021} {
+			rngF := rand.New(rand.NewSource(seed))
+			rngM := rand.New(rand.NewSource(seed))
+			for i := 0; i < 40; i++ {
+				f, fn := frozen.GenerateFromN(corpus.Headers()[i%len(corpus.Headers())], rngF)
+				m, mn := mapped.GenerateFromN(corpus.Headers()[i%len(corpus.Headers())], rngM)
+				if f != m {
+					t.Fatalf("%s seed %d gen %d: frozen and map programs differ:\n%q\nvs\n%q",
+						arch, seed, i, f, m)
+				}
+				if fn != mn {
+					t.Fatalf("%s seed %d gen %d: sampled-token counts differ: %d vs %d",
+						arch, seed, i, fn, mn)
+				}
+			}
+		}
+	}
+}
+
+// TestFrozenHandlesUnknownHeaderTokens pins the out-of-vocabulary path:
+// a header whose identifiers never occur in the corpus must round-trip
+// its own text and still generate identically on both samplers.
+func TestFrozenHandlesUnknownHeaderTokens(t *testing.T) {
+	frozen := trainDefault(t, ArchGPT2)
+	mapped := Train(corpus.Programs(), corpus.Headers(), Config{Arch: ArchGPT2, DisableFrozenLM: true})
+	const header = "var zzUnknownZZ = qqNeverTrainedQQ + "
+	for seed := int64(0); seed < 10; seed++ {
+		f := frozen.GenerateFrom(header, rand.New(rand.NewSource(seed)))
+		m := mapped.GenerateFrom(header, rand.New(rand.NewSource(seed)))
+		if f != m {
+			t.Fatalf("seed %d: unknown-header generations differ:\n%q\nvs\n%q", seed, f, m)
+		}
+		if !strings.HasPrefix(f, "var zzUnknownZZ = qqNeverTrainedQQ") {
+			t.Fatalf("seed %d: header text lost through ID detokenization: %q", seed, f)
+		}
+	}
+}
+
 func TestGenerationTerminates(t *testing.T) {
 	g := trainDefault(t, ArchGPT2)
 	rng := rand.New(rand.NewSource(5))

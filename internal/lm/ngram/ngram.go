@@ -7,13 +7,15 @@ package ngram
 
 import (
 	"math/rand"
-	"sort"
 	"strings"
 )
 
 const sep = "\x00"
 
-// Model is a back-off n-gram language model over string tokens.
+// Model is a back-off n-gram language model over string tokens. It is the
+// mutable training form; Freeze compiles it into the int32-interned,
+// zero-allocation sampling form (see frozen.go), and the map-backed Sample
+// below stays intact as the frozen sampler's differential oracle.
 type Model struct {
 	Order  int
 	counts []map[string]map[string]int // counts[k][ctx of k tokens][next]
@@ -75,16 +77,10 @@ func (m *Model) Sample(context []string, topK int, rng *rand.Rand) (string, bool
 		if !ok || len(row) == 0 {
 			continue
 		}
-		cands := make([]candidate, 0, len(row))
-		for tok, n := range row {
-			cands = append(cands, candidate{tok, n})
-		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].n != cands[j].n {
-				return cands[i].n > cands[j].n
-			}
-			return cands[i].tok < cands[j].tok
-		})
+		// sortedCandidates (frozen.go) is the single comparator both
+		// samplers share — the frozen/map byte-identity contract depends
+		// on the candidate order never diverging between them.
+		cands := sortedCandidates(row)
 		if len(cands) > topK {
 			cands = cands[:topK]
 		}

@@ -77,6 +77,116 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestFrozenMatchesMapSample is the sampler-level differential oracle:
+// over randomized corpora, every (context, topK, rng-state) draw from the
+// frozen model must match the map model exactly — same token, same ok,
+// same RNG consumption — including contexts with out-of-vocabulary tokens
+// and contexts longer than the order.
+func TestFrozenMatchesMapSample(t *testing.T) {
+	words := strings.Fields("a b c d aa bb cc if for var x y z print return")
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		order := 1 + rng.Intn(4)
+		m := New(order)
+		for s := 0; s < 3+rng.Intn(5); s++ {
+			seq := make([]string, 2+rng.Intn(30))
+			for i := range seq {
+				seq[i] = words[rng.Intn(len(words))]
+			}
+			m.Train(seq)
+		}
+		f := m.Freeze()
+		if f.Contexts() != m.Contexts() {
+			t.Fatalf("trial %d: frozen reports %d contexts, map %d", trial, f.Contexts(), m.Contexts())
+		}
+		ctxWords := append(append([]string{}, words...), "UNSEEN", "⊥")
+		for draw := 0; draw < 300; draw++ {
+			ctx := make([]string, rng.Intn(order+3))
+			for i := range ctx {
+				ctx[i] = ctxWords[rng.Intn(len(ctxWords))]
+			}
+			topK := 1 + rng.Intn(5)
+			seed := rng.Int63()
+			mTok, mOK := m.Sample(ctx, topK, rand.New(rand.NewSource(seed)))
+			fTok, fOK := f.Sample(ctx, topK, rand.New(rand.NewSource(seed)))
+			if mOK != fOK || mTok != fTok {
+				t.Fatalf("trial %d ctx %q topK %d: map (%q,%v) vs frozen (%q,%v)",
+					trial, ctx, topK, mTok, mOK, fTok, fOK)
+			}
+		}
+	}
+}
+
+// TestFrozenStreamEquivalence drives both samplers through a whole
+// generation-shaped loop (context grows by each drawn token) with one
+// shared seed per stream and requires identical sequences.
+func TestFrozenStreamEquivalence(t *testing.T) {
+	m := New(4)
+	m.Train(strings.Fields("the quick brown fox jumps over the lazy dog the quick brown cat"))
+	f := m.Freeze()
+	for seed := int64(0); seed < 50; seed++ {
+		mapSeq := sampleSeq(m, seed)
+		rng := rand.New(rand.NewSource(seed))
+		ids := []int32{f.TokenID("the")}
+		var out []string
+		for i := 0; i < 10; i++ {
+			id, ok := f.SampleID(ids, 10, rng)
+			if !ok {
+				break
+			}
+			out = append(out, f.Token(id))
+			ids = append(ids, id)
+		}
+		if got := strings.Join(out, " "); got != mapSeq {
+			t.Fatalf("seed %d: frozen stream %q != map stream %q", seed, got, mapSeq)
+		}
+	}
+}
+
+func TestFrozenEmptyAndUnknown(t *testing.T) {
+	empty := New(2).Freeze()
+	if _, ok := empty.SampleID(nil, 10, rand.New(rand.NewSource(1))); ok {
+		t.Error("frozen untrained model must fail to sample")
+	}
+	if empty.EOF() != -1 {
+		t.Errorf("untrained model EOF = %d, want -1", empty.EOF())
+	}
+	m := New(2)
+	m.Train([]string{"x", "y", "z", "<EOF>"})
+	f := m.Freeze()
+	if f.TokenID("nope") != -1 {
+		t.Error("out-of-vocabulary token must intern to -1")
+	}
+	if id := f.TokenID("y"); id < 0 || f.Token(id) != "y" {
+		t.Errorf("TokenID/Token round trip broke: id=%d", id)
+	}
+	if f.EOF() < 0 || f.Token(f.EOF()) != "<EOF>" {
+		t.Errorf("EOF id %d does not map back to the marker", f.EOF())
+	}
+	// An unknown token inside the context suffix must back off exactly like
+	// the map model's failed string lookup.
+	tok, ok := f.Sample([]string{"UNSEEN", "y"}, 10, rand.New(rand.NewSource(2)))
+	if !ok || tok != "z" {
+		t.Errorf("backoff through unknown token: got %q ok=%v, want z", tok, ok)
+	}
+}
+
+func TestFrozenSampleAllocs(t *testing.T) {
+	m := New(3)
+	m.Train(strings.Fields("a b c a b d a b c a c b"))
+	f := m.Freeze()
+	rng := rand.New(rand.NewSource(7))
+	ctx := []int32{f.TokenID("a"), f.TokenID("b")}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := f.SampleID(ctx, 10, rng); !ok {
+			t.Fatal("sample failed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SampleID allocates %.1f objects per draw, want 0", allocs)
+	}
+}
+
 func sampleSeq(m *Model, seed int64) string {
 	rng := rand.New(rand.NewSource(seed))
 	ctx := []string{"the"}

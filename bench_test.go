@@ -237,14 +237,9 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	var executed int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := campaign.Run(campaign.Config{
-			Fuzzer:   fuzzers.NewComfort(),
-			Testbeds: engines.Testbeds(),
-			Cases:    120,
-			Seed:     2021,
-			Workers:  8,
-		})
-		executed += int64(res.Executed)
+		// The campaign shape lives in campaign.ThroughputProbe, shared
+		// with cmd/benchgate (the CI regression gate on this metric).
+		executed += int64(campaign.ThroughputProbe(120, 8, 2021))
 	}
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
 }
@@ -309,13 +304,14 @@ func (f *loopFuzzer) Next(_ *rand.Rand) []string {
 
 // BenchmarkCampaignThroughputInterpBound drives the full campaign pipeline
 // with interpreter-bound cases: per-case cost is dominated by evaluation,
-// so this is where the resolve-once interpreter shows up at campaign
-// level. Sub-benchmarks contrast the slot and map evaluators.
+// so this is where the evaluator shows up at campaign level.
+// Sub-benchmarks contrast the compiled-thunk, resolved tree-walking and
+// legacy map evaluators.
 func BenchmarkCampaignThroughputInterpBound(b *testing.B) {
 	for _, mode := range []struct {
-		name    string
-		disable bool
-	}{{"resolved", false}, {"map", true}} {
+		name                       string
+		disableCompile, disableRes bool
+	}{{"compiled", false, false}, {"resolved", true, false}, {"map", true, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			var executed int64
 			for i := 0; i < b.N; i++ {
@@ -326,7 +322,8 @@ func BenchmarkCampaignThroughputInterpBound(b *testing.B) {
 					Seed:           2021,
 					Workers:        8,
 					Fuel:           2_000_000,
-					DisableResolve: mode.disable,
+					DisableCompile: mode.disableCompile,
+					DisableResolve: mode.disableRes,
 				})
 				executed += int64(res.Executed)
 			}

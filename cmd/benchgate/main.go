@@ -1,0 +1,85 @@
+// Command benchgate is the campaign-throughput regression gate: it runs
+// the BenchmarkCampaignThroughput campaign shape (via the same
+// campaign.ThroughputProbe the benchmark measures) and compares the
+// observed execs/sec against the newest entry of BENCH_campaign.json —
+// the machine-readable perf trajectory each perf PR appends to. CI fails
+// when throughput falls more than the threshold below the recorded value.
+//
+// Usage:
+//
+//	benchgate                      # gate against BENCH_campaign.json at 15%
+//	benchgate -threshold 0.35      # slack for noisy shared runners
+//	benchgate -reps 3              # best-of-3 damps scheduler noise
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"comfort/internal/campaign"
+)
+
+// benchHistory mirrors BENCH_campaign.json (schema-checked by
+// TestBenchCampaignJSON).
+type benchHistory struct {
+	Benchmark string `json:"benchmark"`
+	Metric    string `json:"metric"`
+	Shape     string `json:"shape"`
+	History   []struct {
+		PR          int     `json:"pr"`
+		ExecsPerSec float64 `json:"execs_per_sec"`
+		Note        string  `json:"note"`
+	} `json:"history"`
+}
+
+func main() {
+	var (
+		jsonPath  = flag.String("bench-json", "BENCH_campaign.json", "perf-trajectory file to gate against")
+		threshold = flag.Float64("threshold", 0.15, "maximum allowed fractional regression vs the newest entry")
+		reps      = flag.Int("reps", 3, "probe repetitions; the best rate is compared (damps scheduler noise)")
+		cases     = flag.Int("cases", 120, "campaign case budget (the recorded shape)")
+		workers   = flag.Int("workers", 8, "scheduler workers (the recorded shape)")
+		seed      = flag.Int64("seed", 2021, "campaign seed (the recorded shape)")
+	)
+	flag.Parse()
+
+	raw, err := os.ReadFile(*jsonPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	var h benchHistory
+	if err := json.Unmarshal(raw, &h); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *jsonPath, err)
+		os.Exit(2)
+	}
+	if len(h.History) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no history entries\n", *jsonPath)
+		os.Exit(2)
+	}
+	last := h.History[len(h.History)-1]
+
+	best := 0.0
+	for i := 0; i < *reps; i++ {
+		start := time.Now()
+		executed := campaign.ThroughputProbe(*cases, *workers, *seed)
+		rate := float64(executed) / time.Since(start).Seconds()
+		fmt.Printf("probe %d/%d: %d executions, %.1f execs/sec\n", i+1, *reps, executed, rate)
+		if rate > best {
+			best = rate
+		}
+	}
+
+	floor := last.ExecsPerSec * (1 - *threshold)
+	fmt.Printf("benchgate: best %.1f execs/sec vs recorded PR %d at %.1f (floor %.1f, threshold %.0f%%)\n",
+		best, last.PR, last.ExecsPerSec, floor, *threshold*100)
+	if best < floor {
+		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION — %.1f execs/sec is %.1f%% below the recorded %.1f\n",
+			best, 100*(1-best/last.ExecsPerSec), last.ExecsPerSec)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}

@@ -37,6 +37,8 @@ func main() {
 		progress = flag.Bool("progress", false, "print campaign progress to stderr")
 		progEach = flag.Int("progress-every", 100, "cases between progress samples (1 = every case)")
 		reduceW  = flag.Bool("reduce", false, "reduce each finding's witness after the campaign (Section 3.5)")
+		noComp   = flag.Bool("disable-compile", false, "execute on the tree-walking evaluator instead of compiled thunks (oracle/ablation)")
+		noRes    = flag.Bool("disable-resolve", false, "execute on the dynamic map-scope evaluator (implies -disable-compile)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -78,14 +80,15 @@ func main() {
 	base := campaign.Config{
 		Workers: *workers, Fuel: *fuel,
 		GenShards: *genShard, ProgressEvery: *progEach,
+		DisableResolve: *noRes, DisableCompile: *noComp,
 	}
 	if *progress {
 		// The sampling cadence lives in ProgressEvery now: the campaign only
 		// reads the cache counters and invokes this callback on sampled
 		// cases, so large campaigns stop paying per-case progress overhead.
 		base.Progress = func(p campaign.Progress) {
-			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted)\n",
-				p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions)
+			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted; execs: %d compiled, %d tree)\n",
+				p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions, p.Compiled, p.Fallback)
 		}
 	}
 

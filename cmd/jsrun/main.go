@@ -6,23 +6,38 @@
 //	jsrun -engine Rhino -version v1.7.12 script.js
 //	jsrun -strict script.js            # reference engine, strict mode
 //	jsrun -list                        # list engine versions
+//	jsrun -cpuprofile cpu.prof -n 1000 hot.js   # profile a single program
+//	jsrun -disable-compile script.js   # tree-walking evaluator (oracle)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"comfort/internal/engines"
 )
 
 func main() {
+	// Profile flushing happens in deferred handlers, which os.Exit would
+	// skip; realMain returns the exit code instead.
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
-		engine  = flag.String("engine", "", "engine family (empty = reference)")
-		version = flag.String("version", "", "engine version or build")
-		strict  = flag.Bool("strict", false, "run in strict mode")
-		fuel    = flag.Int64("fuel", 2_000_000, "step budget")
-		list    = flag.Bool("list", false, "list engine versions and exit")
+		engine    = flag.String("engine", "", "engine family (empty = reference)")
+		version   = flag.String("version", "", "engine version or build")
+		strict    = flag.Bool("strict", false, "run in strict mode")
+		fuel      = flag.Int64("fuel", 2_000_000, "step budget")
+		list      = flag.Bool("list", false, "list engine versions and exit")
+		repeat    = flag.Int("n", 1, "execute the program n times (profiling workloads)")
+		noCompile = flag.Bool("disable-compile", false, "execute on the tree-walking evaluator instead of compiled thunks")
+		noResolve = flag.Bool("disable-resolve", false, "execute on the dynamic map-scope evaluator (implies -disable-compile)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -33,32 +48,67 @@ func main() {
 					e.Name, v.Name, v.Build, len(engines.ActiveDefects(v)))
 			}
 		}
-		return
+		return 0
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: jsrun [-engine E -version V] [-strict] file.js")
-		os.Exit(2)
+		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
-	opts := engines.RunOptions{Fuel: *fuel, Seed: 1}
-	var res engines.ExecResult
-	if *engine == "" {
-		res = engines.Reference(string(src), *strict, opts)
-	} else {
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	opts := engines.RunOptions{Fuel: *fuel, Seed: 1,
+		DisableResolve: *noResolve, DisableCompile: *noCompile}
+	tb := engines.ReferenceTestbed(*strict)
+	if *engine != "" {
 		v, ok := engines.FindVersion(*engine, *version)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown engine version %s/%s (try -list)\n", *engine, *version)
-			os.Exit(1)
+			return 1
 		}
-		res = engines.Testbed{Version: v, Strict: *strict}.Run(string(src), opts)
+		tb = engines.Testbed{Version: v, Strict: *strict}
+	}
+	// Repetitions are for profiling workloads; only the last execution's
+	// output and outcome are reported.
+	var res engines.ExecResult
+	for i := 0; i < *repeat || i == 0; i++ {
+		res = tb.Run(string(src), opts)
 	}
 	fmt.Print(res.Output)
 	if res.Outcome != engines.OutcomePass {
 		fmt.Fprintf(os.Stderr, "[%s] %s\n", res.Outcome, res.Error)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

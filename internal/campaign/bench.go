@@ -1,0 +1,22 @@
+package campaign
+
+import (
+	"comfort/internal/engines"
+	"comfort/internal/fuzzers"
+)
+
+// ThroughputProbe runs the BenchmarkCampaignThroughput campaign shape — a
+// COMFORT campaign over every testbed — and reports the number of testbed
+// executions delivered. The root benchmark and cmd/benchgate both measure
+// through this helper, so the regression gate can never drift from the
+// benchmark it guards.
+func ThroughputProbe(cases, workers int, seed int64) int {
+	res := Run(Config{
+		Fuzzer:   fuzzers.NewComfort(),
+		Testbeds: engines.Testbeds(),
+		Cases:    cases,
+		Seed:     seed,
+		Workers:  workers,
+	})
+	return res.Executed
+}

@@ -47,6 +47,11 @@ type Config struct {
 	// map-scope path instead of the slot-indexed resolve-once path — the
 	// oracle/ablation knob, threaded through to the exec scheduler.
 	DisableResolve bool
+	// DisableCompile keeps execution on the (resolved) tree-walking
+	// evaluator instead of the compile-once thunk path — the oracle and
+	// ablation knob for internal/js/compile, threaded through to the
+	// scheduler, attribution and reduction just like DisableResolve.
+	DisableCompile bool
 	// Context cancels the campaign early; Run returns the findings
 	// accounted so far. Nil means context.Background().
 	Context context.Context
@@ -63,13 +68,18 @@ type Config struct {
 }
 
 // Progress is one campaign progress sample: case accounting position plus
-// the scheduler's compiled-program cache counters.
+// the scheduler's compiled-program cache and evaluator-path counters.
 type Progress struct {
 	// Done counts classified cases; Total is the configured budget.
 	Done, Total int
 	// CacheHits/CacheMisses/CacheEvictions are the scheduler's
 	// compiled-program (parse-and-resolve-once) cache counters so far.
 	CacheHits, CacheMisses, CacheEvictions int64
+	// Compiled/Fallback count physical interpreter runs so far by
+	// evaluator path: thunk-compiled programs vs tree-walked ones. In the
+	// default configuration Fallback stays at zero; a non-zero value (or
+	// an ablation run) is visible at a glance in -progress output.
+	Compiled, Fallback int64
 }
 
 // Finding is one unique discovered bug, attributed to its seeded defect.
@@ -124,6 +134,9 @@ type Result struct {
 	// CacheHits/CacheMisses/CacheEvictions are the final compiled-program
 	// cache counters of the campaign's scheduler.
 	CacheHits, CacheMisses, CacheEvictions int64
+	// Compiled/Fallback are the final evaluator-path execution counters
+	// (see Progress).
+	Compiled, Fallback int64
 }
 
 // FoundDefects returns the discovered defects.
@@ -185,6 +198,7 @@ func Run(cfg Config) *Result {
 		Fuel:           cfg.Fuel,
 		Seed:           cfg.Seed,
 		DisableResolve: cfg.DisableResolve,
+		DisableCompile: cfg.DisableCompile,
 	})
 	outcomes := sched.Run(ctx, caseCh)
 
@@ -203,13 +217,16 @@ func Run(cfg Config) *Result {
 		}
 		if cfg.Progress != nil && (res.CasesRun%progressEvery == 0 || res.CasesRun == cfg.Cases) {
 			h, m, e := sched.CacheStats()
+			cc, fb := sched.ExecCounts()
 			cfg.Progress(Progress{
 				Done: res.CasesRun, Total: cfg.Cases,
 				CacheHits: h, CacheMisses: m, CacheEvictions: e,
+				Compiled: cc, Fallback: fb,
 			})
 		}
 	}
 	res.CacheHits, res.CacheMisses, res.CacheEvictions = sched.CacheStats()
+	res.Compiled, res.Fallback = sched.ExecCounts()
 
 	// Stage 4 (optional): witness reduction, after the stream has drained
 	// and dedup/attribution settled — never on the hot accounting path.
@@ -260,7 +277,8 @@ func reduceFinding(ctx context.Context, f *Finding, cfg Config) string {
 	// The predicate replays divergences on the same evaluator path the
 	// campaign observed them on, and shares one compiled candidate between
 	// the defect and reference executions when parser options coincide.
-	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed, DisableResolve: cfg.DisableResolve}
+	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed,
+		DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile}
 	buggy := engines.NewDefectRunner(f.Defect, f.strict)
 	ref := engines.NewDefectRunner(nil, f.strict)
 	return reduce.Parallel(f.TestCase, engines.DivergesRunners(buggy, ref, opts),
@@ -279,7 +297,8 @@ func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difft
 			continue
 		}
 		attributed := engines.Attribute(src, dev.Testbed,
-			engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed, DisableResolve: cfg.DisableResolve})
+			engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed,
+				DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile})
 		if len(attributed) == 0 {
 			res.UnattributedFindings++
 			continue

@@ -72,6 +72,91 @@ func TestEvaluatorOracle(t *testing.T) {
 	}
 }
 
+// TestCompiledOracle is the differential oracle for the compile-once thunk
+// evaluator: every program the six fuzzers generate from fixed seeds must
+// produce byte-identical ExecResults — output, outcome, error rendering
+// and fuel consumption — whether it executes through compiled closure
+// thunks or the (resolved) tree walker, across defect-laden and reference
+// testbeds in both modes. One shared program object serves both paths,
+// exactly as the scheduler cache shares it.
+func TestCompiledOracle(t *testing.T) {
+	tbs := oracleTestbeds()
+	prepared := make([]*engines.PreparedTestbed, len(tbs))
+	for i, tb := range tbs {
+		prepared[i] = tb.Prepare()
+	}
+	opts := engines.RunOptions{Fuel: 150000, Seed: 9}
+	treeOpts := opts
+	treeOpts.DisableCompile = true
+	const perFuzzer = 25
+	for fi, f := range fuzzers.All() {
+		rng := rand.New(rand.NewSource(int64(100 + fi)))
+		var cases []string
+		for len(cases) < perFuzzer {
+			batch := f.Next(rng)
+			if len(batch) == 0 {
+				break
+			}
+			cases = append(cases, batch...)
+		}
+		if len(cases) > perFuzzer {
+			cases = cases[:perFuzzer]
+		}
+		for ci, src := range cases {
+			for _, p := range prepared {
+				if msg := p.PreParseError(src); msg != "" {
+					continue // identical gate on both paths
+				}
+				prog, perr := p.Parse(src)
+				compiledRes := p.ExecParsed(prog, perr, opts)
+				treeRes := p.ExecParsed(prog, perr, treeOpts)
+				if compiledRes != treeRes {
+					t.Fatalf("%s case %d on %s: evaluator paths diverge\ncompiled: %+v\ntree:     %+v\nprogram:\n%s",
+						f.Name(), ci, p.Testbed.ID(), compiledRes, treeRes, src)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignCompileOracle runs the same campaign with and without the
+// thunk compiler and requires identical findings, verdict tallies and
+// execution counts — plus full compiled-path coverage in the default
+// configuration (the Fallback counter stays at zero).
+func TestCampaignCompileOracle(t *testing.T) {
+	run := func(disable bool) *Result {
+		return Run(Config{
+			Fuzzer:         fuzzers.NewComfort(),
+			Testbeds:       engines.Testbeds(),
+			Cases:          150,
+			Seed:           2021,
+			Workers:        4,
+			DisableCompile: disable,
+		})
+	}
+	compiled := run(false)
+	tree := run(true)
+	if got, want := findingsKey(compiled), findingsKey(tree); got != want {
+		t.Errorf("findings differ between evaluator paths:\ncompiled: %s\ntree:     %s", got, want)
+	}
+	if compiled.Executed != tree.Executed {
+		t.Errorf("executed %d on compiled path, %d on tree path", compiled.Executed, tree.Executed)
+	}
+	for v, n := range compiled.Verdicts {
+		if tree.Verdicts[v] != n {
+			t.Errorf("verdict %s: %d compiled vs %d tree", v, n, tree.Verdicts[v])
+		}
+	}
+	if compiled.Compiled == 0 || compiled.Fallback != 0 {
+		t.Errorf("default campaign should run fully compiled: compiled=%d fallback=%d",
+			compiled.Compiled, compiled.Fallback)
+	}
+	if tree.Compiled != 0 || tree.Fallback == 0 {
+		t.Errorf("DisableCompile campaign should run fully tree-walked: compiled=%d fallback=%d",
+			tree.Compiled, tree.Fallback)
+	}
+}
+
 // TestCampaignResolveOracle runs the same campaign on both evaluator paths
 // and requires identical findings, verdict tallies and execution counts.
 func TestCampaignResolveOracle(t *testing.T) {

@@ -3,10 +3,33 @@ package engines
 import (
 	"comfort/internal/js/ast"
 	"comfort/internal/js/builtins"
+	"comfort/internal/js/compile"
 	"comfort/internal/js/interp"
 	"comfort/internal/js/parser"
 	"comfort/internal/js/resolve"
 )
+
+// finishParse applies the resolve-once and compile-once passes to a fresh
+// parse per the run options — the single-defect executors' equivalent of
+// PreparedTestbed.parseFor.
+func finishParse(prog *ast.Program, opts RunOptions) {
+	if opts.DisableResolve {
+		return
+	}
+	resolve.Program(prog)
+	if !opts.DisableCompile {
+		compile.Program(prog)
+	}
+}
+
+// runProgram executes a (possibly thunk-compiled) program on a fresh
+// runtime, honouring the compile ablation knob.
+func runProgram(in *interp.Interp, prog *ast.Program, opts RunOptions) error {
+	if cp := compile.Of(prog); cp != nil && !opts.DisableCompile {
+		return cp.Run(in)
+	}
+	return in.Run(prog)
+}
 
 // RunWithDefect executes src with exactly one defect installed — the
 // ground-truth attribution primitive used by the campaign accounting.
@@ -29,15 +52,14 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 			}
 		}
 	}
+	cfg.DisableCompile = opts.DisableCompile
 	in := builtins.NewRuntime(cfg)
 	prog, err := parser.ParseWith(src, parseOpts)
 	if err != nil {
 		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
 	}
-	if !opts.DisableResolve {
-		resolve.Program(prog)
-	}
-	runErr := in.Run(prog)
+	finishParse(prog, opts)
+	runErr := runProgram(in, prog, opts)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
 	classifyRunError(&res, runErr)
 	return res
@@ -84,8 +106,8 @@ func (r *DefectRunner) Run(src string, opts RunOptions) ExecResult {
 		return PreParseResult(msg)
 	}
 	prog, err := parser.ParseWith(src, r.parseOpts)
-	if err == nil && !opts.DisableResolve {
-		resolve.Program(prog)
+	if err == nil {
+		finishParse(prog, opts)
 	}
 	return r.execParsed(prog, err, opts)
 }
@@ -108,8 +130,9 @@ func (r *DefectRunner) execParsed(prog *ast.Program, err error, opts RunOptions)
 	cfg := r.baseCfg
 	cfg.Fuel = opts.Fuel
 	cfg.Seed = opts.Seed
+	cfg.DisableCompile = opts.DisableCompile
 	in := builtins.NewRuntime(cfg)
-	runErr := in.Run(prog)
+	runErr := runProgram(in, prog, opts)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
 	classifyRunError(&res, runErr)
 	return res
@@ -138,8 +161,8 @@ func DivergesRunners(a, b *DefectRunner, opts RunOptions) func(src string) bool 
 			}
 			if !parsed {
 				prog, perr = parser.ParseWith(src, a.parseOpts)
-				if perr == nil && !opts.DisableResolve {
-					resolve.Program(prog)
+				if perr == nil {
+					finishParse(prog, opts)
 				}
 				parsed = true
 			}

@@ -267,6 +267,11 @@ type RunOptions struct {
 	// The scheduler path carries the same knob in exec.Config instead
 	// (its compiled programs are cached across calls).
 	DisableResolve bool
+	// DisableCompile keeps execution on the (resolved) tree-walking
+	// evaluator instead of the thunk-compiled closure path — the
+	// differential oracle and ablation knob for internal/js/compile,
+	// mirrored by exec.Config and campaign.Config for the scheduler path.
+	DisableCompile bool
 }
 
 // ActiveDefects returns the catalog defects present in the given version.

@@ -7,6 +7,7 @@ import (
 
 	"comfort/internal/js/ast"
 	"comfort/internal/js/builtins"
+	"comfort/internal/js/compile"
 	"comfort/internal/js/interp"
 	"comfort/internal/js/parser"
 	"comfort/internal/js/resolve"
@@ -116,12 +117,29 @@ func (p *PreparedTestbed) PreParseError(src string) string {
 	return ""
 }
 
-// Parse compiles src under the testbed's resolved parser options: a parse
-// followed by the resolve-once scope pass, so every execution of the
-// returned program — the scheduler shares it across behaviour classes, and
-// reduction predicates across their two testbeds — takes the interpreter's
-// slot-indexed fast path.
+// Parse compiles src under the testbed's resolved parser options: a parse,
+// the resolve-once scope pass, then the compile-once thunk pass, so every
+// execution of the returned program — the scheduler shares it across
+// behaviour classes, and reduction predicates across their two testbeds —
+// dispatches through closure thunks instead of re-walking the AST. The
+// compiled form is sound under the same fingerprint key as the scope
+// annotations: the compiler consumes nothing beyond the resolved AST
+// (hooks, mode and fuel stay per-execution inputs of the shared runtime
+// helpers the thunks call), so parse equivalence implies thunk
+// equivalence.
 func (p *PreparedTestbed) Parse(src string) (*ast.Program, error) {
+	prog, err := parser.ParseWith(src, p.parseOps)
+	if err == nil {
+		resolve.Program(prog)
+		compile.Program(prog)
+	}
+	return prog, err
+}
+
+// ParseResolved parses and scope-resolves src without the thunk-compile
+// pass — the compiled-evaluator ablation's parse mode (the tree walker
+// executes the resolved AST directly).
+func (p *PreparedTestbed) ParseResolved(src string) (*ast.Program, error) {
 	prog, err := parser.ParseWith(src, p.parseOps)
 	if err == nil {
 		resolve.Program(prog)
@@ -131,7 +149,7 @@ func (p *PreparedTestbed) Parse(src string) (*ast.Program, error) {
 
 // ParseUnresolved parses src without the resolve pass, leaving execution on
 // the interpreter's dynamic map-scope path. It exists for the differential
-// oracle that cross-checks the two evaluator paths (and the campaign
+// oracle that cross-checks the evaluator paths (and the campaign
 // ablation behind exec.Config.DisableResolve).
 func (p *PreparedTestbed) ParseUnresolved(src string) (*ast.Program, error) {
 	return parser.ParseWith(src, p.parseOps)
@@ -153,10 +171,13 @@ func (p *PreparedTestbed) Run(src string, opts RunOptions) ExecResult {
 }
 
 // parseFor compiles src for an execution under opts, honouring the
-// map-scope ablation knob.
+// map-scope and thunk-compile ablation knobs.
 func (p *PreparedTestbed) parseFor(src string, opts RunOptions) (*ast.Program, error) {
 	if opts.DisableResolve {
 		return p.ParseUnresolved(src)
+	}
+	if opts.DisableCompile {
+		return p.ParseResolved(src)
 	}
 	return p.Parse(src)
 }
@@ -181,9 +202,15 @@ func (p *PreparedTestbed) Exec(prog *ast.Program, opts RunOptions) ExecResult {
 	cfg.Fuel = opts.Fuel
 	cfg.Seed = opts.Seed
 	cfg.Hook = p.hook
+	cfg.DisableCompile = opts.DisableCompile
 	in := builtins.NewRuntime(cfg)
 	in.Cov = opts.Cov
-	runErr := in.Run(prog)
+	var runErr error
+	if cp := compile.Of(prog); cp != nil && !opts.DisableCompile {
+		runErr = cp.Run(in)
+	} else {
+		runErr = in.Run(prog)
+	}
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
 	classifyRunError(&res, runErr)
 	return res

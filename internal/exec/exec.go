@@ -52,6 +52,11 @@ type Config struct {
 	// parse — the differential oracle and ablation knob for the
 	// slot-indexed evaluator.
 	DisableResolve bool
+	// DisableCompile keeps cached programs on the (resolved) tree-walking
+	// evaluator instead of the compile-once thunk path — the differential
+	// oracle and ablation knob for internal/js/compile. Implied by
+	// DisableResolve (the compiler consumes scope annotations).
+	DisableCompile bool
 }
 
 // Scheduler executes cases over prepared testbeds. One Scheduler is one
@@ -67,6 +72,13 @@ type Scheduler struct {
 	classes  [][]int
 	classRep []*engines.PreparedTestbed
 	cache    *parseCache
+	// compiled/fallback count physical interpreter runs by evaluator:
+	// thunk-compiled programs vs tree-walked ones (parse errors count in
+	// neither). Surfaced through campaign.Progress so a campaign's oracle
+	// coverage — how much of it actually exercised the compiled path — is
+	// observable.
+	compiled atomic.Int64
+	fallback atomic.Int64
 }
 
 // New builds a scheduler: testbeds are prepared up front (catalog scan,
@@ -82,7 +94,7 @@ func New(cfg Config) *Scheduler {
 	if len(cfg.Testbeds) == 0 {
 		cfg.Testbeds = engines.LatestTestbeds()
 	}
-	s := &Scheduler{cfg: cfg, cache: newParseCache(cfg.ParseCacheCap, cfg.DisableResolve)}
+	s := &Scheduler{cfg: cfg, cache: newParseCache(cfg.ParseCacheCap, cfg.DisableResolve, cfg.DisableCompile)}
 	classOf := map[string]int{}
 	for _, tb := range cfg.Testbeds {
 		p := tb.Prepare()
@@ -107,6 +119,13 @@ func (s *Scheduler) Classes() int { return len(s.classes) }
 // CacheStats reports compiled-program cache hits, misses and evicted
 // entries so far.
 func (s *Scheduler) CacheStats() (hits, misses, evictions int64) { return s.cache.stats() }
+
+// ExecCounts reports physical interpreter runs so far by evaluator path:
+// thunk-compiled vs tree-walked (the fallback — ablation modes, or
+// programs the compiler declined).
+func (s *Scheduler) ExecCounts() (compiled, fallback int64) {
+	return s.compiled.Load(), s.fallback.Load()
+}
 
 // caseState tracks one in-flight case across its testbed executions.
 type caseState struct {
@@ -249,10 +268,27 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 }
 
 // runOne executes one (case, testbed) cell through the shared difftest
-// cell semantics, with the campaign-wide parse cache supplying parses.
+// cell semantics, with the campaign-wide parse cache supplying compiled
+// programs; the parse hook accounts which evaluator the execution runs
+// on.
 func (s *Scheduler) runOne(p *engines.PreparedTestbed, src string) engines.ExecResult {
-	return difftest.RunCell(p, src, s.cache.parse,
-		engines.RunOptions{Fuel: s.cfg.Fuel, Seed: s.cfg.Seed})
+	return difftest.RunCell(p, src, s.countingParse,
+		engines.RunOptions{Fuel: s.cfg.Fuel, Seed: s.cfg.Seed,
+			DisableCompile: s.cfg.DisableCompile})
+}
+
+// countingParse wraps the cache parse with the compiled/fallback
+// execution counters (parse errors count in neither).
+func (s *Scheduler) countingParse(p *engines.PreparedTestbed, src string) (*ast.Program, error) {
+	prog, err := s.cache.parse(p, src)
+	if err == nil {
+		if prog.Compiled != nil && !s.cfg.DisableCompile {
+			s.compiled.Add(1)
+		} else {
+			s.fallback.Add(1)
+		}
+	}
+	return prog, err
 }
 
 // FromSlice adapts a fixed case list to the scheduler's input channel,
@@ -304,6 +340,7 @@ type parseCache struct {
 	old       map[parseKey]parsedResult
 	genCap    int
 	noResolve bool
+	noCompile bool
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
@@ -311,7 +348,7 @@ type parseCache struct {
 
 const defaultParseCacheCap = 4096
 
-func newParseCache(cap int, noResolve bool) *parseCache {
+func newParseCache(cap int, noResolve, noCompile bool) *parseCache {
 	if cap <= 0 {
 		cap = defaultParseCacheCap
 	}
@@ -324,6 +361,7 @@ func newParseCache(cap int, noResolve bool) *parseCache {
 		old:       make(map[parseKey]parsedResult),
 		genCap:    genCap,
 		noResolve: noResolve,
+		noCompile: noCompile,
 	}
 }
 
@@ -353,9 +391,15 @@ func (pc *parseCache) parse(p *engines.PreparedTestbed, src string) (*ast.Progra
 		return r.prog, r.err
 	}
 	pc.misses.Add(1)
-	if pc.noResolve {
+	switch {
+	case pc.noResolve:
 		r.prog, r.err = p.ParseUnresolved(src)
-	} else {
+	case pc.noCompile:
+		r.prog, r.err = p.ParseResolved(src)
+	default:
+		// The full pipeline: parse, resolve, thunk-compile. The cache
+		// entry stores the thunks next to the scope annotations under the
+		// same parser-option fingerprint key.
 		r.prog, r.err = p.Parse(src)
 	}
 	pc.mu.Lock()

@@ -101,6 +101,13 @@ type ScopeInfo struct {
 	VarSlots   []uint16
 	HoistFuncs []*FuncLit
 	HoistSlots []uint16
+
+	// Poolable marks a scope whose frame provably cannot escape the
+	// dynamic extent of its activation: no function literal or declaration
+	// anywhere in the scope's subtree closes over it. Set by
+	// internal/js/compile; the interpreter recycles such frames through a
+	// per-instance free list instead of allocating a []binding per entry.
+	Poolable bool
 }
 
 // Expr is implemented by expression nodes.
@@ -122,6 +129,12 @@ type Program struct {
 	// ResolvedScopes marks that internal/js/resolve has annotated this
 	// tree (resolution is idempotent and keyed off this flag).
 	ResolvedScopes bool
+	// Compiled holds the program's thunk-compiled form (a
+	// *compile.Compiled), attached by internal/js/compile after
+	// resolution. Stored as any to keep this package dependency-free; the
+	// executing layer type-asserts. Like the scope annotations it is
+	// written once, before the program is shared across goroutines.
+	Compiled any
 }
 
 // VarKind distinguishes var/let/const declarations.
@@ -412,6 +425,10 @@ type FuncLit struct {
 	// Scope is the function frame's static layout (params, hoisted vars
 	// and declarations, arguments/self slots).
 	Scope *ScopeInfo
+	// Compiled is the thunk-compiled body (an interp.CompiledBody),
+	// attached by internal/js/compile; interp.MakeFunction copies it onto
+	// the function object so calls dispatch to the compiled form.
+	Compiled any
 }
 
 func (*FuncLit) exprNode() {}

@@ -1,0 +1,73 @@
+package ast
+
+// HoistedDecl is one var- or function-hoisted binding of a statement
+// list: Fn is nil for a plain var name, the literal for a hoisted
+// function declaration.
+type HoistedDecl struct {
+	Name string
+	Fn   *FuncLit
+}
+
+// HoistedDecls enumerates the var declarators and function declarations
+// hoisted out of a statement subtree — not descending into nested
+// function literals — in source pre-order. It is the single definition of
+// the hoisting traversal: the tree-walking evaluator's hoist step and the
+// thunk compiler's top-level hoist plan both consume it, so the two
+// evaluators cannot disagree on which bindings hoist or in what order.
+func HoistedDecls(body []Stmt) []HoistedDecl {
+	var out []HoistedDecl
+	var walk func(ss []Stmt)
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			switch st := s.(type) {
+			case *VarDecl:
+				if st.Kind == Var {
+					for _, d := range st.Decls {
+						out = append(out, HoistedDecl{Name: d.Name})
+					}
+				}
+			case *FuncDecl:
+				out = append(out, HoistedDecl{Name: st.Fn.Name, Fn: st.Fn})
+			case *BlockStmt:
+				walk(st.Body)
+			case *IfStmt:
+				walk([]Stmt{st.Then})
+				if st.Else != nil {
+					walk([]Stmt{st.Else})
+				}
+			case *ForStmt:
+				if vd, ok := st.Init.(*VarDecl); ok && vd.Kind == Var {
+					for _, d := range vd.Decls {
+						out = append(out, HoistedDecl{Name: d.Name})
+					}
+				}
+				walk([]Stmt{st.Body})
+			case *ForInStmt:
+				if st.Decl == Var {
+					out = append(out, HoistedDecl{Name: st.Name})
+				}
+				walk([]Stmt{st.Body})
+			case *WhileStmt:
+				walk([]Stmt{st.Body})
+			case *DoWhileStmt:
+				walk([]Stmt{st.Body})
+			case *SwitchStmt:
+				for _, c := range st.Cases {
+					walk(c.Body)
+				}
+			case *TryStmt:
+				walk(st.Block.Body)
+				if st.Catch != nil {
+					walk(st.Catch.Body)
+				}
+				if st.Finally != nil {
+					walk(st.Finally.Body)
+				}
+			case *LabeledStmt:
+				walk([]Stmt{st.Body})
+			}
+		}
+	}
+	walk(body)
+	return out
+}

@@ -7,6 +7,8 @@
 package builtins
 
 import (
+	"sync"
+
 	"comfort/internal/js/interp"
 )
 
@@ -15,6 +17,32 @@ func NewRuntime(cfg interp.Config) *interp.Interp {
 	in := interp.New(cfg)
 	Install(in)
 	return in
+}
+
+// Native-method tables: the first Install runs a capture pass on a
+// throwaway interpreter, recording every r.method registration into a
+// frozen, realm-independent interp.NativeTable per receiver object (the
+// method implementations only ever touch the interpreter passed at call
+// time, never the realm that registered them — the receiver parameter
+// shadows the installer's). Every later realm attaches the frozen table
+// (one pointer, one key-slice append) instead of re-registering each
+// method (a closure and a map insert per method per realm) — realm
+// construction is the campaign scheduler's single hottest path.
+var (
+	tableOnce sync.Once
+	// methodTables maps a method's canonical spec key to the frozen table
+	// of its receiver object.
+	methodTables map[string]*interp.NativeTable
+)
+
+func captureTables() {
+	cap := &registry{
+		in:        interp.New(interp.Config{}),
+		capturing: map[*interp.Object]*interp.NativeTable{},
+		captured:  map[string]*interp.NativeTable{},
+	}
+	installAll(cap)
+	methodTables = cap.captured
 }
 
 // Install wires the standard library into in. It is idempotent per
@@ -28,7 +56,15 @@ func NewRuntime(cfg interp.Config) *interp.Interp {
 // Boolean/RegExp prototypes, the Error hierarchy, the global functions)
 // stays eager.
 func Install(in *interp.Interp) {
+	tableOnce.Do(captureTables)
 	r := &registry{in: in}
+	installAll(r)
+}
+
+// installAll wires every stdlib section through the given registry (a
+// normal realm, or the one-time table-capture pass).
+func installAll(r *registry) {
+	in := r.in
 
 	// Bootstrap Object.prototype and Function.prototype first: everything
 	// else hangs off them.
@@ -40,7 +76,15 @@ func Install(in *interp.Interp) {
 
 	installObject(r)
 	installFunction(r)
-	installErrors(r)
+	// The Error hierarchy is deferred like the operator sections below;
+	// unlike them it is also reachable from inside the interpreter (every
+	// Throwf needs the error prototypes for classification), so the
+	// interpreter's prototype-miss hook forces it too.
+	errThunk := lazySection(r, []string{
+		"Error", "EvalError", "RangeError", "ReferenceError",
+		"SyntaxError", "TypeError", "URIError", "InternalError",
+	}, installErrors)
+	in.ProtoMiss = func(string) { errThunk() }
 	installArray(r)
 	installString(r)
 	installNumber(r)
@@ -62,8 +106,15 @@ func Install(in *interp.Interp) {
 }
 
 // lazySection defers one stdlib installer until any of its global names is
-// touched; the installer runs at most once per realm.
-func lazySection(r *registry, names []string, install func(*registry)) {
+// touched; the installer runs at most once per realm. It returns the
+// force-thunk so interpreter-internal consumers (the prototype-miss hook)
+// can trigger the section without a global read. The capture pass installs
+// immediately — its realm must register every method table.
+func lazySection(r *registry, names []string, install func(*registry)) func() {
+	if r.capturing != nil {
+		install(r)
+		return func() {}
+	}
 	installed := false
 	thunk := func() {
 		if installed {
@@ -75,11 +126,17 @@ func lazySection(r *registry, names []string, install func(*registry)) {
 	for _, n := range names {
 		r.in.Global.SetLazy(n, thunk)
 	}
+	return thunk
 }
 
 // registry carries shared helpers for the install functions.
 type registry struct {
 	in *interp.Interp
+	// capturing/captured are set only during the one-time table-capture
+	// pass: capturing groups entries by receiver object, captured indexes
+	// the resulting tables by method spec key.
+	capturing map[*interp.Object]*interp.NativeTable
+	captured  map[string]*interp.NativeTable
 }
 
 // shortName strips the canonical spec key down to its final segment.
@@ -97,16 +154,40 @@ func (r *registry) fn(name string, arity int, f interp.NativeFunc) *interp.Objec
 	return interp.NewNativeFunc(r.in.Protos["Function"], name, shortName(name), arity, f)
 }
 
-// method attaches a native method to obj under its short name. The
-// function object is built lazily on first access: realm construction runs
-// once per testbed execution, and a generated program touches a handful of
-// the library's hundreds of methods, so deferring NewNativeFunc (an object,
-// a property map and two descriptors each) is the single largest
-// construction saving. Materialisation order remains the registration
-// order, and delete/overwrite interactions go through the existing lazy
-// resolution in Object.
+// method attaches a native method to obj under its short name. Function
+// objects are built lazily on first access (a generated program touches a
+// handful of the library's hundreds of methods); registration itself goes
+// through the frozen per-object method tables, so a realm pays one table
+// attachment per object instead of one closure + map insert per method.
+// Materialisation order remains the registration order, and
+// delete/overwrite interactions go through the lazy resolution in Object.
 func (r *registry) method(obj *interp.Object, name string, arity int, f interp.NativeFunc) {
 	short := shortName(name)
+	if r.capturing != nil {
+		t := r.capturing[obj]
+		if t == nil {
+			t = &interp.NativeTable{ByName: map[string]uint8{}}
+			r.capturing[obj] = t
+		}
+		if len(t.Entries) >= interp.MaxNativeTableEntries {
+			panic("builtins: method table overflow for " + name)
+		}
+		t.ByName[short] = uint8(len(t.Entries))
+		t.Names = append(t.Names, short)
+		t.Entries = append(t.Entries, interp.NativeTableEntry{SpecKey: name, Short: short, Arity: arity, Fn: f})
+		r.captured[name] = t
+		// Install eagerly on the capture realm so intra-install reads see
+		// a complete object.
+		obj.SetSlot(short, interp.ObjValue(r.fn(name, arity, f)), interp.Writable|interp.Configurable)
+		return
+	}
+	if t, ok := methodTables[name]; ok {
+		if obj.LazyTable() == nil {
+			obj.AttachLazyTable(t, r.in.Protos["Function"])
+		}
+		return
+	}
+	// Not captured (dynamically named registration): per-method lazy slot.
 	obj.SetLazy(short, func() {
 		fo := r.fn(name, arity, f)
 		obj.SetSlot(short, interp.ObjValue(fo), interp.Writable|interp.Configurable)

@@ -84,6 +84,22 @@ func installString(r *registry) {
 		})
 	}
 
+	// strRaw passes the receiver without materialising a rune slice — the
+	// adapter for the position-indexed accessors, which campaign profiles
+	// show dominated by the []rune conversion ([]rune(s) allocates and
+	// copies the whole string per call; charCodeAt in a scan loop paid it
+	// quadratically).
+	strRaw := func(name string, arity int,
+		f func(in *interp.Interp, s string, this interp.Value, args []interp.Value) (interp.Value, error)) {
+		r.method(proto, name, arity, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			s, err := thisStr(in, this, name)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			return f(in, s, this, args)
+		})
+	}
+
 	r.method(proto, "String.prototype.toString", 0, func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		return stringThisValue(in, this)
 	})
@@ -91,51 +107,51 @@ func installString(r *registry) {
 		return stringThisValue(in, this)
 	})
 
-	str("String.prototype.charAt", 1, func(in *interp.Interp, s []rune, this interp.Value, args []interp.Value) (interp.Value, error) {
+	strRaw("String.prototype.charAt", 1, func(in *interp.Interp, s string, this interp.Value, args []interp.Value) (interp.Value, error) {
 		pos, err := in.ToInteger(arg(args, 0))
 		if err != nil {
 			return interp.Undefined(), err
 		}
-		if pos < 0 || pos >= float64(len(s)) {
-			return interp.String(""), nil
+		if r, ok := in.RuneAt(s, pos); ok {
+			return interp.String(string(r)), nil
 		}
-		return interp.String(string(s[int(pos)])), nil
+		return interp.String(""), nil
 	})
 
-	str("String.prototype.charCodeAt", 1, func(in *interp.Interp, s []rune, this interp.Value, args []interp.Value) (interp.Value, error) {
+	strRaw("String.prototype.charCodeAt", 1, func(in *interp.Interp, s string, this interp.Value, args []interp.Value) (interp.Value, error) {
 		pos, err := in.ToInteger(arg(args, 0))
 		if err != nil {
 			return interp.Undefined(), err
 		}
-		if pos < 0 || pos >= float64(len(s)) {
-			return interp.Number(math.NaN()), nil
+		if r, ok := in.RuneAt(s, pos); ok {
+			return interp.Number(float64(r)), nil
 		}
-		return interp.Number(float64(s[int(pos)])), nil
+		return interp.Number(math.NaN()), nil
 	})
 
-	str("String.prototype.codePointAt", 1, func(in *interp.Interp, s []rune, this interp.Value, args []interp.Value) (interp.Value, error) {
+	strRaw("String.prototype.codePointAt", 1, func(in *interp.Interp, s string, this interp.Value, args []interp.Value) (interp.Value, error) {
 		pos, err := in.ToInteger(arg(args, 0))
 		if err != nil {
 			return interp.Undefined(), err
 		}
-		if pos < 0 || pos >= float64(len(s)) {
-			return interp.Undefined(), nil
+		if r, ok := in.RuneAt(s, pos); ok {
+			return interp.Number(float64(r)), nil
 		}
-		return interp.Number(float64(s[int(pos)])), nil
+		return interp.Undefined(), nil
 	})
 
-	str("String.prototype.at", 1, func(in *interp.Interp, s []rune, this interp.Value, args []interp.Value) (interp.Value, error) {
+	strRaw("String.prototype.at", 1, func(in *interp.Interp, s string, this interp.Value, args []interp.Value) (interp.Value, error) {
 		pos, err := in.ToInteger(arg(args, 0))
 		if err != nil {
 			return interp.Undefined(), err
 		}
 		if pos < 0 {
-			pos += float64(len(s))
+			pos += float64(in.RuneLen(s))
 		}
-		if pos < 0 || pos >= float64(len(s)) {
-			return interp.Undefined(), nil
+		if r, ok := in.RuneAt(s, pos); ok {
+			return interp.String(string(r)), nil
 		}
-		return interp.String(string(s[int(pos)])), nil
+		return interp.Undefined(), nil
 	})
 
 	str("String.prototype.concat", 1, func(in *interp.Interp, s []rune, this interp.Value, args []interp.Value) (interp.Value, error) {

@@ -1,0 +1,275 @@
+package interp
+
+import (
+	"comfort/internal/js/ast"
+	"comfort/internal/js/token"
+)
+
+// This file is the runtime-support surface for internal/js/compile: the
+// compile pass turns a resolved AST into a tree of closure thunks, and
+// those thunks execute against the same interpreter state — environments,
+// fuel, hooks, global object — as the tree-walking evaluator. Every helper
+// here is a thin exported veneer over an existing internal operation, so
+// the two evaluators cannot drift: a thunk that calls SetProp pays exactly
+// the fuel, hook interception and semantics the tree walker pays at the
+// same site.
+
+// CompiledBody executes a thunk-compiled function body in an already
+// prepared call frame (parameters, rest, arguments, self-name and hoisted
+// declarations are installed by Call, shared with the tree walker). It
+// subsumes both statement bodies (handling the return control signal
+// internally) and arrow expression bodies.
+type CompiledBody func(in *Interp, env *Env, strict bool) (Value, error)
+
+// Charge consumes n fuel steps — the compiled code's equivalent of the
+// tree walker's per-node charge.
+func (in *Interp) Charge(n int64) error { return in.charge(n) }
+
+// CtrlLabel and CtrlVal are the compiled evaluator's control registers:
+// break/continue thunks write the label, return thunks write the value,
+// and the statement thunks return only a one-byte control kind. Each
+// register is read by its direct consumer (the loop, switch, labelled
+// statement or function-body runner) before any other thunk runs; the one
+// construct that executes statements between receiving a control signal
+// and propagating it — try/finally — snapshots and restores them.
+func (in *Interp) CtrlLabel() string     { return in.ctrlLabel }
+func (in *Interp) SetCtrlLabel(l string) { in.ctrlLabel = l }
+func (in *Interp) CtrlVal() Value        { return in.ctrlVal }
+func (in *Interp) SetCtrlVal(v Value)    { in.ctrlVal = v }
+
+// CoverStmt, CoverBranch and CoverFunc record coverage from compiled code.
+func (in *Interp) CoverStmt(id int)        { in.coverStmt(id) }
+func (in *Interp) CoverBranch(id, arm int) { in.coverBranch(id, arm) }
+func (in *Interp) CoverFunc(id int)        { in.coverFunc(id) }
+
+// CurrentThis resolves the active this binding.
+func (in *Interp) CurrentThis() Value { return in.currentThis() }
+
+// TakePendingLabel consumes the pending statement label (the loop-entry
+// half of the labelled break/continue protocol); SetPendingLabel sets it
+// (the LabeledStmt half). Compiled code keeps this protocol dynamic — the
+// tree walker lets a label flow through arbitrary statements, and even
+// through calls, until the first loop consumes it, which no static pass
+// can reproduce.
+func (in *Interp) TakePendingLabel() string {
+	l := in.pendingLabel
+	in.pendingLabel = ""
+	return l
+}
+
+// SetPendingLabel sets the pending statement label.
+func (in *Interp) SetPendingLabel(l string) { in.pendingLabel = l }
+
+// ---------- identifier access ----------
+
+// SlotValue reads the binding at a resolved (depth, slot) coordinate.
+func (e *Env) SlotValue(depth, slot uint16) Value { return e.at(depth, slot).v }
+
+// AtDepth walks up the materialised-frame chain.
+func (e *Env) AtDepth(depth uint16) *Env {
+	for ; depth > 0; depth-- {
+		e = e.parent
+	}
+	return e
+}
+
+// AssignSlot writes through a resolved slot reference, honouring
+// mutability and the function self-name rules.
+func (in *Interp) AssignSlot(env *Env, depth, slot uint16, v Value, strict bool) error {
+	return in.assignBinding(env.at(depth, slot), v, strict)
+}
+
+// LookupGlobalName reads a RefGlobal identifier: the global environment's
+// lexical bindings, then the global object and its prototype chain.
+func (in *Interp) LookupGlobalName(name string) (Value, error) { return in.lookupGlobal(name) }
+
+// LookupDynamic reads a RefDynamic identifier by walking the environment
+// chain by name.
+func (in *Interp) LookupDynamic(name string, env *Env) (Value, error) {
+	return in.lookupIdent(name, env)
+}
+
+// AssignGlobalName writes a RefGlobal identifier.
+func (in *Interp) AssignGlobalName(name string, v Value, strict bool) error {
+	if b, ok := in.GlobalEnv.lookup(name); ok {
+		return in.assignBinding(b, v, strict)
+	}
+	return in.assignGlobalTail(name, v, strict)
+}
+
+// AssignDynamic writes a RefDynamic identifier by chain walk.
+func (in *Interp) AssignDynamic(name string, v Value, env *Env, strict bool) error {
+	return in.assignIdent(name, v, env, strict)
+}
+
+// HasGlobalName reports whether the global object (or its prototype
+// chain) carries the name — the typeof/delete existence probe.
+func (in *Interp) HasGlobalName(name string) bool { return in.hasGlobal(name) }
+
+// ---------- declarations ----------
+
+// DeclareSlotVar applies var-declaration write semantics at a resolved
+// slot coordinate.
+func (in *Interp) DeclareSlotVar(env *Env, depth, slot uint16, v Value) {
+	env.at(depth, slot).declareVarWrite(v)
+}
+
+// SetSlotLexical (re)creates the lexical binding in this frame's slot —
+// the let/const declaration, for-in loop variable and catch parameter
+// write.
+func (e *Env) SetSlotLexical(slot uint16, v Value, mutable bool) {
+	e.slots[slot] = binding{v: v, mutable: mutable, live: true}
+}
+
+// DeclareVar creates a var-scoped binding on the nearest function frame
+// (the dynamic-path declaration).
+func (e *Env) DeclareVar(name string, v Value) { e.declareVar(name, v) }
+
+// DeclareLexical creates a block-scoped binding on this frame by name.
+func (e *Env) DeclareLexical(name string, v Value, mutable bool) {
+	e.declareLexical(name, v, mutable)
+}
+
+// ScopeEnv returns the environment a resolved scope executes in (fresh
+// frame, reused parent, or dynamic child — see the unexported scopeEnv).
+func (in *Interp) ScopeEnv(parent *Env, scope *ast.ScopeInfo) *Env {
+	return in.scopeEnv(parent, scope)
+}
+
+// ---------- operations ----------
+
+// MakeArguments builds the arguments object for a call.
+func (in *Interp) MakeArguments(args []Value) Value { return in.makeArguments(args) }
+
+// Iterate spreads an iterable value (for-of, spread syntax).
+func (in *Interp) Iterate(v Value) ([]Value, error) { return in.iterate(v) }
+
+// ApplyBinary applies a binary operator to evaluated operands.
+func (in *Interp) ApplyBinary(op token.Type, l, r Value) (Value, error) {
+	return in.applyBinary(op, l, r)
+}
+
+// GetPropByValue reads obj[key] with the key still a language value
+// (dense-array fast path included).
+func (in *Interp) GetPropByValue(obj, key Value) (Value, error) {
+	return in.getPropByValue(obj, key)
+}
+
+// SetPropByValue writes obj[key] = v with the key still a language value.
+func (in *Interp) SetPropByValue(target, key, v Value, strict bool) error {
+	return in.setPropByValue(target, key, v, strict)
+}
+
+// DefineAccessor installs one half of an accessor property on an object
+// literal under construction, merging with an existing accessor pair
+// exactly as the tree walker's object-literal evaluation does.
+func (o *Object) DefineAccessor(key string, fn *Object, getter bool) {
+	existing, ok := o.getOwn(key)
+	if !ok || !existing.Accessor {
+		existing = &Property{Accessor: true, Attr: Enumerable | Configurable}
+		o.DefineOwn(key, existing)
+	}
+	if getter {
+		existing.Get = fn
+	} else {
+		existing.Set = fn
+	}
+}
+
+// ForInKeys collects the for-in enumeration sequence of a value: own and
+// inherited enumerable keys, deduplicated along the prototype chain. A
+// nullish value enumerates nothing (nil, nil).
+func (in *Interp) ForInKeys(obj Value) ([]Value, error) {
+	if obj.IsNullish() {
+		return nil, nil
+	}
+	o, err := in.ToObject(obj)
+	if err != nil {
+		return nil, err
+	}
+	var items []Value
+	seen := map[string]bool{}
+	for cur := o; cur != nil; cur = cur.Proto {
+		for _, k := range cur.EnumerableKeys() {
+			if !seen[k] {
+				seen[k] = true
+				items = append(items, String(k))
+			}
+		}
+	}
+	return items, nil
+}
+
+// ---------- frame pooling ----------
+
+// maxPooledFrames bounds the per-interpreter frame free list; beyond it
+// released frames are left to the collector.
+const maxPooledFrames = 64
+
+// AcquireScope returns a slot frame for a Poolable scope, recycling a
+// released frame whose slot slice is large enough. The frame is
+// indistinguishable from a fresh newFrame allocation: slots are zeroed at
+// release time.
+func (in *Interp) AcquireScope(parent *Env, scope *ast.ScopeInfo, isFunc bool) *Env {
+	for i := len(in.framePool) - 1; i >= 0; i-- {
+		e := in.framePool[i]
+		if cap(e.slots) >= scope.NumSlots {
+			in.framePool[i] = in.framePool[len(in.framePool)-1]
+			in.framePool = in.framePool[:len(in.framePool)-1]
+			e.scope = scope
+			e.slots = e.slots[:scope.NumSlots]
+			e.parent = parent
+			e.isFunc = isFunc
+			return e
+		}
+	}
+	return newFrame(parent, scope, isFunc)
+}
+
+// AcquireArgs returns an argument slice of length n from the
+// per-interpreter free list. Compiled call sites use it when the callee is
+// a plain JS function: such calls only ever copy argument values (into
+// parameter slots, the rest array, or the arguments object), so the slice
+// itself provably does not survive the call. Natives and bound functions
+// are excluded — they may retain the slice.
+func (in *Interp) AcquireArgs(n int) []Value {
+	if k := len(in.argsPool); k > 0 {
+		a := in.argsPool[k-1]
+		if cap(a) >= n {
+			in.argsPool = in.argsPool[:k-1]
+			return a[:n]
+		}
+	}
+	return make([]Value, n)
+}
+
+// ReleaseArgs returns an argument slice to the free list, dropping the
+// value references it holds.
+func (in *Interp) ReleaseArgs(a []Value) {
+	if cap(a) == 0 || len(in.argsPool) >= maxPooledFrames {
+		return
+	}
+	a = a[:cap(a)]
+	for i := range a {
+		a[i] = Value{}
+	}
+	in.argsPool = append(in.argsPool, a)
+}
+
+// ReleaseScope returns a frame obtained from AcquireScope (or newFrame)
+// to the free list. Callers guarantee the frame cannot be referenced
+// after release — the compile pass only marks a scope Poolable when no
+// closure can capture it. A frame that grew a dynamic overlay is never
+// pooled (the overlay would leak bindings across activations).
+func (in *Interp) ReleaseScope(e *Env) {
+	if e.vars != nil || len(in.framePool) >= maxPooledFrames {
+		return
+	}
+	slots := e.slots[:cap(e.slots)]
+	for i := range slots {
+		slots[i] = binding{}
+	}
+	e.parent = nil
+	e.scope = nil
+	in.framePool = append(in.framePool, e)
+}

@@ -71,12 +71,23 @@ func IsAbort(err error) (*Abort, bool) {
 	return a, ok
 }
 
+// Proto resolves a realm prototype by name, invoking the prototype-miss
+// hook once when the name is absent (lazily-installed stdlib sections).
+func (in *Interp) Proto(kind string) *Object {
+	p := in.Protos[kind]
+	if p == nil && in.ProtoMiss != nil {
+		in.ProtoMiss(kind)
+		p = in.Protos[kind]
+	}
+	return p
+}
+
 // NewError builds an Error object of the given kind ("TypeError", ...) with
 // a message, using the realm's prototypes when available.
 func (in *Interp) NewError(kind, msg string) Value {
-	proto := in.Protos[kind]
+	proto := in.Proto(kind)
 	if proto == nil {
-		proto = in.Protos["Error"]
+		proto = in.Proto("Error")
 	}
 	o := NewObject(proto)
 	o.Class = "Error"

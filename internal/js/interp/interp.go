@@ -30,6 +30,10 @@ type Config struct {
 	// SloppyStrictAssign makes strict-mode assignment to undeclared
 	// identifiers create globals silently — a seeded Strict Mode defect.
 	SloppyStrictAssign bool
+	// DisableCompile keeps execution on the tree-walking evaluator even
+	// when the program carries thunk-compiled bodies — the differential
+	// oracle and ablation knob for internal/js/compile.
+	DisableCompile bool
 }
 
 // DefaultFuel is the default step budget per program run.
@@ -63,10 +67,17 @@ type Interp struct {
 	Strict bool
 	Hook   Hook
 	Cov    *Coverage
+	// ProtoMiss, when set, is invoked on a Protos lookup miss (see Proto)
+	// so the builtins package can materialise lazily-installed sections
+	// the interpreter itself depends on (the Error hierarchy).
+	ProtoMiss func(kind string)
 	// MutableFuncName mirrors Config.MutableFuncName.
 	MutableFuncName bool
 	// SloppyStrictAssign mirrors Config.SloppyStrictAssign.
 	SloppyStrictAssign bool
+	// DisableCompile mirrors Config.DisableCompile: Call ignores compiled
+	// bodies so a thunk-annotated program tree-walks end to end.
+	DisableCompile bool
 
 	// Out receives print() output.
 	Out strings.Builder
@@ -88,6 +99,24 @@ type Interp struct {
 	// pendingLabel carries a statement label into the next loop statement so
 	// labelled continue/break can match it.
 	pendingLabel string
+
+	// framePool recycles slot frames of Poolable scopes (see compiled.go);
+	// per-instance, so it needs no synchronisation — one Interp is one
+	// single-threaded execution. argsPool does the same for argument
+	// slices of compiled calls to plain JS functions.
+	framePool []*Env
+	argsPool  [][]Value
+
+	// Compiled-evaluator control registers (see compiled.go).
+	ctrlLabel string
+	ctrlVal   Value
+
+	// One-entry string-metrics cache (see stringMetrics): rune count and
+	// ASCII-ness of the most recently measured string.
+	strCacheData  *byte
+	strCacheLen   int
+	strCacheRunes int
+	strCacheASCII bool
 }
 
 // New creates an interpreter without the standard library; callers normally
@@ -108,6 +137,7 @@ func New(cfg Config) *Interp {
 		Hook:               cfg.Hook,
 		MutableFuncName:    cfg.MutableFuncName,
 		SloppyStrictAssign: cfg.SloppyStrictAssign,
+		DisableCompile:     cfg.DisableCompile,
 		randSeed:           cfg.Seed + 1,
 		Now:                1_600_000_000_000,
 		fuel:               fuel,
@@ -226,75 +256,28 @@ func (in *Interp) RunInEnv(prog *ast.Program, env *Env, strict bool) (Value, err
 }
 
 // hoist performs var and function-declaration hoisting into env; top-level
-// hoisting additionally mirrors bindings onto the global object.
+// hoisting additionally mirrors bindings onto the global object. The
+// traversal itself is shared with the thunk compiler (ast.HoistedDecls),
+// so both evaluators hoist exactly the same bindings in the same order.
 func (in *Interp) hoist(body []ast.Stmt, env *Env, topLevel bool, strict bool) {
-	var walk func(ss []ast.Stmt)
-	declare := func(name string, v Value) {
-		if topLevel {
-			in.Global.SetSlot(name, v, Writable|Enumerable)
-			return
-		}
-		env.declareVar(name, v)
-	}
-	walk = func(ss []ast.Stmt) {
-		for _, s := range ss {
-			switch st := s.(type) {
-			case *ast.VarDecl:
-				if st.Kind == ast.Var {
-					for _, d := range st.Decls {
-						if topLevel {
-							if !in.Global.HasOwn(d.Name) {
-								declare(d.Name, Undefined())
-							}
-						} else {
-							declare(d.Name, Undefined())
-						}
-					}
-				}
-			case *ast.FuncDecl:
-				fn := in.MakeFunction(st.Fn, env, strict)
-				declare(st.Fn.Name, ObjValue(fn))
-			case *ast.BlockStmt:
-				walk(st.Body)
-			case *ast.IfStmt:
-				walk([]ast.Stmt{st.Then})
-				if st.Else != nil {
-					walk([]ast.Stmt{st.Else})
-				}
-			case *ast.ForStmt:
-				if vd, ok := st.Init.(*ast.VarDecl); ok && vd.Kind == ast.Var {
-					for _, d := range vd.Decls {
-						declare(d.Name, Undefined())
-					}
-				}
-				walk([]ast.Stmt{st.Body})
-			case *ast.ForInStmt:
-				if st.Decl == ast.Var {
-					declare(st.Name, Undefined())
-				}
-				walk([]ast.Stmt{st.Body})
-			case *ast.WhileStmt:
-				walk([]ast.Stmt{st.Body})
-			case *ast.DoWhileStmt:
-				walk([]ast.Stmt{st.Body})
-			case *ast.SwitchStmt:
-				for _, c := range st.Cases {
-					walk(c.Body)
-				}
-			case *ast.TryStmt:
-				walk(st.Block.Body)
-				if st.Catch != nil {
-					walk(st.Catch.Body)
-				}
-				if st.Finally != nil {
-					walk(st.Finally.Body)
-				}
-			case *ast.LabeledStmt:
-				walk([]ast.Stmt{st.Body})
+	for _, d := range ast.HoistedDecls(body) {
+		if d.Fn != nil {
+			fn := in.MakeFunction(d.Fn, env, strict)
+			if topLevel {
+				in.Global.SetSlot(d.Name, ObjValue(fn), Writable|Enumerable)
+			} else {
+				env.declareVar(d.Name, ObjValue(fn))
 			}
+			continue
+		}
+		if topLevel {
+			if !in.Global.HasOwn(d.Name) {
+				in.Global.SetSlot(d.Name, Undefined(), Writable|Enumerable)
+			}
+		} else {
+			env.declareVar(d.Name, Undefined())
 		}
 	}
-	walk(body)
 }
 
 // MakeFunction builds a function object for a literal closed over env.
@@ -302,6 +285,9 @@ func (in *Interp) MakeFunction(lit *ast.FuncLit, env *Env, strict bool) *Object 
 	fn := NewObject(in.Protos["Function"])
 	fn.Class = "Function"
 	fn.Fn = &FuncDef{Lit: lit, Env: env}
+	if lit.Compiled != nil {
+		fn.Fn.Compiled, _ = lit.Compiled.(CompiledBody)
+	}
 	fn.SetSlot("length", Number(float64(len(lit.Params))), Configurable)
 	fn.SetSlot("name", String(lit.Name), Configurable)
 	if !lit.Arrow {
@@ -576,26 +562,12 @@ func (in *Interp) execForIn(st *ast.ForInStmt, env *Env, strict bool) (ctrl, err
 	var items []Value
 	if st.Of {
 		items, err = in.iterate(obj)
-		if err != nil {
-			return ctrlOK, err
-		}
 	} else {
-		if obj.IsNullish() {
-			return ctrlOK, nil
-		}
-		o, err := in.ToObject(obj)
-		if err != nil {
-			return ctrlOK, err
-		}
-		seen := map[string]bool{}
-		for cur := o; cur != nil; cur = cur.Proto {
-			for _, k := range cur.EnumerableKeys() {
-				if !seen[k] {
-					seen[k] = true
-					items = append(items, String(k))
-				}
-			}
-		}
+		// Nullish objects enumerate nothing (nil items, zero iterations).
+		items, err = in.ForInKeys(obj)
+	}
+	if err != nil {
+		return ctrlOK, err
 	}
 	for _, item := range items {
 		if err := in.charge(1); err != nil {
@@ -1549,13 +1521,21 @@ func (in *Interp) evalArgs(exprs []ast.Expr, env *Env, strict bool) ([]Value, er
 	return args, nil
 }
 
-// Call invokes fn with the given this and arguments.
+// Call invokes fn with the given this and arguments. The depth guard
+// lives here; the body runs in call1 so the unwind is a plain decrement
+// instead of a deferred closure (Call is the hottest shared entry point —
+// two defers per invocation showed up in campaign profiles).
 func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 	if err := in.charge(4); err != nil {
 		return Undefined(), err
 	}
 	in.depth++
-	defer func() { in.depth-- }()
+	v, err := in.call1(fn, this, args)
+	in.depth--
+	return v, err
+}
+
+func (in *Interp) call1(fn *Object, this Value, args []Value) (Value, error) {
 	if in.depth > in.maxDepth {
 		return Undefined(), in.RangeErrorf("Maximum call stack size exceeded")
 	}
@@ -1563,6 +1543,9 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 		return in.Call(fn.BoundTarget, fn.BoundThis, append(append([]Value(nil), fn.BoundArgs...), args...))
 	}
 	if fn.Native != nil {
+		if in.Hook == nil {
+			return fn.Native(in, this, args)
+		}
 		ctx := &HookCtx{Site: HookBuiltin, In: in, Name: fn.NativeName, This: this, Args: args}
 		return in.applyHook(ctx, func() (Value, error) {
 			return fn.Native(in, this, args)
@@ -1586,8 +1569,13 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 		}
 	}
 	lit := fn.Fn.Lit
-	strict := lit.Strict || in.Strict || fn.HasOwn("__strict__")
+	strict := lit.Strict || in.Strict || fn.strictMarked
+	compiled := fn.Fn.Compiled
+	if in.DisableCompile {
+		compiled = nil
+	}
 	var callEnv *Env
+	pooled := false
 	if sc := lit.Scope; sc != nil {
 		// Resolved path: a pre-sized slot frame replaces the map, the
 		// hoist walk is precomputed, and the arguments object is built
@@ -1597,7 +1585,15 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 		if sc.NumSlots == 0 {
 			callEnv = fn.Fn.Env
 		} else {
-			callEnv = newFrame(fn.Fn.Env, sc, true)
+			// Compiled calls of closure-free bodies recycle their frame
+			// (released after the body below); observable behaviour is
+			// identical — release zeroes the slots.
+			if compiled != nil && sc.Poolable {
+				callEnv = in.AcquireScope(fn.Fn.Env, sc, true)
+				pooled = true
+			} else {
+				callEnv = newFrame(fn.Fn.Env, sc, true)
+			}
 			for i, psl := range sc.ParamSlots {
 				var pv Value
 				if i < len(args) {
@@ -1666,7 +1662,6 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 		}
 	}
 	in.thisStack = append(in.thisStack, thisVal)
-	defer func() { in.thisStack = in.thisStack[:len(in.thisStack)-1] }()
 
 	if sc := lit.Scope; sc != nil && sc.NumSlots > 0 {
 		// Precomputed hoisting: var slots come live as undefined, then the
@@ -1684,21 +1679,32 @@ func (in *Interp) Call(fn *Object, this Value, args []Value) (Value, error) {
 		}
 	}
 
-	if lit.ExprBody != nil {
-		return in.evalExpr(lit.ExprBody, callEnv, strict)
+	// Body dispatch. All exits flow through the explicit this-stack pop
+	// below (no defer on the hot path).
+	var rv Value
+	var rerr error
+	switch {
+	case compiled != nil:
+		rv, rerr = compiled(in, callEnv, strict)
+	case lit.ExprBody != nil:
+		rv, rerr = in.evalExpr(lit.ExprBody, callEnv, strict)
+	default:
+		in.coverFunc(lit.ID())
+		if lit.Scope == nil {
+			in.hoist(lit.Body.Body, callEnv, false, strict)
+		}
+		c, err := in.execStmts(lit.Body.Body, callEnv, strict)
+		if err != nil {
+			rerr = err
+		} else if c.kind == ctrlReturn {
+			rv = c.val
+		}
 	}
-	in.coverFunc(lit.ID())
-	if lit.Scope == nil {
-		in.hoist(lit.Body.Body, callEnv, false, strict)
+	in.thisStack = in.thisStack[:len(in.thisStack)-1]
+	if pooled {
+		in.ReleaseScope(callEnv)
 	}
-	c, err := in.execStmts(lit.Body.Body, callEnv, strict)
-	if err != nil {
-		return Undefined(), err
-	}
-	if c.kind == ctrlReturn {
-		return c.val, nil
-	}
-	return Undefined(), nil
+	return rv, rerr
 }
 
 // makeArguments builds the (non-strict-spec, unmapped) arguments object.
@@ -1733,12 +1739,18 @@ func (in *Interp) Construct(fn *Object, args []Value) (Value, error) {
 		return in.Construct(fn.BoundTarget, append(append([]Value(nil), fn.BoundArgs...), args...))
 	}
 	if fn.Construct != nil {
+		if in.Hook == nil {
+			return fn.Construct(in, Undefined(), args)
+		}
 		ctx := &HookCtx{Site: HookBuiltin, In: in, Name: "new " + fn.NativeName, Args: args}
 		return in.applyHook(ctx, func() (Value, error) {
 			return fn.Construct(in, Undefined(), args)
 		})
 	}
 	if fn.Native != nil {
+		if in.Hook == nil {
+			return fn.Native(in, Undefined(), args)
+		}
 		ctx := &HookCtx{Site: HookBuiltin, In: in, Name: "new " + fn.NativeName, Args: args}
 		return in.applyHook(ctx, func() (Value, error) {
 			return fn.Native(in, Undefined(), args)
@@ -1833,19 +1845,32 @@ func (in *Interp) getPropByValue(obj, key Value) (Value, error) {
 }
 
 // setPropByValue writes obj[key] = v with the key still a language value.
-// The fast path covers in-bounds dense array elements when no defect hook
-// is installed (hooks observe property sets and array growth) and the
-// array is not frozen; it performs exactly the write the generic path
-// would.
+// The fast paths cover dense array elements — in-bounds overwrites and the
+// append position — when no defect hook is installed (hooks observe
+// property sets and array growth) and the array is not frozen; they
+// perform exactly the write the generic path would. The append position
+// additionally requires an index-free prototype chain (chainIndexFree), so
+// a numeric accessor installed anywhere above the array still intercepts
+// exactly as the generic chain walk would have.
 func (in *Interp) setPropByValue(target, key, v Value, strict bool) error {
 	if key.Kind() == KindNumber && target.IsObject() && in.Hook == nil {
 		o := target.Obj()
-		if o.IsArray() {
-			if idx, ok := denseIndex(key.Num(), len(o.elems)); ok && !o.arrayFrozen() {
+		if o.IsArray() && !o.arrayFrozen() {
+			if idx, ok := denseIndex(key.Num(), len(o.elems)); ok {
 				if err := in.charge(1); err != nil {
 					return err
 				}
 				o.elems[idx] = v
+				return nil
+			}
+			if f := key.Num(); f == float64(len(o.elems)) && f < 4294967295 && chainIndexFree(o) {
+				// The generic path would stringify the index, walk the
+				// chain (provably empty for index keys here) and land in
+				// arraySet's append case; charge matches SetProp's.
+				if err := in.charge(1); err != nil {
+					return err
+				}
+				o.arraySet(uint32(f), v)
 				return nil
 			}
 		}
@@ -1855,6 +1880,18 @@ func (in *Interp) setPropByValue(target, key, v Value, strict bool) error {
 		return err
 	}
 	return in.SetProp(target, k, v, strict)
+}
+
+// chainIndexFree reports that no object on the prototype chain (receiver
+// included) carries index-keyed own properties or virtual index slots, so
+// a prototype-chain walk for an index key is provably a miss.
+func chainIndexFree(o *Object) bool {
+	for cur := o; cur != nil; cur = cur.Proto {
+		if cur.indexProps || cur.ElemKind != ElemNone || cur.HasPrim {
+			return false
+		}
+	}
+	return true
 }
 
 // GetPropKey reads a property with a precomputed key.
@@ -1876,10 +1913,17 @@ func (in *Interp) GetPropKey(v Value, key string) (Value, error) {
 		return Undefined(), nil
 	case KindString:
 		if key == "length" {
-			return Number(float64(runeLen(v.Str()))), nil
+			return Number(float64(in.RuneLen(v.Str()))), nil
 		}
 		if idx, ok := arrayIndex(key); ok {
-			if r, ok := runeAt(v.Str(), int(idx)); ok {
+			s := v.Str()
+			if _, ascii := in.stringMetrics(s); ascii {
+				if int(idx) < len(s) {
+					return String(s[idx : idx+1]), nil
+				}
+				return Undefined(), nil
+			}
+			if r, ok := runeAt(s, int(idx)); ok {
 				return String(r), nil
 			}
 			return Undefined(), nil
@@ -1974,6 +2018,7 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 		}
 	}
 	// Accessor on the prototype chain?
+	idx, isIdx := arrayIndex(key)
 	for cur := o; cur != nil; cur = cur.Proto {
 		// Array virtual slots are writable data properties wherever they
 		// sit in the chain; stop the walk without boxing a descriptor.
@@ -1981,9 +2026,16 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 			if key == "length" {
 				break
 			}
-			if idx, ok := arrayIndex(key); ok && int(idx) < len(cur.elems) {
+			if isIdx && int(idx) < len(cur.elems) {
 				break
 			}
+		}
+		// Index keys cannot resolve on objects that never gained an
+		// index-keyed own property (and carry no virtual index slots) —
+		// the common growing-array write walks past Array.prototype and
+		// Object.prototype without probing their maps.
+		if isIdx && !cur.indexProps && cur.ElemKind == ElemNone && !cur.HasPrim {
+			continue
 		}
 		p, ok := cur.getOwn(key)
 		if !ok {
@@ -2011,17 +2063,15 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 	}
 	// Frozen arrays and typed arrays reject element writes (the hidden
 	// __frozen__ marker is maintained by Object.freeze).
-	if (o.IsArray() || o.ElemKind != ElemNone) && o.HasOwn("__frozen__") {
-		if _, isIndex := arrayIndex(key); isIndex {
-			if strict {
-				return in.TypeErrorf("Cannot assign to read only property '%s' of object", key)
-			}
-			return nil
+	if isIdx && (o.IsArray() || o.ElemKind != ElemNone) && o.arrayFrozen() {
+		if strict {
+			return in.TypeErrorf("Cannot assign to read only property '%s' of object", key)
 		}
+		return nil
 	}
 	// Array fast path with the growth hook (performance defects).
 	if o.IsArray() {
-		if idx, ok := arrayIndex(key); ok {
+		if isIdx {
 			if in.Hook != nil {
 				ov := in.Hook(&HookCtx{Site: HookArrayGrow, In: in, Obj: o, Index: idx, Val: v})
 				if ov != nil && ov.CostExtra > 0 {
@@ -2048,7 +2098,7 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 	}
 	// Typed arrays.
 	if o.ElemKind != ElemNone && o.Class != "DataView" {
-		if idx, ok := arrayIndex(key); ok {
+		if isIdx {
 			if int(idx) < o.ArrayLen {
 				n, err := in.ToNumber(v)
 				if err != nil {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 	"unicode/utf8"
+	"unsafe"
 
 	"comfort/internal/js/ast"
 	"comfort/internal/js/regex"
@@ -12,6 +13,59 @@ import (
 // runeLen is the rune count of s — string "length" in this evaluator's
 // rune-indexed model — without materialising a rune slice.
 func runeLen(s string) int { return utf8.RuneCountInString(s) }
+
+// stringMetrics measures a string's rune count and ASCII-ness through the
+// interpreter's one-entry metrics cache. Scan loops read `s.length` (and
+// index the same string) once per iteration; without the cache each read
+// re-counts the whole string, turning a linear scan quadratic. The cache
+// key is the (data pointer, byte length) pair, which identifies the exact
+// backing bytes — Go strings are immutable, so equal coordinates imply
+// equal content.
+func (in *Interp) stringMetrics(s string) (runes int, ascii bool) {
+	if len(s) == 0 {
+		return 0, true
+	}
+	d := unsafe.StringData(s)
+	if d == in.strCacheData && len(s) == in.strCacheLen {
+		return in.strCacheRunes, in.strCacheASCII
+	}
+	runes = utf8.RuneCountInString(s)
+	ascii = runes == len(s)
+	in.strCacheData, in.strCacheLen = d, len(s)
+	in.strCacheRunes, in.strCacheASCII = runes, ascii
+	return runes, ascii
+}
+
+// RuneLen is the rune count of s (string "length" in this evaluator's
+// rune-indexed model), served from the metrics cache.
+func (in *Interp) RuneLen(s string) int {
+	n, _ := in.stringMetrics(s)
+	return n
+}
+
+// RuneAt returns the rune at (integral, non-negative) position pos. pos
+// arrives as a ToInteger float; any value at or beyond the byte length is
+// out of range for the rune count too (runes ≤ bytes), which keeps the
+// int conversion safe for absurd positions. ASCII strings — the common
+// case for generated programs — index in constant time via the metrics
+// cache.
+func (in *Interp) RuneAt(s string, pos float64) (rune, bool) {
+	if pos < 0 || pos >= float64(len(s)) {
+		return 0, false
+	}
+	want := int(pos)
+	if _, ascii := in.stringMetrics(s); ascii {
+		return rune(s[want]), true
+	}
+	n := 0
+	for _, r := range s {
+		if n == want {
+			return r, true
+		}
+		n++
+	}
+	return 0, false
+}
 
 // runeAt returns the idx-th rune of s as a string, slicing the original
 // backing store — no rune-slice materialisation, no allocation. ok is
@@ -53,6 +107,10 @@ type Property struct {
 type FuncDef struct {
 	Lit *ast.FuncLit
 	Env *Env
+	// Compiled is the thunk-compiled body when the program went through
+	// internal/js/compile; Call dispatches to it instead of tree-walking
+	// Lit (unless the interpreter runs with DisableCompile).
+	Compiled CompiledBody
 }
 
 // NativeFunc is the Go implementation of a builtin.
@@ -125,6 +183,18 @@ type Object struct {
 	Prim    Value
 	HasPrim bool
 
+	// frozen mirrors the presence of the hidden __frozen__ own property
+	// (maintained in SetSlot/DefineOwn/DeleteOwn), so the array element
+	// fast paths check a bit instead of probing the property map per
+	// write. strictMarked mirrors __strict__ the same way for Call's
+	// per-invocation strictness derivation. indexProps records that an
+	// array-index-keyed own property was (ever) added — objects without
+	// one can be skipped wholesale in prototype-chain walks for index
+	// keys, which is every growing array write.
+	frozen       bool
+	strictMarked bool
+	indexProps   bool
+
 	// RegExp internal slots.
 	Regex *regex.Regexp
 
@@ -133,6 +203,16 @@ type Object struct {
 	ElemKind ElemKind
 	ByteOff  int
 	ArrayLen int // element count for typed arrays, byte length for DataView
+
+	// lazyTab is a frozen, realm-independent native-method table shared by
+	// every realm (see NativeTable); tabPending is the bitmask of entries
+	// not yet materialised on this object, and lazyTabProto the realm's
+	// Function.prototype for materialised method objects. Attaching a
+	// table costs one pointer and one key-slice append per realm, where
+	// per-method lazy registration cost a closure and a map insert each.
+	lazyTab      *NativeTable
+	lazyTabProto *Object
+	tabPending   uint64
 
 	// lazy maps own-property names to thunks that materialise them on
 	// first access — deferred stdlib sections and prototype methods. The
@@ -155,6 +235,49 @@ func NewObject(proto *Object) *Object {
 	return &Object{Class: "Object", Proto: proto, Extensible: true}
 }
 
+// NativeTable is a frozen description of an object's native methods:
+// spec key, arity and implementation per name, in registration order.
+// Tables are built once per process (the implementations are pure
+// functions of the interpreter instance passed at call time, never of the
+// realm that registered them) and attached to every realm's corresponding
+// object; entries materialise into function objects on first access.
+type NativeTable struct {
+	Names   []string
+	ByName  map[string]uint8
+	Entries []NativeTableEntry
+}
+
+// NativeTableEntry is one method of a NativeTable.
+type NativeTableEntry struct {
+	SpecKey string
+	Short   string
+	Arity   int
+	Fn      NativeFunc
+}
+
+// MaxNativeTableEntries bounds a table (entries pend in one uint64 mask).
+const MaxNativeTableEntries = 64
+
+// AttachLazyTable wires a frozen method table onto the object, reserving
+// every entry's enumeration position. fnProto is the realm's
+// Function.prototype (the prototype of materialised method objects).
+func (o *Object) AttachLazyTable(t *NativeTable, fnProto *Object) {
+	o.lazyTab = t
+	o.lazyTabProto = fnProto
+	if n := len(t.Entries); n >= 64 {
+		o.tabPending = ^uint64(0)
+	} else {
+		o.tabPending = 1<<uint(n) - 1
+	}
+	o.keys = append(o.keys, t.Names...)
+}
+
+// LazyTable returns the attached method table, if any.
+func (o *Object) LazyTable() *NativeTable { return o.lazyTab }
+
+// hasLazy reports whether any own property is still unmaterialised.
+func (o *Object) hasLazy() bool { return o.lazy != nil || o.tabPending != 0 }
+
 // SetLazy registers a thunk that installs the named own property (and
 // possibly siblings sharing the thunk) when it is first needed. Used by
 // the builtins package to defer expensive stdlib sections and prototype
@@ -173,27 +296,41 @@ func (o *Object) SetLazy(key string, install func()) {
 // resolveLazy materialises the named lazy property if one is pending. It
 // reports whether a thunk ran (callers then re-check props).
 func (o *Object) resolveLazy(key string) bool {
-	th, ok := o.lazy[key]
-	if !ok {
-		return false
+	if th, ok := o.lazy[key]; ok {
+		delete(o.lazy, key)
+		o.lazyInstalling++
+		th()
+		o.lazyInstalling--
+		return true
 	}
-	delete(o.lazy, key)
-	o.lazyInstalling++
-	th()
-	o.lazyInstalling--
-	return true
+	if o.tabPending != 0 {
+		if i, ok := o.lazyTab.ByName[key]; ok && o.tabPending&(1<<i) != 0 {
+			o.tabPending &^= 1 << i
+			e := &o.lazyTab.Entries[i]
+			fo := NewNativeFunc(o.lazyTabProto, e.SpecKey, e.Short, e.Arity, e.Fn)
+			o.lazyInstalling++
+			o.SetSlot(key, ObjValue(fo), Writable|Configurable)
+			o.lazyInstalling--
+			return true
+		}
+	}
+	return false
 }
 
 // materializeLazy forces every pending lazy property, in registration
 // order (enumeration must observe a deterministic key order).
 func (o *Object) materializeLazy() {
-	if len(o.lazy) == 0 {
-		return
+	if len(o.lazy) > 0 {
+		for _, k := range o.lazyKeys {
+			o.resolveLazy(k)
+		}
+		o.lazyKeys = nil
 	}
-	for _, k := range o.lazyKeys {
-		o.resolveLazy(k)
+	if o.tabPending != 0 {
+		for _, k := range o.lazyTab.Names {
+			o.resolveLazy(k)
+		}
 	}
-	o.lazyKeys = nil
 }
 
 // NewNativeFunc allocates a builtin function object with its length and
@@ -223,9 +360,29 @@ func (o *Object) IsArray() bool { return o != nil && o.Class == "Array" }
 
 // arrayFrozen reports the hidden __frozen__ marker Object.freeze maintains
 // on arrays and typed arrays, without boxing a descriptor.
-func (o *Object) arrayFrozen() bool {
-	_, ok := o.props["__frozen__"]
-	return ok
+func (o *Object) arrayFrozen() bool { return o.frozen }
+
+// frozenKey is the hidden marker property Object.freeze installs;
+// strictKey marks strict-mode function objects.
+const (
+	frozenKey = "__frozen__"
+	strictKey = "__strict__"
+)
+
+// noteKey keeps the hidden-marker mirror bits in sync with own-property
+// writes (both markers are 10 bytes, so one length test gates the
+// comparisons).
+func (o *Object) noteKey(key string) {
+	if len(key) == len(frozenKey) {
+		if key == frozenKey {
+			o.frozen = true
+		} else if key == strictKey {
+			o.strictMarked = true
+		}
+	}
+	if !o.indexProps && isIndexKey(key) {
+		o.indexProps = true
+	}
 }
 
 // arrayIndex parses a canonical array index from a property key; ok is
@@ -280,7 +437,7 @@ func (o *Object) getOwn(key string) (*Property, bool) {
 		}
 	}
 	p, ok := o.props[key]
-	if !ok && o.lazy != nil && o.resolveLazy(key) {
+	if !ok && o.hasLazy() && o.resolveLazy(key) {
 		p, ok = o.props[key]
 	}
 	return p, ok
@@ -299,7 +456,7 @@ func (o *Object) GetOwnProperty(key string) (*Property, bool) { return o.getOwn(
 // SetSlot writes a raw property without descriptor checks (used during
 // runtime setup).
 func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
-	if o.lazy != nil {
+	if o.hasLazy() {
 		o.resolveLazy(key)
 	}
 	if p, ok := o.props[key]; ok {
@@ -312,6 +469,7 @@ func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
 		o.props = map[string]*Property{}
 	}
 	o.props[key] = &Property{Value: v, Attr: attr}
+	o.noteKey(key)
 	if o.lazyInstalling > 0 && o.keyReserved(key) {
 		return // the key's position was reserved at lazy registration
 	}
@@ -332,7 +490,7 @@ func (o *Object) keyReserved(key string) bool {
 // DefineOwn installs a property descriptor, honouring configurability.
 // It returns false when the existing property forbids the redefinition.
 func (o *Object) DefineOwn(key string, p *Property) bool {
-	if o.lazy != nil {
+	if o.hasLazy() {
 		o.resolveLazy(key)
 	}
 	if o.IsArray() {
@@ -369,13 +527,14 @@ func (o *Object) DefineOwn(key string, p *Property) bool {
 		o.keys = append(o.keys, key)
 	}
 	o.props[key] = p
+	o.noteKey(key)
 	return true
 }
 
 // DeleteOwn removes an own property; it returns false for non-configurable
 // properties.
 func (o *Object) DeleteOwn(key string) bool {
-	if o.lazy != nil {
+	if o.hasLazy() {
 		o.resolveLazy(key)
 	}
 	if o.IsArray() {
@@ -394,6 +553,13 @@ func (o *Object) DeleteOwn(key string) bool {
 		return false
 	}
 	delete(o.props, key)
+	if len(key) == len(frozenKey) {
+		if key == frozenKey {
+			o.frozen = false
+		} else if key == strictKey {
+			o.strictMarked = false
+		}
+	}
 	for i, k := range o.keys {
 		if k == key {
 			o.keys = append(o.keys[:i], o.keys[i+1:]...)

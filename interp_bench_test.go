@@ -12,6 +12,7 @@ import (
 
 	"comfort/internal/js/ast"
 	"comfort/internal/js/builtins"
+	"comfort/internal/js/compile"
 	"comfort/internal/js/interp"
 	"comfort/internal/js/parser"
 	"comfort/internal/js/resolve"
@@ -64,47 +65,82 @@ print(work(600));`,
 
 var interpBenchOrder = []string{"idents", "calls", "arrays", "strings"}
 
-func parseBench(b *testing.B, src string, resolved bool) *ast.Program {
+// benchMode selects one of the three evaluator paths: compiled thunks,
+// the resolved tree walker, and the legacy dynamic map walker.
+type benchMode int
+
+const (
+	benchCompiled benchMode = iota
+	benchResolved
+	benchMap
+)
+
+func parseBench(b *testing.B, src string, mode benchMode) *ast.Program {
 	b.Helper()
 	prog, err := parser.Parse(src)
 	if err != nil {
 		b.Fatalf("parse: %v", err)
 	}
-	if resolved {
+	if mode != benchMap {
 		resolve.Program(prog)
+	}
+	if mode == benchCompiled {
+		compile.Program(prog)
 	}
 	return prog
 }
 
-func runBenchProgram(b *testing.B, prog *ast.Program) {
+func runBenchProgram(b *testing.B, prog *ast.Program, mode benchMode) {
 	b.Helper()
-	in := builtins.NewRuntime(interp.Config{Fuel: 50_000_000})
-	if err := in.Run(prog); err != nil {
+	in := builtins.NewRuntime(interp.Config{Fuel: 50_000_000, DisableCompile: mode != benchCompiled})
+	var err error
+	if mode == benchCompiled {
+		err = compile.Of(prog).Run(in)
+	} else {
+		err = in.Run(prog)
+	}
+	if err != nil {
 		b.Fatalf("run: %v", err)
 	}
 }
 
 // BenchmarkInterp measures the evaluator itself on identifier-, call-,
-// array- and string-heavy programs, on both scope paths.
+// array- and string-heavy programs, on all three evaluator paths:
+// compiled closure thunks, the resolved tree walker, and the legacy
+// dynamic map walker.
 func BenchmarkInterp(b *testing.B) {
+	modes := []struct {
+		name string
+		mode benchMode
+	}{{"compiled", benchCompiled}, {"resolved", benchResolved}, {"map", benchMap}}
 	for _, name := range interpBenchOrder {
 		src := interpBenchSrcs[name]
-		b.Run(name+"/resolved", func(b *testing.B) {
-			prog := parseBench(b, src, true)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				runBenchProgram(b, prog)
-			}
-		})
-		b.Run(name+"/map", func(b *testing.B) {
-			prog := parseBench(b, src, false)
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				runBenchProgram(b, prog)
-			}
-		})
+		for _, m := range modes {
+			b.Run(name+"/"+m.name, func(b *testing.B) {
+				prog := parseBench(b, src, m.mode)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runBenchProgram(b, prog, m.mode)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompilePass isolates the compile-once pass itself (it runs once
+// per parse; campaigns amortise it across every behaviour class and case
+// sharing the compiled program).
+func BenchmarkCompilePass(b *testing.B) {
+	src := interpBenchSrcs["calls"]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resolve.Program(prog)
+		compile.Program(prog)
 	}
 }
 

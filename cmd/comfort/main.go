@@ -39,6 +39,7 @@ func main() {
 		reduceW  = flag.Bool("reduce", false, "reduce each finding's witness after the campaign (Section 3.5)")
 		noComp   = flag.Bool("disable-compile", false, "execute on the tree-walking evaluator instead of compiled thunks (oracle/ablation)")
 		noRes    = flag.Bool("disable-resolve", false, "execute on the dynamic map-scope evaluator (implies -disable-compile)")
+		noShapes = flag.Bool("disable-shapes", false, "execute with dictionary-mode objects and no inline caches (oracle/ablation)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -80,15 +81,16 @@ func main() {
 	base := campaign.Config{
 		Workers: *workers, Fuel: *fuel,
 		GenShards: *genShard, ProgressEvery: *progEach,
-		DisableResolve: *noRes, DisableCompile: *noComp,
+		DisableResolve: *noRes, DisableCompile: *noComp, DisableShapes: *noShapes,
 	}
 	if *progress {
 		// The sampling cadence lives in ProgressEvery now: the campaign only
 		// reads the cache counters and invokes this callback on sampled
 		// cases, so large campaigns stop paying per-case progress overhead.
 		base.Progress = func(p campaign.Progress) {
-			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted; execs: %d compiled, %d tree)\n",
-				p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions, p.Compiled, p.Fallback)
+			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted; execs: %d compiled, %d tree; IC: %d hit, %d miss, %d mega)\n",
+				p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions, p.Compiled, p.Fallback,
+				p.ICHits, p.ICMisses, p.ICMega)
 		}
 	}
 

@@ -36,6 +36,7 @@ func realMain() int {
 		repeat    = flag.Int("n", 1, "execute the program n times (profiling workloads)")
 		noCompile = flag.Bool("disable-compile", false, "execute on the tree-walking evaluator instead of compiled thunks")
 		noResolve = flag.Bool("disable-resolve", false, "execute on the dynamic map-scope evaluator (implies -disable-compile)")
+		noShapes  = flag.Bool("disable-shapes", false, "execute with dictionary-mode objects and no inline caches")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -89,7 +90,8 @@ func realMain() int {
 	}
 
 	opts := engines.RunOptions{Fuel: *fuel, Seed: 1,
-		DisableResolve: *noResolve, DisableCompile: *noCompile}
+		DisableResolve: *noResolve, DisableCompile: *noCompile,
+		DisableShapes: *noShapes}
 	tb := engines.ReferenceTestbed(*strict)
 	if *engine != "" {
 		v, ok := engines.FindVersion(*engine, *version)

@@ -52,6 +52,11 @@ type Config struct {
 	// ablation knob for internal/js/compile, threaded through to the
 	// scheduler, attribution and reduction just like DisableResolve.
 	DisableCompile bool
+	// DisableShapes keeps objects on dictionary-mode property maps and the
+	// compiled evaluator's inline caches empty — the oracle and ablation
+	// knob for the hidden-class object layout, threaded through exactly
+	// like DisableCompile.
+	DisableShapes bool
 	// Context cancels the campaign early; Run returns the findings
 	// accounted so far. Nil means context.Background().
 	Context context.Context
@@ -80,6 +85,9 @@ type Progress struct {
 	// default configuration Fallback stays at zero; a non-zero value (or
 	// an ablation run) is visible at a glance in -progress output.
 	Compiled, Fallback int64
+	// ICHits/ICMisses/ICMega are the compiled evaluator's inline-cache
+	// counters so far (all zero under DisableShapes or DisableCompile).
+	ICHits, ICMisses, ICMega uint64
 }
 
 // Finding is one unique discovered bug, attributed to its seeded defect.
@@ -137,6 +145,8 @@ type Result struct {
 	// Compiled/Fallback are the final evaluator-path execution counters
 	// (see Progress).
 	Compiled, Fallback int64
+	// ICHits/ICMisses/ICMega are the final inline-cache counters.
+	ICHits, ICMisses, ICMega uint64
 }
 
 // FoundDefects returns the discovered defects.
@@ -199,6 +209,7 @@ func Run(cfg Config) *Result {
 		Seed:           cfg.Seed,
 		DisableResolve: cfg.DisableResolve,
 		DisableCompile: cfg.DisableCompile,
+		DisableShapes:  cfg.DisableShapes,
 	})
 	outcomes := sched.Run(ctx, caseCh)
 
@@ -218,15 +229,18 @@ func Run(cfg Config) *Result {
 		if cfg.Progress != nil && (res.CasesRun%progressEvery == 0 || res.CasesRun == cfg.Cases) {
 			h, m, e := sched.CacheStats()
 			cc, fb := sched.ExecCounts()
+			ih, im, ig := sched.ICStats()
 			cfg.Progress(Progress{
 				Done: res.CasesRun, Total: cfg.Cases,
 				CacheHits: h, CacheMisses: m, CacheEvictions: e,
 				Compiled: cc, Fallback: fb,
+				ICHits: ih, ICMisses: im, ICMega: ig,
 			})
 		}
 	}
 	res.CacheHits, res.CacheMisses, res.CacheEvictions = sched.CacheStats()
 	res.Compiled, res.Fallback = sched.ExecCounts()
+	res.ICHits, res.ICMisses, res.ICMega = sched.ICStats()
 
 	// Stage 4 (optional): witness reduction, after the stream has drained
 	// and dedup/attribution settled — never on the hot accounting path.
@@ -278,7 +292,8 @@ func reduceFinding(ctx context.Context, f *Finding, cfg Config) string {
 	// campaign observed them on, and shares one compiled candidate between
 	// the defect and reference executions when parser options coincide.
 	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed,
-		DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile}
+		DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile,
+		DisableShapes: cfg.DisableShapes}
 	buggy := engines.NewDefectRunner(f.Defect, f.strict)
 	ref := engines.NewDefectRunner(nil, f.strict)
 	return reduce.Parallel(f.TestCase, engines.DivergesRunners(buggy, ref, opts),
@@ -298,7 +313,8 @@ func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difft
 		}
 		attributed := engines.Attribute(src, dev.Testbed,
 			engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed,
-				DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile})
+				DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile,
+				DisableShapes: cfg.DisableShapes})
 		if len(attributed) == 0 {
 			res.UnattributedFindings++
 			continue

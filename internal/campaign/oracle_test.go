@@ -63,7 +63,7 @@ func TestEvaluatorOracle(t *testing.T) {
 				resolvedRes := p.ExecParsed(rProg, rErr, opts)
 				mProg, mErr := p.ParseUnresolved(src)
 				mapRes := p.ExecParsed(mProg, mErr, opts)
-				if resolvedRes != mapRes {
+				if resolvedRes.Semantics() != mapRes.Semantics() {
 					t.Fatalf("%s case %d on %s: evaluator paths diverge\nresolved: %+v\nmap:      %+v\nprogram:\n%s",
 						f.Name(), ci, p.Testbed.ID(), resolvedRes, mapRes, src)
 				}
@@ -110,12 +110,107 @@ func TestCompiledOracle(t *testing.T) {
 				prog, perr := p.Parse(src)
 				compiledRes := p.ExecParsed(prog, perr, opts)
 				treeRes := p.ExecParsed(prog, perr, treeOpts)
-				if compiledRes != treeRes {
+				if compiledRes.Semantics() != treeRes.Semantics() {
 					t.Fatalf("%s case %d on %s: evaluator paths diverge\ncompiled: %+v\ntree:     %+v\nprogram:\n%s",
 						f.Name(), ci, p.Testbed.ID(), compiledRes, treeRes, src)
 				}
 			}
 		}
+	}
+}
+
+// TestShapesOracle is the differential oracle for the hidden-class object
+// layout and its inline caches: every program the six fuzzers generate
+// from fixed seeds must produce byte-identical ExecResults — output,
+// outcome, error rendering and fuel consumption — whether it executes
+// with shape-mode objects and ICs (the default compiled configuration),
+// with dictionary objects on the compiled path (DisableShapes), or on the
+// dictionary tree walker (DisableShapes + DisableCompile), across
+// defect-laden and reference testbeds in both modes.
+func TestShapesOracle(t *testing.T) {
+	tbs := oracleTestbeds()
+	prepared := make([]*engines.PreparedTestbed, len(tbs))
+	for i, tb := range tbs {
+		prepared[i] = tb.Prepare()
+	}
+	opts := engines.RunOptions{Fuel: 150000, Seed: 9}
+	dictOpts := opts
+	dictOpts.DisableShapes = true
+	treeOpts := dictOpts
+	treeOpts.DisableCompile = true
+	const perFuzzer = 25
+	for fi, f := range fuzzers.All() {
+		rng := rand.New(rand.NewSource(int64(100 + fi)))
+		var cases []string
+		for len(cases) < perFuzzer {
+			batch := f.Next(rng)
+			if len(batch) == 0 {
+				break
+			}
+			cases = append(cases, batch...)
+		}
+		if len(cases) > perFuzzer {
+			cases = cases[:perFuzzer]
+		}
+		for ci, src := range cases {
+			for _, p := range prepared {
+				if msg := p.PreParseError(src); msg != "" {
+					continue // identical gate on all paths
+				}
+				prog, perr := p.Parse(src)
+				shapedRes := p.ExecParsed(prog, perr, opts)
+				dictRes := p.ExecParsed(prog, perr, dictOpts)
+				treeRes := p.ExecParsed(prog, perr, treeOpts)
+				if shapedRes.Semantics() != dictRes.Semantics() {
+					t.Fatalf("%s case %d on %s: object layouts diverge on the compiled path\nshaped: %+v\ndict:   %+v\nprogram:\n%s",
+						f.Name(), ci, p.Testbed.ID(), shapedRes, dictRes, src)
+				}
+				if shapedRes.Semantics() != treeRes.Semantics() {
+					t.Fatalf("%s case %d on %s: shaped compiled path diverges from dictionary tree walker\nshaped: %+v\ntree:   %+v\nprogram:\n%s",
+						f.Name(), ci, p.Testbed.ID(), shapedRes, treeRes, src)
+				}
+			}
+		}
+	}
+}
+
+// TestCampaignShapesOracle runs the same campaign with and without the
+// hidden-class layout and requires identical findings, verdict tallies and
+// execution counts — the campaign-level finding-identity oracle for the
+// shape/IC subsystem. It also pins that the default configuration actually
+// exercises the inline caches (non-zero probe traffic) and that the
+// ablation leaves them untouched.
+func TestCampaignShapesOracle(t *testing.T) {
+	run := func(disable bool) *Result {
+		return Run(Config{
+			Fuzzer:        fuzzers.NewComfort(),
+			Testbeds:      engines.Testbeds(),
+			Cases:         150,
+			Seed:          2021,
+			Workers:       4,
+			DisableShapes: disable,
+		})
+	}
+	shaped := run(false)
+	dict := run(true)
+	if got, want := findingsKey(shaped), findingsKey(dict); got != want {
+		t.Errorf("findings differ between object layouts:\nshaped: %s\ndict:   %s", got, want)
+	}
+	if shaped.Executed != dict.Executed {
+		t.Errorf("executed %d shaped, %d dict", shaped.Executed, dict.Executed)
+	}
+	for v, n := range shaped.Verdicts {
+		if dict.Verdicts[v] != n {
+			t.Errorf("verdict %s: %d shaped vs %d dict", v, n, dict.Verdicts[v])
+		}
+	}
+	if shaped.ICHits+shaped.ICMisses == 0 {
+		t.Errorf("default campaign should exercise the inline caches: hits=%d misses=%d",
+			shaped.ICHits, shaped.ICMisses)
+	}
+	if dict.ICHits+dict.ICMisses+dict.ICMega != 0 {
+		t.Errorf("DisableShapes campaign should leave the inline caches empty: hits=%d misses=%d mega=%d",
+			dict.ICHits, dict.ICMisses, dict.ICMega)
 	}
 }
 

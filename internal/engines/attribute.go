@@ -53,6 +53,7 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 		}
 	}
 	cfg.DisableCompile = opts.DisableCompile
+	cfg.DisableShapes = opts.DisableShapes
 	in := builtins.NewRuntime(cfg)
 	prog, err := parser.ParseWith(src, parseOpts)
 	if err != nil {
@@ -61,6 +62,7 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 	finishParse(prog, opts)
 	runErr := runProgram(in, prog, opts)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
+	res.ICHit, res.ICMiss, res.ICMega = in.ICStats()
 	classifyRunError(&res, runErr)
 	return res
 }
@@ -131,9 +133,11 @@ func (r *DefectRunner) execParsed(prog *ast.Program, err error, opts RunOptions)
 	cfg.Fuel = opts.Fuel
 	cfg.Seed = opts.Seed
 	cfg.DisableCompile = opts.DisableCompile
+	cfg.DisableShapes = opts.DisableShapes
 	in := builtins.NewRuntime(cfg)
 	runErr := runProgram(in, prog, opts)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
+	res.ICHit, res.ICMiss, res.ICMega = in.ICStats()
 	classifyRunError(&res, runErr)
 	return res
 }

@@ -239,13 +239,27 @@ func (o ExecOutcome) String() string {
 	}
 }
 
-// ExecResult is the observable behaviour of one run.
+// ExecResult is the observable behaviour of one run, plus evaluator
+// diagnostics (the inline-cache counters) that are not part of the
+// behaviour: Key() and the differential oracles never consult them.
 type ExecResult struct {
 	Outcome  ExecOutcome
 	Output   string // print() output
 	Error    string // exception rendering (name: message) or parse error
 	ErrName  string // exception constructor name for classification
 	FuelUsed int64
+	// ICHit/ICMiss/ICMega count the compiled evaluator's inline-cache
+	// probes for this run (all zero under DisableShapes/DisableCompile).
+	ICHit, ICMiss, ICMega uint64
+}
+
+// Semantics returns the result with the evaluator diagnostics cleared —
+// the observable behaviour (outcome, output, error rendering, fuel) the
+// differential oracles compare byte-for-byte. The inline-cache counters
+// are legitimately path-dependent and must not feed an oracle.
+func (r ExecResult) Semantics() ExecResult {
+	r.ICHit, r.ICMiss, r.ICMega = 0, 0, 0
+	return r
 }
 
 // Key renders the behaviour for differential comparison: two testbeds agree
@@ -272,6 +286,11 @@ type RunOptions struct {
 	// differential oracle and ablation knob for internal/js/compile,
 	// mirrored by exec.Config and campaign.Config for the scheduler path.
 	DisableCompile bool
+	// DisableShapes keeps objects on dictionary-mode property maps and
+	// leaves the compiled evaluator's inline caches empty — the
+	// differential oracle and ablation knob for the hidden-class object
+	// layout, mirrored by exec.Config and campaign.Config.
+	DisableShapes bool
 }
 
 // ActiveDefects returns the catalog defects present in the given version.

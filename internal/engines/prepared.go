@@ -203,6 +203,7 @@ func (p *PreparedTestbed) Exec(prog *ast.Program, opts RunOptions) ExecResult {
 	cfg.Seed = opts.Seed
 	cfg.Hook = p.hook
 	cfg.DisableCompile = opts.DisableCompile
+	cfg.DisableShapes = opts.DisableShapes
 	in := builtins.NewRuntime(cfg)
 	in.Cov = opts.Cov
 	var runErr error
@@ -212,6 +213,7 @@ func (p *PreparedTestbed) Exec(prog *ast.Program, opts RunOptions) ExecResult {
 		runErr = in.Run(prog)
 	}
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
+	res.ICHit, res.ICMiss, res.ICMega = in.ICStats()
 	classifyRunError(&res, runErr)
 	return res
 }

@@ -57,6 +57,10 @@ type Config struct {
 	// oracle and ablation knob for internal/js/compile. Implied by
 	// DisableResolve (the compiler consumes scope annotations).
 	DisableCompile bool
+	// DisableShapes keeps objects on dictionary-mode property maps and the
+	// compiled evaluator's inline caches empty — the differential oracle
+	// and ablation knob for the hidden-class object layout.
+	DisableShapes bool
 }
 
 // Scheduler executes cases over prepared testbeds. One Scheduler is one
@@ -79,6 +83,11 @@ type Scheduler struct {
 	// observable.
 	compiled atomic.Int64
 	fallback atomic.Int64
+	// icHit/icMiss/icMega accumulate the per-execution inline-cache
+	// counters the runs report, for campaign.Progress.
+	icHit  atomic.Uint64
+	icMiss atomic.Uint64
+	icMega atomic.Uint64
 }
 
 // New builds a scheduler: testbeds are prepared up front (catalog scan,
@@ -125,6 +134,12 @@ func (s *Scheduler) CacheStats() (hits, misses, evictions int64) { return s.cach
 // programs the compiler declined).
 func (s *Scheduler) ExecCounts() (compiled, fallback int64) {
 	return s.compiled.Load(), s.fallback.Load()
+}
+
+// ICStats reports the inline-cache hit / miss / megamorphic totals
+// accumulated across all executions so far.
+func (s *Scheduler) ICStats() (hit, miss, mega uint64) {
+	return s.icHit.Load(), s.icMiss.Load(), s.icMega.Load()
 }
 
 // caseState tracks one in-flight case across its testbed executions.
@@ -272,9 +287,19 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 // programs; the parse hook accounts which evaluator the execution runs
 // on.
 func (s *Scheduler) runOne(p *engines.PreparedTestbed, src string) engines.ExecResult {
-	return difftest.RunCell(p, src, s.countingParse,
+	r := difftest.RunCell(p, src, s.countingParse,
 		engines.RunOptions{Fuel: s.cfg.Fuel, Seed: s.cfg.Seed,
-			DisableCompile: s.cfg.DisableCompile})
+			DisableCompile: s.cfg.DisableCompile, DisableShapes: s.cfg.DisableShapes})
+	if r.ICHit != 0 {
+		s.icHit.Add(r.ICHit)
+	}
+	if r.ICMiss != 0 {
+		s.icMiss.Add(r.ICMiss)
+	}
+	if r.ICMega != 0 {
+		s.icMega.Add(r.ICMega)
+	}
+	return r
 }
 
 // countingParse wraps the cache parse with the compiled/fallback

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"unicode/utf8"
 
 	"comfort/internal/corpus"
@@ -84,10 +85,31 @@ type Comfort struct {
 // NewComfort trains the generator on the embedded corpus.
 func NewComfort() *Comfort { return NewComfortLM(LMOptions{}) }
 
+// comfortLM holds the process-wide default-configuration generator. The
+// embedded corpus is immutable and a trained Generator is read-only after
+// construction (Fork already shares it across campaign shards), so every
+// default-config Comfort in the process can share one training run —
+// repeated campaign construction (CLI re-runs in one process, the
+// throughput benchmarks, test suites) stops paying BPE + n-gram training
+// per instance.
+var comfortLM struct {
+	once sync.Once
+	g    *lm.Generator
+}
+
 // NewComfortLM trains COMFORT with an explicit LM configuration.
 func NewComfortLM(o LMOptions) *Comfort {
-	g := lm.Train(corpus.Programs(), corpus.Headers(),
-		lm.Config{Arch: lm.ArchGPT2, DisableFrozenLM: o.DisableFrozenLM})
+	var g *lm.Generator
+	if o == (LMOptions{}) {
+		comfortLM.once.Do(func() {
+			comfortLM.g = lm.Train(corpus.Programs(), corpus.Headers(),
+				lm.Config{Arch: lm.ArchGPT2})
+		})
+		g = comfortLM.g
+	} else {
+		g = lm.Train(corpus.Programs(), corpus.Headers(),
+			lm.Config{Arch: lm.ArchGPT2, DisableFrozenLM: o.DisableFrozenLM})
+	}
 	return &Comfort{pipeline: gen.New(g), db: spec.Default()}
 }
 

@@ -11,7 +11,7 @@ import (
 
 func installArray(r *registry) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 
 	ctorBody := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		if len(args) == 1 && args[0].Kind() == interp.KindNumber {

@@ -11,11 +11,11 @@ import (
 
 func installDate(r *registry) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 	proto.Class = "Date"
 
 	newDate := func(in *interp.Interp, ms float64) *interp.Object {
-		o := interp.NewObject(in.Protos["Date"])
+		o := in.NewObject(in.Protos["Date"])
 		o.Class = "Date"
 		o.Prim, o.HasPrim = interp.Number(ms), true
 		return o

@@ -8,9 +8,54 @@ var errorKinds = []string{
 	"EvalError", "URIError", "InternalError",
 }
 
+// installErrors wires the full hierarchy at once — used by the capture
+// pass, whose realm must register every method table up front.
 func installErrors(r *registry) {
+	base := installErrorBase(r)
+	for _, kind := range errorKinds[1:] {
+		installErrorKind(r, base, kind)
+	}
+}
+
+// installErrorsLazy defers the hierarchy per constructor: touching a
+// global error name (or throwing, via the interpreter's prototype-miss
+// hook) installs the shared Error base plus just that one kind. Most
+// generated programs raise a single error kind — usually TypeError — so
+// a throwing realm pays for two constructors instead of eight. Returns
+// the per-kind force hook for interp.ProtoMiss.
+func installErrorsLazy(r *registry, names []string) func(kind string) {
+	if r.capturing != nil {
+		installErrors(r)
+		return func(string) {}
+	}
 	in := r.in
-	base := interp.NewObject(in.Protos["Object"])
+	var base *interp.Object
+	force := func(kind string) {
+		if base == nil {
+			base = installErrorBase(r)
+		}
+		if kind == "Error" || in.Protos[kind] != nil {
+			return
+		}
+		for _, k := range errorKinds[1:] {
+			if k == kind {
+				installErrorKind(r, base, kind)
+				return
+			}
+		}
+	}
+	for _, name := range names {
+		k := name
+		in.Global.SetLazy(k, func() { force(k) })
+	}
+	return force
+}
+
+// installErrorBase builds Error.prototype, its toString, and the Error
+// constructor — the shared parent every subclass chains to.
+func installErrorBase(r *registry) *interp.Object {
+	in := r.in
+	base := in.NewObject(in.Protos["Object"])
 	base.Class = "Error"
 	base.SetSlot("name", interp.String("Error"), interp.Writable|interp.Configurable)
 	base.SetSlot("message", interp.String(""), interp.Writable|interp.Configurable)
@@ -51,28 +96,33 @@ func installErrors(r *registry) {
 		}
 	})
 
-	makeCtor := func(kind string, proto *interp.Object) {
-		body := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-			o := interp.NewObject(proto)
-			o.Class = "Error"
-			if msg := arg(args, 0); !msg.IsUndefined() {
-				s, err := in.ToString(msg)
-				if err != nil {
-					return interp.Undefined(), err
-				}
-				o.SetSlot("message", interp.String(s), interp.Writable|interp.Configurable)
-			}
-			return interp.ObjValue(o), nil
-		}
-		r.ctor(kind, 1, proto, body, body)
-	}
+	makeErrorCtor(r, "Error", base)
+	return base
+}
 
-	makeCtor("Error", base)
-	for _, kind := range errorKinds[1:] {
-		proto := interp.NewObject(base)
-		proto.Class = "Error"
-		proto.SetSlot("name", interp.String(kind), interp.Writable|interp.Configurable)
-		proto.SetSlot("message", interp.String(""), interp.Writable|interp.Configurable)
-		makeCtor(kind, proto)
+// installErrorKind builds one subclass prototype and constructor chained
+// to the shared base.
+func installErrorKind(r *registry, base *interp.Object, kind string) {
+	in := r.in
+	proto := in.NewObject(base)
+	proto.Class = "Error"
+	proto.SetSlot("name", interp.String(kind), interp.Writable|interp.Configurable)
+	proto.SetSlot("message", interp.String(""), interp.Writable|interp.Configurable)
+	makeErrorCtor(r, kind, proto)
+}
+
+func makeErrorCtor(r *registry, kind string, proto *interp.Object) {
+	body := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		o := in.NewObject(proto)
+		o.Class = "Error"
+		if msg := arg(args, 0); !msg.IsUndefined() {
+			s, err := in.ToString(msg)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			o.SetSlot("message", interp.String(s), interp.Writable|interp.Configurable)
+		}
+		return interp.ObjValue(o), nil
 	}
+	r.ctor(kind, 1, proto, body, body)
 }

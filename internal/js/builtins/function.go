@@ -66,7 +66,7 @@ func installFunction(r *registry) {
 		if !this.IsObject() || !this.Obj().IsCallable() {
 			return interp.Undefined(), in.TypeErrorf("Function.prototype.bind called on non-callable")
 		}
-		bound := interp.NewObject(in.Protos["Function"])
+		bound := in.NewObject(in.Protos["Function"])
 		bound.Class = "Function"
 		bound.BoundTarget = this.Obj()
 		bound.BoundThis = arg(args, 0)

@@ -29,7 +29,7 @@ func installGlobals(r *registry) {
 		print := r.fn("print", 1, printImpl)
 		r.global("print", interp.ObjValue(print))
 		// console.log aliases print, since corpus programs use both.
-		console := interp.NewObject(in.Protos["Object"])
+		console := in.NewObject(in.Protos["Object"])
 		console.SetSlot("log", interp.ObjValue(print), interp.DefaultAttr)
 		console.SetSlot("error", interp.ObjValue(print), interp.DefaultAttr)
 		console.SetSlot("warn", interp.ObjValue(print), interp.DefaultAttr)

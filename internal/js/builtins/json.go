@@ -12,7 +12,7 @@ import (
 
 func installJSON(r *registry) {
 	in := r.in
-	j := interp.NewObject(in.Protos["Object"])
+	j := in.NewObject(in.Protos["Object"])
 	j.Class = "JSON"
 	r.global("JSON", interp.ObjValue(j))
 
@@ -366,7 +366,7 @@ func (p *jsonParser) str() (string, error) {
 
 func (p *jsonParser) object() (interp.Value, error) {
 	p.pos++ // '{'
-	o := interp.NewObject(p.in.Protos["Object"])
+	o := p.in.NewObject(p.in.Protos["Object"])
 	p.skipWS()
 	if p.pos < len(p.src) && p.src[p.pos] == '}' {
 		p.pos++

@@ -8,7 +8,7 @@ import (
 
 func installMath(r *registry) {
 	in := r.in
-	m := interp.NewObject(in.Protos["Object"])
+	m := in.NewObject(in.Protos["Object"])
 	m.Class = "Math"
 	r.global("Math", interp.ObjValue(m))
 

@@ -10,7 +10,7 @@ import (
 
 func installNumber(r *registry) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 	proto.Class = "Number"
 	proto.Prim, proto.HasPrim = interp.Number(0), true
 
@@ -29,7 +29,7 @@ func installNumber(r *registry) {
 		if err != nil {
 			return interp.Undefined(), err
 		}
-		o := interp.NewObject(in.Protos["Number"])
+		o := in.NewObject(in.Protos["Number"])
 		o.Class = "Number"
 		o.Prim, o.HasPrim = v, true
 		return interp.ObjValue(o), nil
@@ -208,7 +208,7 @@ func toFixedString(x float64, digits int) string {
 
 func installBoolean(r *registry) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 	proto.Class = "Boolean"
 	proto.Prim, proto.HasPrim = interp.Bool(false), true
 
@@ -216,7 +216,7 @@ func installBoolean(r *registry) {
 		return interp.Bool(interp.ToBoolean(arg(args, 0))), nil
 	}
 	construct := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		o := interp.NewObject(in.Protos["Boolean"])
+		o := in.NewObject(in.Protos["Boolean"])
 		o.Class = "Boolean"
 		o.Prim, o.HasPrim = interp.Bool(interp.ToBoolean(arg(args, 0))), true
 		return interp.ObjValue(o), nil

@@ -11,7 +11,7 @@ func installObject(r *registry) {
 	objectCall := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		v := arg(args, 0)
 		if v.IsNullish() {
-			return interp.ObjValue(interp.NewObject(in.Protos["Object"])), nil
+			return interp.ObjValue(in.NewObject(in.Protos["Object"])), nil
 		}
 		o, err := in.ToObject(v)
 		if err != nil {
@@ -167,7 +167,7 @@ func installObject(r *registry) {
 		default:
 			return interp.Undefined(), in.TypeErrorf("Object prototype may only be an Object or null")
 		}
-		o := interp.NewObject(proto)
+		o := in.NewObject(proto)
 		if props := arg(args, 1); props.IsObject() {
 			for _, k := range props.Obj().EnumerableKeys() {
 				descV, err := in.GetPropKey(props, k)
@@ -275,7 +275,7 @@ func installObject(r *registry) {
 		if !ok {
 			return interp.Undefined(), nil
 		}
-		desc := interp.NewObject(in.Protos["Object"])
+		desc := in.NewObject(in.Protos["Object"])
 		if p.Accessor {
 			desc.SetSlot("get", interp.ObjValue(p.Get), interp.DefaultAttr)
 			desc.SetSlot("set", interp.ObjValue(p.Set), interp.DefaultAttr)

@@ -6,7 +6,7 @@ import (
 
 func installRegExp(r *registry) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 	proto.Class = "Object" // RegExp.prototype is an ordinary object in ES6+
 
 	construct := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {

@@ -68,9 +68,9 @@ func installAll(r *registry) {
 
 	// Bootstrap Object.prototype and Function.prototype first: everything
 	// else hangs off them.
-	objProto := interp.NewObject(nil)
+	objProto := in.NewObject(nil)
 	in.Protos["Object"] = objProto
-	fnProto := interp.NewObject(objProto)
+	fnProto := in.NewObject(objProto)
 	fnProto.Class = "Function"
 	in.Protos["Function"] = fnProto
 
@@ -79,12 +79,12 @@ func installAll(r *registry) {
 	// The Error hierarchy is deferred like the operator sections below;
 	// unlike them it is also reachable from inside the interpreter (every
 	// Throwf needs the error prototypes for classification), so the
-	// interpreter's prototype-miss hook forces it too.
-	errThunk := lazySection(r, []string{
+	// interpreter's prototype-miss hook forces it too — per kind, so a
+	// throwing realm installs just the base plus the kind it raised.
+	in.ProtoMiss = installErrorsLazy(r, []string{
 		"Error", "EvalError", "RangeError", "ReferenceError",
 		"SyntaxError", "TypeError", "URIError", "InternalError",
-	}, installErrors)
-	in.ProtoMiss = func(string) { errThunk() }
+	})
 	installArray(r)
 	installString(r)
 	installNumber(r)

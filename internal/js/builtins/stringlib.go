@@ -12,7 +12,7 @@ import (
 
 func installString(r *registry) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 	proto.Class = "String"
 	proto.Prim, proto.HasPrim = interp.String(""), true
 
@@ -31,7 +31,7 @@ func installString(r *registry) {
 		if err != nil {
 			return interp.Undefined(), err
 		}
-		o := interp.NewObject(in.Protos["String"])
+		o := in.NewObject(in.Protos["String"])
 		o.Class = "String"
 		o.Prim, o.HasPrim = v, true
 		return interp.ObjValue(o), nil

@@ -28,7 +28,7 @@ func installTypedArrays(r *registry) {
 	in := r.in
 
 	// ArrayBuffer.
-	abProto := interp.NewObject(in.Protos["Object"])
+	abProto := in.NewObject(in.Protos["Object"])
 	abCtor := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		n, err := in.ToInteger(arg(args, 0))
 		if err != nil {
@@ -40,7 +40,7 @@ func installTypedArrays(r *registry) {
 		if err := in.Burn(int64(n) / 64); err != nil {
 			return interp.Undefined(), err
 		}
-		o := interp.NewObject(in.Protos["ArrayBuffer"])
+		o := in.NewObject(in.Protos["ArrayBuffer"])
 		o.Class = "ArrayBuffer"
 		o.Buf = &interp.ArrayBuffer{Data: make([]byte, int(n))}
 		o.SetSlot("byteLength", interp.Number(n), 0)
@@ -59,11 +59,11 @@ func installTypedArrays(r *registry) {
 
 func installOneTypedArray(r *registry, name string, kind interp.ElemKind) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 	size := kind.Size()
 
 	construct := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
-		o := interp.NewObject(in.Protos[name])
+		o := in.NewObject(in.Protos[name])
 		o.Class = name
 		o.ElemKind = kind
 		a0 := arg(args, 0)
@@ -241,7 +241,7 @@ func installOneTypedArray(r *registry, name string, kind interp.ElemKind) {
 		if err != nil {
 			return interp.Undefined(), err
 		}
-		sub := interp.NewObject(in.Protos[name])
+		sub := in.NewObject(in.Protos[name])
 		sub.Class = name
 		sub.ElemKind = kind
 		sub.Buf = o.Buf
@@ -299,7 +299,7 @@ func installOneTypedArray(r *registry, name string, kind interp.ElemKind) {
 		if err != nil {
 			return interp.Undefined(), err
 		}
-		out := interp.NewObject(in.Protos[name])
+		out := in.NewObject(in.Protos[name])
 		out.Class = name
 		out.ElemKind = kind
 		out.Buf = &interp.ArrayBuffer{Data: make([]byte, (end-start)*size)}
@@ -313,7 +313,7 @@ func installOneTypedArray(r *registry, name string, kind interp.ElemKind) {
 
 func installDataView(r *registry) {
 	in := r.in
-	proto := interp.NewObject(in.Protos["Object"])
+	proto := in.NewObject(in.Protos["Object"])
 
 	construct := func(in *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		a0 := arg(args, 0)
@@ -343,7 +343,7 @@ func installDataView(r *registry) {
 			}
 			length = jsnum.SafeInt(lf)
 		}
-		o := interp.NewObject(in.Protos["DataView"])
+		o := in.NewObject(in.Protos["DataView"])
 		o.Class = "DataView"
 		o.ElemKind = interp.ElemUint8
 		o.Buf = buf

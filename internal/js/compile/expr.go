@@ -155,6 +155,7 @@ func (c *compiler) expr(e ast.Expr) exprThunk {
 		key := x.Name
 		if id, ok := x.Obj.(*ast.Ident); ok {
 			read := identReader(id.Name, id.Ref)
+			site := c.icSite()
 			return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
 				// Two fuel steps: the member node and its identifier
 				// operand, exactly the tree walker's two evalExpr entries.
@@ -168,10 +169,11 @@ func (c *compiler) expr(e ast.Expr) exprThunk {
 				if err != nil {
 					return interp.Undefined(), err
 				}
-				return in.GetPropKey(ov, key)
+				return in.GetPropICKey(site, ov, key)
 			}
 		}
 		obj := c.expr(x.Obj)
+		site := c.icSite()
 		return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
 			if err := in.Charge(1); err != nil {
 				return interp.Undefined(), err
@@ -180,7 +182,7 @@ func (c *compiler) expr(e ast.Expr) exprThunk {
 			if err != nil {
 				return interp.Undefined(), err
 			}
-			return in.GetPropKey(ov, key)
+			return in.GetPropICKey(site, ov, key)
 		}
 	case *ast.SeqExpr:
 		subs := make([]exprThunk, len(x.Exprs))
@@ -281,12 +283,51 @@ func (lf *leaf) read(in *interp.Interp, env *interp.Env) (interp.Value, error) {
 }
 
 // binary compiles a binary operator application, fusing leaf operands
-// into the operator thunk.
+// into the operator thunk. Slot/const operand pairs — the shape of
+// virtually every loop condition and accumulator step — collapse into a
+// single thunk with one fused fuel charge and direct slot reads: the
+// three per-node unit charges the tree walker pays are contiguous with
+// only pure slot/constant reads between them, exactly ChargeSeq's
+// contract.
 func (c *compiler) binary(x *ast.BinaryExpr) exprThunk {
 	apply := binApplier(x.Op)
 	ll, lok := leafOf(x.L)
 	rl, rok := leafOf(x.R)
 	if lok && rok {
+		switch {
+		case ll.kind == leafSlot && rl.kind == leafSlot:
+			ld, ls, rd, rs := ll.depth, ll.slot, rl.depth, rl.slot
+			return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+				if err := in.ChargeSeq(3); err != nil {
+					return interp.Undefined(), err
+				}
+				return apply(in, env.SlotValue(ld, ls), env.SlotValue(rd, rs))
+			}
+		case ll.kind == leafSlot && rl.kind == leafConst:
+			ld, ls, rv := ll.depth, ll.slot, rl.v
+			return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+				if err := in.ChargeSeq(3); err != nil {
+					return interp.Undefined(), err
+				}
+				return apply(in, env.SlotValue(ld, ls), rv)
+			}
+		case ll.kind == leafConst && rl.kind == leafSlot:
+			lv, rd, rs := ll.v, rl.depth, rl.slot
+			return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+				if err := in.ChargeSeq(3); err != nil {
+					return interp.Undefined(), err
+				}
+				return apply(in, lv, env.SlotValue(rd, rs))
+			}
+		case ll.kind == leafConst && rl.kind == leafConst:
+			lv, rv := ll.v, rl.v
+			return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+				if err := in.ChargeSeq(3); err != nil {
+					return interp.Undefined(), err
+				}
+				return apply(in, lv, rv)
+			}
+		}
 		return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
 			if err := in.Charge(1); err != nil {
 				return interp.Undefined(), err
@@ -672,7 +713,7 @@ func (c *compiler) objectLit(x *ast.ObjectLit) exprThunk {
 		if err := in.Charge(1); err != nil {
 			return interp.Undefined(), err
 		}
-		o := interp.NewObject(in.Protos["Object"])
+		o := in.NewObject(in.Protos["Object"])
 		for i := range props {
 			p := &props[i]
 			key := p.key
@@ -873,6 +914,34 @@ func (c *compiler) update(x *ast.UpdateExpr) exprThunk {
 		delta = -1
 	}
 	prefix := x.Prefix
+	// Slot-resolved updates collapse to a direct read-modify-write on the
+	// frame slot: no reader/writer closures at all. The slot read cannot
+	// fail, so the generic path's unresolved-identifier handling is dead
+	// here.
+	if id, ok := x.X.(*ast.Ident); ok && id.Ref.Kind == ast.RefSlot {
+		depth, slot := id.Ref.Depth, id.Ref.Slot
+		return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+			if err := in.Charge(1); err != nil {
+				return interp.Undefined(), err
+			}
+			old := env.SlotValue(depth, slot)
+			var n float64
+			var err error
+			if old.Kind() == interp.KindNumber {
+				n = old.Num()
+			} else if n, err = in.ToNumber(old); err != nil {
+				return interp.Undefined(), err
+			}
+			nv := interp.Number(n + delta)
+			if err := in.AssignSlot(env, depth, slot, nv, strict); err != nil {
+				return interp.Undefined(), err
+			}
+			if prefix {
+				return nv, nil
+			}
+			return interp.Number(n), nil
+		}
+	}
 	// Identifier updates (the i++ of every fuzzer loop) read and write
 	// through the resolved reference directly — no setter closure, no
 	// ToNumber call for values that are already numbers.
@@ -953,6 +1022,23 @@ func (c *compiler) ref(e ast.Expr) refThunk {
 		}
 	case *ast.MemberExpr:
 		parts := c.memberParts(t)
+		if !t.Computed {
+			// Static key: both the read and the write-back get inline-cache
+			// sites (site soundness needs the key fixed at compile time).
+			getSite := c.icSite()
+			setSite := c.icSite()
+			return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, func(interp.Value) error, error) {
+				obj, key, err := parts(in, env, strict)
+				if err != nil {
+					return interp.Undefined(), nil, err
+				}
+				cur, err := in.GetPropICKey(getSite, obj, key)
+				if err != nil {
+					return interp.Undefined(), nil, err
+				}
+				return cur, func(nv interp.Value) error { return in.SetPropICKey(setSite, obj, key, nv, strict) }, nil
+			}
+		}
 		return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, func(interp.Value) error, error) {
 			obj, key, err := parts(in, env, strict)
 			if err != nil {
@@ -1177,6 +1263,31 @@ func (c *compiler) assign(x *ast.AssignExpr) exprThunk {
 	}
 	r := c.expr(x.R)
 	binOp, known := compoundOps[x.Op]
+	// Slot-resolved compound targets (acc += …) read and write the frame
+	// slot directly; the slot read cannot fail, so the generic path's
+	// unresolved-identifier handling is dead here.
+	if id, ok := x.L.(*ast.Ident); ok && known && id.Ref.Kind == ast.RefSlot {
+		depth, slot := id.Ref.Depth, id.Ref.Slot
+		apply := binApplier(binOp)
+		return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+			if err := in.Charge(1); err != nil {
+				return interp.Undefined(), err
+			}
+			cur := env.SlotValue(depth, slot)
+			rhs, err := r(in, env, strict)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			v, err := apply(in, cur, rhs)
+			if err != nil {
+				return interp.Undefined(), err
+			}
+			if err := in.AssignSlot(env, depth, slot, v, strict); err != nil {
+				return interp.Undefined(), err
+			}
+			return v, nil
+		}
+	}
 	if id, ok := x.L.(*ast.Ident); ok && known {
 		read := identReader(id.Name, id.Ref)
 		write := identAssigner(id.Name, id.Ref)
@@ -1240,6 +1351,55 @@ func logicalAssignTakes(op token.Type, cur interp.Value) bool {
 func (c *compiler) plainAssign(x *ast.AssignExpr) exprThunk {
 	switch t := x.L.(type) {
 	case *ast.Ident:
+		// Slot-resolved targets write the frame slot directly; leaf
+		// right-hand sides fuse the two unit charges (assign node + leaf
+		// node) — the intervening slot/const read is pure, ChargeSeq's
+		// contract. An unnamed function literal RHS needs the name fix, so
+		// it stays on the generic thunk below.
+		if fn, ok := x.R.(*ast.FuncLit); t.Ref.Kind == ast.RefSlot && !(ok && fn.Name == "") {
+			depth, slot := t.Ref.Depth, t.Ref.Slot
+			if rl, rok := leafOf(x.R); rok {
+				switch rl.kind {
+				case leafSlot:
+					rd, rs := rl.depth, rl.slot
+					return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+						if err := in.ChargeSeq(2); err != nil {
+							return interp.Undefined(), err
+						}
+						v := env.SlotValue(rd, rs)
+						if err := in.AssignSlot(env, depth, slot, v, strict); err != nil {
+							return interp.Undefined(), err
+						}
+						return v, nil
+					}
+				case leafConst:
+					rv := rl.v
+					return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+						if err := in.ChargeSeq(2); err != nil {
+							return interp.Undefined(), err
+						}
+						if err := in.AssignSlot(env, depth, slot, rv, strict); err != nil {
+							return interp.Undefined(), err
+						}
+						return rv, nil
+					}
+				}
+			}
+			r := c.expr(x.R)
+			return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
+				if err := in.Charge(1); err != nil {
+					return interp.Undefined(), err
+				}
+				v, err := r(in, env, strict)
+				if err != nil {
+					return interp.Undefined(), err
+				}
+				if err := in.AssignSlot(env, depth, slot, v, strict); err != nil {
+					return interp.Undefined(), err
+				}
+				return v, nil
+			}
+		}
 		r := c.expr(x.R)
 		nameFix := false
 		if fn, ok := x.R.(*ast.FuncLit); ok && fn.Name == "" {
@@ -1320,6 +1480,7 @@ func (c *compiler) plainAssign(x *ast.AssignExpr) exprThunk {
 		obj := c.expr(t.Obj)
 		key := t.Name
 		r := c.expr(x.R)
+		site := c.icSite()
 		return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
 			if err := in.Charge(1); err != nil {
 				return interp.Undefined(), err
@@ -1332,7 +1493,7 @@ func (c *compiler) plainAssign(x *ast.AssignExpr) exprThunk {
 			if err != nil {
 				return interp.Undefined(), err
 			}
-			if err := in.SetProp(ov, key, v, strict); err != nil {
+			if err := in.SetPropICKey(site, ov, key, v, strict); err != nil {
 				return interp.Undefined(), err
 			}
 			return v, nil
@@ -1354,6 +1515,12 @@ func (c *compiler) call(x *ast.CallExpr) exprThunk {
 	name := describeCallee(x.Callee)
 	if m, ok := x.Callee.(*ast.MemberExpr); ok {
 		parts := c.memberParts(m)
+		// The method load gets an inline-cache site when the property name
+		// is a compile-time constant; computed callees stay generic.
+		site := -1
+		if !m.Computed {
+			site = c.icSite()
+		}
 		return func(in *interp.Interp, env *interp.Env, strict bool) (interp.Value, error) {
 			if err := in.Charge(1); err != nil {
 				return interp.Undefined(), err
@@ -1362,7 +1529,12 @@ func (c *compiler) call(x *ast.CallExpr) exprThunk {
 			if err != nil {
 				return interp.Undefined(), err
 			}
-			fnVal, err := in.GetPropKey(obj, key)
+			var fnVal interp.Value
+			if site >= 0 {
+				fnVal, err = in.GetPropICKey(site, obj, key)
+			} else {
+				fnVal, err = in.GetPropKey(obj, key)
+			}
 			if err != nil {
 				return interp.Undefined(), err
 			}

@@ -25,6 +25,22 @@ type CompiledBody func(in *Interp, env *Env, strict bool) (Value, error)
 // tree walker's per-node charge.
 func (in *Interp) Charge(n int64) error { return in.charge(n) }
 
+// ChargeSeq consumes n unit steps with the exact observable semantics of
+// n consecutive Charge(1) calls whose intervening work is pure: the
+// sequence succeeds iff fuel > n, and otherwise aborts at the step that
+// drives fuel to zero, leaving fuel pinned at 0 so FuelUsed never
+// over-reports past the abort point. Fused thunks may use this ONLY when
+// nothing observable (output, hooks, errors, further charges) happens
+// between the unit charges they replace.
+func (in *Interp) ChargeSeq(n int64) error {
+	if in.fuel > n {
+		in.fuel -= n
+		return nil
+	}
+	in.fuel = 0
+	return &Abort{Kind: AbortTimeout, Msg: "step budget exhausted"}
+}
+
 // CtrlLabel and CtrlVal are the compiled evaluator's control registers:
 // break/continue thunks write the label, return thunks write the value,
 // and the statement thunks return only a one-byte control kind. Each

@@ -85,6 +85,36 @@ type Override struct {
 // A nil return means "no interference".
 type Hook func(*HookCtx) *Override
 
+// hookCtx returns a HookCtx for a hook site that consumes the hook's
+// Override synchronously and never touches the ctx after the hook call
+// returns (propset, arraygrow, functier — the per-operation hot sites).
+// Such sites reuse one per-interpreter scratch struct instead of
+// allocating: a &HookCtx literal passed to the dynamic Hook call always
+// escapes, and on defect-laden testbeds property stores dominated the
+// evaluator's allocation profile. Builtin sites keep allocating — their
+// Override.Post closures may capture the ctx past the call. If a hook
+// re-enters the interpreter and reaches another scratch site while the
+// outer ctx is still live, the busy flag falls back to allocation, so
+// reuse is safe even for re-entrant hooks. Callers must overwrite every
+// field (assign a whole HookCtx value) and release via releaseHookCtx.
+func (in *Interp) hookCtx() *HookCtx {
+	if in.hookScratchBusy {
+		return &HookCtx{}
+	}
+	in.hookScratchBusy = true
+	return &in.hookScratch
+}
+
+// releaseHookCtx returns the scratch HookCtx after the hook call,
+// dropping the value references it holds. Heap-allocated fallbacks are
+// left to the collector.
+func (in *Interp) releaseHookCtx(ctx *HookCtx) {
+	if ctx == &in.hookScratch {
+		*ctx = HookCtx{}
+		in.hookScratchBusy = false
+	}
+}
+
 // applyHook runs the installed hook for a builtin-like site and merges the
 // result with the default behaviour produced by run().
 func (in *Interp) applyHook(ctx *HookCtx, run func() (Value, error)) (Value, error) {

@@ -34,6 +34,11 @@ type Config struct {
 	// when the program carries thunk-compiled bodies — the differential
 	// oracle and ablation knob for internal/js/compile.
 	DisableCompile bool
+	// DisableShapes keeps every object in classic dictionary (property map)
+	// layout and turns the compiled evaluator's inline caches off — the
+	// differential oracle and ablation knob for the hidden-class machinery,
+	// wired through engines/exec/campaign exactly like DisableCompile.
+	DisableShapes bool
 }
 
 // DefaultFuel is the default step budget per program run.
@@ -78,6 +83,10 @@ type Interp struct {
 	// DisableCompile mirrors Config.DisableCompile: Call ignores compiled
 	// bodies so a thunk-annotated program tree-walks end to end.
 	DisableCompile bool
+	// DisableShapes mirrors Config.DisableShapes: NewObject allocates
+	// dictionary-mode objects and the IC entry points fall through to the
+	// generic property paths.
+	DisableShapes bool
 
 	// Out receives print() output.
 	Out strings.Builder
@@ -111,12 +120,22 @@ type Interp struct {
 	ctrlLabel string
 	ctrlVal   Value
 
-	// One-entry string-metrics cache (see stringMetrics): rune count and
-	// ASCII-ness of the most recently measured string.
-	strCacheData  *byte
-	strCacheLen   int
-	strCacheRunes int
-	strCacheASCII bool
+	// Direct-mapped string-metrics cache (see stringMetrics): rune count
+	// and ASCII-ness of recently measured strings.
+	strCache [4]strMetrics
+
+	// ics holds the per-execution inline-cache sites the compiled
+	// evaluator's member-access thunks index into (see ic.go); the hit /
+	// miss / megamorphic counters feed campaign.Progress.
+	ics    []icSite
+	icHit  uint64
+	icMiss uint64
+	icMega uint64
+
+	// hookScratch is the reusable HookCtx for hook sites whose Override is
+	// consumed synchronously (propset, arraygrow, functier) — see hookCtx.
+	hookScratch     HookCtx
+	hookScratchBusy bool
 }
 
 // New creates an interpreter without the standard library; callers normally
@@ -131,22 +150,36 @@ func New(cfg Config) *Interp {
 		maxDepth = 256
 	}
 	in := &Interp{
-		Protos:             map[string]*Object{},
-		Ctors:              map[string]*Object{},
+		// Presized past the eager stdlib sections plus the error
+		// hierarchy, so realm construction never grows either map.
+		Protos:             make(map[string]*Object, 16),
+		Ctors:              make(map[string]*Object, 16),
 		Strict:             cfg.Strict,
 		Hook:               cfg.Hook,
 		MutableFuncName:    cfg.MutableFuncName,
 		SloppyStrictAssign: cfg.SloppyStrictAssign,
 		DisableCompile:     cfg.DisableCompile,
+		DisableShapes:      cfg.DisableShapes,
 		randSeed:           cfg.Seed + 1,
 		Now:                1_600_000_000_000,
 		fuel:               fuel,
 		fuelCap:            fuel,
 		maxDepth:           maxDepth,
 	}
-	in.Global = NewObject(nil)
+	in.Global = in.NewObject(nil)
 	in.GlobalEnv = NewEnv(nil, true)
 	return in
+}
+
+// NewObject allocates a plain object with the given prototype in shape
+// (hidden-class) mode, unless the interpreter runs with DisableShapes —
+// the oracle configuration keeps dictionary layout everywhere.
+func (in *Interp) NewObject(proto *Object) *Object {
+	o := NewObject(proto)
+	if !in.DisableShapes {
+		o.shape = shapeRoot
+	}
+	return o
 }
 
 // Rand returns the deterministic Math.random source, seeding it on first
@@ -282,7 +315,7 @@ func (in *Interp) hoist(body []ast.Stmt, env *Env, topLevel bool, strict bool) {
 
 // MakeFunction builds a function object for a literal closed over env.
 func (in *Interp) MakeFunction(lit *ast.FuncLit, env *Env, strict bool) *Object {
-	fn := NewObject(in.Protos["Function"])
+	fn := in.NewObject(in.Protos["Function"])
 	fn.Class = "Function"
 	fn.Fn = &FuncDef{Lit: lit, Env: env}
 	if lit.Compiled != nil {
@@ -291,7 +324,7 @@ func (in *Interp) MakeFunction(lit *ast.FuncLit, env *Env, strict bool) *Object 
 	fn.SetSlot("length", Number(float64(len(lit.Params))), Configurable)
 	fn.SetSlot("name", String(lit.Name), Configurable)
 	if !lit.Arrow {
-		proto := NewObject(in.Protos["Object"])
+		proto := in.NewObject(in.Protos["Object"])
 		proto.SetSlot("constructor", ObjValue(fn), Writable|Configurable)
 		fn.SetSlot("prototype", ObjValue(proto), Writable)
 	}
@@ -830,7 +863,7 @@ func (in *Interp) evalExpr(e ast.Expr, env *Env, strict bool) (Value, error) {
 }
 
 func (in *Interp) evalObjectLit(x *ast.ObjectLit, env *Env, strict bool) (Value, error) {
-	o := NewObject(in.Protos["Object"])
+	o := in.NewObject(in.Protos["Object"])
 	for _, prop := range x.Props {
 		key := prop.Key
 		if prop.Computed {
@@ -1556,7 +1589,10 @@ func (in *Interp) call1(fn *Object, this Value, args []Value) (Value, error) {
 	}
 	fn.Invocations++
 	if in.Hook != nil {
-		ov := in.Hook(&HookCtx{Site: HookFuncTier, In: in, Tier: fn.Invocations, Fn: fn})
+		ctx := in.hookCtx()
+		*ctx = HookCtx{Site: HookFuncTier, In: in, Tier: fn.Invocations, Fn: fn}
+		ov := in.Hook(ctx)
+		in.releaseHookCtx(ctx)
 		if ov != nil {
 			if ov.CostExtra > 0 {
 				if err := in.charge(ov.CostExtra); err != nil {
@@ -1709,7 +1745,7 @@ func (in *Interp) call1(fn *Object, this Value, args []Value) (Value, error) {
 
 // makeArguments builds the (non-strict-spec, unmapped) arguments object.
 func (in *Interp) makeArguments(args []Value) Value {
-	argsObj := NewObject(in.Protos["Object"])
+	argsObj := in.NewObject(in.Protos["Object"])
 	argsObj.Class = "Arguments"
 	for i, a := range args {
 		argsObj.SetSlot(jsnum.Format(float64(i)), a, DefaultAttr)
@@ -1767,7 +1803,7 @@ func (in *Interp) Construct(fn *Object, args []Value) (Value, error) {
 	if protoV.IsObject() {
 		proto = protoV.Obj()
 	}
-	obj := NewObject(proto)
+	obj := in.NewObject(proto)
 	res, err := in.Call(fn, ObjValue(obj), args)
 	if err != nil {
 		return Undefined(), err
@@ -1967,6 +2003,22 @@ func (in *Interp) getPropOnObjectWithThis(o *Object, key string, this Value) (Va
 				return cur.elems[idx], true, nil
 			}
 		}
+		// Shape-mode objects answer (or definitively miss) named keys from
+		// slot storage without boxing a descriptor; shape properties are
+		// always data properties, so no accessor dispatch is needed.
+		if cur.shape != nil && cur.shapeFastKey(key) {
+			if sp := cur.shape.find(key); sp != nil {
+				v := cur.slots[sp.slot]
+				if v.kind == kindPending {
+					cur.resolveLazy(key)
+					if v = cur.slots[sp.slot]; v.kind == kindPending {
+						continue
+					}
+				}
+				return v, true, nil
+			}
+			continue
+		}
 		p, ok := cur.getOwn(key)
 		if !ok {
 			continue
@@ -2002,7 +2054,10 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 	}
 	o := target.Obj()
 	if in.Hook != nil {
-		ov := in.Hook(&HookCtx{Site: HookPropSet, In: in, Obj: o, Key: String(key), Val: v})
+		ctx := in.hookCtx()
+		*ctx = HookCtx{Site: HookPropSet, In: in, Obj: o, Key: String(key), Val: v}
+		ov := in.Hook(ctx)
+		in.releaseHookCtx(ctx)
 		if ov != nil {
 			if ov.CostExtra > 0 {
 				if err := in.charge(ov.CostExtra); err != nil {
@@ -2036,6 +2091,22 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 		// Object.prototype without probing their maps.
 		if isIdx && !cur.indexProps && cur.ElemKind == ElemNone && !cur.HasPrim {
 			continue
+		}
+		// Shape-mode link: named shape properties are data properties, so
+		// the walk only needs existence and (on the receiver) writability —
+		// no descriptor box, no map probe.
+		if cur.shape != nil && cur.shapeFastKey(key) {
+			sp := cur.shape.find(key)
+			if sp == nil {
+				continue
+			}
+			if cur == o && sp.attr&Writable == 0 {
+				if strict {
+					return in.TypeErrorf("Cannot assign to read only property '%s'", key)
+				}
+				return nil
+			}
+			break
 		}
 		p, ok := cur.getOwn(key)
 		if !ok {
@@ -2073,7 +2144,10 @@ func (in *Interp) SetProp(target Value, key string, v Value, strict bool) error 
 	if o.IsArray() {
 		if isIdx {
 			if in.Hook != nil {
-				ov := in.Hook(&HookCtx{Site: HookArrayGrow, In: in, Obj: o, Index: idx, Val: v})
+				ctx := in.hookCtx()
+				*ctx = HookCtx{Site: HookArrayGrow, In: in, Obj: o, Index: idx, Val: v}
+				ov := in.Hook(ctx)
+				in.releaseHookCtx(ctx)
 				if ov != nil && ov.CostExtra > 0 {
 					if err := in.charge(ov.CostExtra); err != nil {
 						return err

@@ -3,6 +3,7 @@ package interp
 import (
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"unicode/utf8"
 	"unsafe"
 
@@ -15,25 +16,35 @@ import (
 func runeLen(s string) int { return utf8.RuneCountInString(s) }
 
 // stringMetrics measures a string's rune count and ASCII-ness through the
-// interpreter's one-entry metrics cache. Scan loops read `s.length` (and
-// index the same string) once per iteration; without the cache each read
-// re-counts the whole string, turning a linear scan quadratic. The cache
-// key is the (data pointer, byte length) pair, which identifies the exact
-// backing bytes — Go strings are immutable, so equal coordinates imply
-// equal content.
+// interpreter's direct-mapped metrics cache. Scan loops read `s.length`
+// (and index the same string) once per iteration; without a cache each
+// read re-counts the whole string, turning a linear scan quadratic — and
+// loops that alternate between two strings (`a[i] == b[i]` compares)
+// ping-pong a single-entry cache back to quadratic, so the cache holds
+// four entries indexed by the data pointer. The key is the (data pointer,
+// byte length) pair, which identifies the exact backing bytes — Go
+// strings are immutable, so equal coordinates imply equal content.
 func (in *Interp) stringMetrics(s string) (runes int, ascii bool) {
 	if len(s) == 0 {
 		return 0, true
 	}
 	d := unsafe.StringData(s)
-	if d == in.strCacheData && len(s) == in.strCacheLen {
-		return in.strCacheRunes, in.strCacheASCII
+	e := &in.strCache[(uintptr(unsafe.Pointer(d))>>4)&3]
+	if d == e.data && len(s) == e.len {
+		return e.runes, e.ascii
 	}
 	runes = utf8.RuneCountInString(s)
 	ascii = runes == len(s)
-	in.strCacheData, in.strCacheLen = d, len(s)
-	in.strCacheRunes, in.strCacheASCII = runes, ascii
+	*e = strMetrics{data: d, len: len(s), runes: runes, ascii: ascii}
 	return runes, ascii
+}
+
+// strMetrics is one entry of the string-metrics cache.
+type strMetrics struct {
+	data  *byte
+	len   int
+	runes int
+	ascii bool
 }
 
 // RuneLen is the rune count of s (string "length" in this evaluator's
@@ -163,6 +174,19 @@ type Object struct {
 	props map[string]*Property
 	keys  []string // insertion order of string keys
 
+	// shape/slots are the hidden-class layout: when shape is non-nil the
+	// object is in shape mode — named data properties live in the dense
+	// slots array at the indices the shape chain fixes, and props/keys are
+	// nil. Deletes, accessors and attribute redefinition drop the object
+	// to dictionary mode (toDictionary); slots holding kindPending ride
+	// the lazy-property machinery below. epoch counts layout changes
+	// (key added, deleted, redefined, mode change) in BOTH modes; inline
+	// caches record it for every prototype-chain link they resolved past,
+	// so shadowing writes and proto surgery invalidate cleanly.
+	shape *Shape
+	slots []Value
+	epoch uint32
+
 	// Array internal slots: dense elements plus an explicit length to
 	// support sparse writes (which land in props).
 	elems    []Value
@@ -214,14 +238,18 @@ type Object struct {
 	lazyTabProto *Object
 	tabPending   uint64
 
-	// lazy maps own-property names to thunks that materialise them on
-	// first access — deferred stdlib sections and prototype methods. The
-	// ordered key list keeps OwnKeys deterministic when everything must be
-	// materialised at once; registration also reserves the name's position
-	// in keys, so enumeration order matches the eager install order no
-	// matter which properties a program happens to touch first.
-	lazy     map[string]func()
-	lazyKeys []string
+	// lazy holds own-property names and the thunks that materialise them
+	// on first access — deferred stdlib sections and prototype methods —
+	// as an append-only pair list in registration order. Registration is
+	// one slice append (the global object registers a few dozen lazy names
+	// on every realm build, so a map insert per name was a measurable
+	// construction cost); lookup is a short linear scan, paid only for the
+	// properties a program actually touches. A resolved entry keeps its
+	// position with a nil thunk so enumeration order matches the eager
+	// install order no matter which properties resolve first; lazyLeft
+	// counts the entries still pending.
+	lazy     []lazyProp
+	lazyLeft int
 	// lazyInstalling counts nested lazy-thunk executions; while non-zero,
 	// SetSlot must not re-append a reserved key.
 	lazyInstalling int
@@ -245,6 +273,17 @@ type NativeTable struct {
 	Names   []string
 	ByName  map[string]uint8
 	Entries []NativeTableEntry
+
+	// shapeCache memoises the shape suffix the table induces: attaching to
+	// an object whose shape matches `from` jumps straight to `to`. One
+	// entry suffices — a given table attaches to objects of one
+	// construction history (the realm's corresponding prototype).
+	shapeCache atomic.Pointer[tableShape]
+}
+
+// tableShape is a cached (attach-point shape → post-attach shape) pair.
+type tableShape struct {
+	from, to *Shape
 }
 
 // NativeTableEntry is one method of a NativeTable.
@@ -261,6 +300,10 @@ const MaxNativeTableEntries = 64
 // AttachLazyTable wires a frozen method table onto the object, reserving
 // every entry's enumeration position. fnProto is the realm's
 // Function.prototype (the prototype of materialised method objects).
+// Shape-mode objects take the table as a prebuilt shape suffix: every
+// entry appends a pending slot, and the resulting leaf shape is cached on
+// the table so realms after the first pay one pointer compare instead of
+// per-name transitions.
 func (o *Object) AttachLazyTable(t *NativeTable, fnProto *Object) {
 	o.lazyTab = t
 	o.lazyTabProto = fnProto
@@ -269,14 +312,51 @@ func (o *Object) AttachLazyTable(t *NativeTable, fnProto *Object) {
 	} else {
 		o.tabPending = 1<<uint(n) - 1
 	}
+	if o.shape != nil {
+		if c := t.shapeCache.Load(); c != nil && c.from == o.shape {
+			o.shape = c.to
+		} else {
+			from := o.shape
+			sh := from
+			for _, name := range t.Names {
+				sh = sh.transition(name, Writable|Configurable)
+			}
+			o.shape = sh
+			t.shapeCache.Store(&tableShape{from: from, to: sh})
+		}
+		// One exact-size growth: per-entry appends reallocated the slot
+		// array several times per attach, and realms attach dozens of
+		// tables — the discarded intermediates dominated GC scan work.
+		base := len(o.slots)
+		need := base + len(t.Names)
+		if cap(o.slots) < need {
+			grown := make([]Value, need)
+			copy(grown, o.slots[:base])
+			o.slots = grown
+		} else {
+			o.slots = o.slots[:need]
+		}
+		for i := base; i < need; i++ {
+			o.slots[i] = Value{kind: kindPending}
+		}
+		o.epoch++
+		return
+	}
 	o.keys = append(o.keys, t.Names...)
 }
 
 // LazyTable returns the attached method table, if any.
 func (o *Object) LazyTable() *NativeTable { return o.lazyTab }
 
+// lazyProp is one deferred own property: the name and the thunk that
+// materialises it (nil once resolved).
+type lazyProp struct {
+	key     string
+	install func()
+}
+
 // hasLazy reports whether any own property is still unmaterialised.
-func (o *Object) hasLazy() bool { return o.lazy != nil || o.tabPending != 0 }
+func (o *Object) hasLazy() bool { return o.lazyLeft > 0 || o.tabPending != 0 }
 
 // SetLazy registers a thunk that installs the named own property (and
 // possibly siblings sharing the thunk) when it is first needed. Used by
@@ -285,23 +365,46 @@ func (o *Object) hasLazy() bool { return o.lazy != nil || o.tabPending != 0 }
 // it was registered under; the key's enumeration position is reserved at
 // registration so access order cannot perturb property order.
 func (o *Object) SetLazy(key string, install func()) {
-	if o.lazy == nil {
-		o.lazy = map[string]func(){}
+	for i := range o.lazy {
+		if o.lazy[i].key == key {
+			// Re-registration: the key already holds its reserved position.
+			if o.lazy[i].install == nil {
+				o.lazyLeft++
+			}
+			o.lazy[i].install = install
+			return
+		}
 	}
-	o.lazy[key] = install
-	o.lazyKeys = append(o.lazyKeys, key)
+	o.lazy = append(o.lazy, lazyProp{key, install})
+	o.lazyLeft++
+	if o.shape != nil {
+		o.shape = o.shape.transition(key, Writable|Configurable)
+		o.slots = append(o.slots, Value{kind: kindPending})
+		o.epoch++
+		return
+	}
 	o.keys = append(o.keys, key)
 }
 
 // resolveLazy materialises the named lazy property if one is pending. It
 // reports whether a thunk ran (callers then re-check props).
 func (o *Object) resolveLazy(key string) bool {
-	if th, ok := o.lazy[key]; ok {
-		delete(o.lazy, key)
-		o.lazyInstalling++
-		th()
-		o.lazyInstalling--
-		return true
+	if o.lazyLeft > 0 {
+		for i := range o.lazy {
+			if o.lazy[i].key == key {
+				th := o.lazy[i].install
+				if th == nil {
+					break // already materialised
+				}
+				// Clear before running so a nested probe cannot re-enter.
+				o.lazy[i].install = nil
+				o.lazyLeft--
+				o.lazyInstalling++
+				th()
+				o.lazyInstalling--
+				return true
+			}
+		}
 	}
 	if o.tabPending != 0 {
 		if i, ok := o.lazyTab.ByName[key]; ok && o.tabPending&(1<<i) != 0 {
@@ -320,11 +423,13 @@ func (o *Object) resolveLazy(key string) bool {
 // materializeLazy forces every pending lazy property, in registration
 // order (enumeration must observe a deterministic key order).
 func (o *Object) materializeLazy() {
-	if len(o.lazy) > 0 {
-		for _, k := range o.lazyKeys {
-			o.resolveLazy(k)
+	if o.lazyLeft > 0 {
+		for i := range o.lazy {
+			if o.lazy[i].install != nil {
+				o.resolveLazy(o.lazy[i].key)
+			}
 		}
-		o.lazyKeys = nil
+		o.lazy, o.lazyLeft = nil, 0
 	}
 	if o.tabPending != 0 {
 		for _, k := range o.lazyTab.Names {
@@ -339,6 +444,17 @@ func (o *Object) materializeLazy() {
 // of times per realm, so its allocation count sets the floor on runtime
 // construction cost.
 func NewNativeFunc(proto *Object, specKey, short string, arity int, f NativeFunc) *Object {
+	if proto != nil && proto.shape != nil {
+		// Shape-mode realm (the prototype is shaped exactly when the realm
+		// runs with shapes on): the prebuilt length/name shape replaces the
+		// map and both Property boxes with one slot array.
+		return &Object{
+			Class: "Function", Proto: proto, Extensible: true,
+			Native: f, NativeName: specKey,
+			shape: nativeFuncShape,
+			slots: []Value{Number(float64(arity)), String(short)},
+		}
+	}
 	ps := make([]Property, 2)
 	ps[0] = Property{Value: Number(float64(arity)), Attr: Configurable}
 	ps[1] = Property{Value: String(short), Attr: Configurable}
@@ -436,6 +552,9 @@ func (o *Object) getOwn(key string) (*Property, bool) {
 			return &Property{Value: Undefined()}, true
 		}
 	}
+	if o.shape != nil {
+		return o.shapeGetOwn(key)
+	}
 	p, ok := o.props[key]
 	if !ok && o.hasLazy() && o.resolveLazy(key) {
 		p, ok = o.props[key]
@@ -445,17 +564,47 @@ func (o *Object) getOwn(key string) (*Property, bool) {
 
 // HasOwn reports whether key is an own property.
 func (o *Object) HasOwn(key string) bool {
+	if o.shape != nil && o.shapeFastKey(key) {
+		return o.shape.find(key) != nil
+	}
 	_, ok := o.getOwn(key)
 	return ok
 }
 
 // GetOwnProperty exposes the own-property lookup for builtins
-// (Object.getOwnPropertyDescriptor and friends).
-func (o *Object) GetOwnProperty(key string) (*Property, bool) { return o.getOwn(key) }
+// (Object.getOwnPropertyDescriptor and friends). Builtins mutate the
+// returned descriptor in place (Object.freeze and seal clear attribute
+// bits through it), which shape mode's synthesized boxes would silently
+// drop — so descriptor-level access leaves shape mode first.
+func (o *Object) GetOwnProperty(key string) (*Property, bool) {
+	o.toDictionary()
+	return o.getOwn(key)
+}
 
 // SetSlot writes a raw property without descriptor checks (used during
 // runtime setup).
 func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
+	if o.shape != nil {
+		if sp := o.shape.find(key); sp != nil {
+			if sp.attr != attr {
+				// Attribute change needs per-object descriptor storage.
+				o.toDictionary()
+				o.SetSlot(key, v, attr)
+				return
+			}
+			if o.slots[sp.slot].kind == kindPending {
+				// Run the lazy installer first (it may install siblings),
+				// then overwrite — matching dictionary-mode order. The
+				// installer clears its pending entry before writing, so
+				// the nested SetSlot cannot recurse back here.
+				o.resolveLazy(key)
+			}
+			o.slots[sp.slot] = v
+			return
+		}
+		o.shapeAppend(key, v, attr)
+		return
+	}
 	if o.hasLazy() {
 		o.resolveLazy(key)
 	}
@@ -470,6 +619,7 @@ func (o *Object) SetSlot(key string, v Value, attr PropAttr) {
 	}
 	o.props[key] = &Property{Value: v, Attr: attr}
 	o.noteKey(key)
+	o.epoch++
 	if o.lazyInstalling > 0 && o.keyReserved(key) {
 		return // the key's position was reserved at lazy registration
 	}
@@ -504,6 +654,15 @@ func (o *Object) DefineOwn(key string, p *Property) bool {
 			return true
 		}
 	}
+	if o.shape != nil {
+		if !p.Accessor && o.Extensible && o.shape.find(key) == nil {
+			o.shapeAppend(key, p.Value, p.Attr)
+			return true
+		}
+		// Redefinition, accessor install or non-extensible define: fall
+		// back to descriptor storage.
+		o.toDictionary()
+	}
 	existing, ok := o.props[key]
 	if ok && existing.Attr&Configurable == 0 {
 		// Permit only value updates on writable, non-configurable data props.
@@ -528,6 +687,7 @@ func (o *Object) DefineOwn(key string, p *Property) bool {
 	}
 	o.props[key] = p
 	o.noteKey(key)
+	o.epoch++
 	return true
 }
 
@@ -545,6 +705,14 @@ func (o *Object) DeleteOwn(key string) bool {
 			}
 		}
 	}
+	if o.shape != nil {
+		if o.shape.find(key) == nil {
+			return true
+		}
+		// Deleting a shape-tracked property: dense layout cannot model the
+		// hole, so drop to dictionary mode and delete there.
+		o.toDictionary()
+	}
 	p, ok := o.props[key]
 	if !ok {
 		return true
@@ -553,6 +721,7 @@ func (o *Object) DeleteOwn(key string) bool {
 		return false
 	}
 	delete(o.props, key)
+	o.epoch++
 	if len(key) == len(frozenKey) {
 		if key == frozenKey {
 			o.frozen = false
@@ -590,7 +759,11 @@ func (o *Object) OwnKeys() []string {
 			ints = append(ints, uint32(i))
 		}
 	}
-	for _, k := range o.keys {
+	named := o.keys
+	if o.shape != nil {
+		named = o.shape.keyChain()
+	}
+	for _, k := range named {
 		if idx, ok := arrayIndex(k); ok {
 			ints = append(ints, idx)
 		} else {
@@ -622,7 +795,11 @@ func (o *Object) EnumerableKeys() []string {
 		}
 		if p.Attr&Enumerable != 0 || o.IsArray() || (o.ElemKind != ElemNone && o.Class != "DataView") ||
 			(o.Class == "String" && o.HasPrim && isIndexKey(k)) {
-			if p2, inMap := o.props[k]; inMap {
+			if o.shape != nil {
+				if sp := o.shape.find(k); sp != nil && sp.attr&Enumerable == 0 {
+					continue
+				}
+			} else if p2, inMap := o.props[k]; inMap {
 				if p2.Attr&Enumerable == 0 {
 					continue
 				}

@@ -22,6 +22,12 @@ const (
 	KindNumber
 	KindString
 	KindObject
+
+	// kindPending is an internal sentinel marking a shape-mode slot whose
+	// lazy property has not materialised yet (see Object.slots). It never
+	// escapes the property layer: every slot read resolves the lazy entry
+	// before handing the value to the evaluator.
+	kindPending Kind = 0xFF
 )
 
 func (k Kind) String() string {

@@ -14,8 +14,8 @@ import (
 // overwhelmingly common Format inputs (array indices, loop counters,
 // arguments-object keys) — so hot property-key conversion allocates
 // nothing.
-var smallInts = func() [1024]string {
-	var t [1024]string
+var smallInts = func() [4096]string {
+	var t [4096]string
 	for i := range t {
 		t[i] = strconv.Itoa(i)
 	}

@@ -61,9 +61,57 @@ function work(n) {
   return acc + s.length;
 }
 print(work(600));`,
+	// objects exercises the hidden-class layout and the compiled path's
+	// inline caches: literal construction (one shape transition chain per
+	// iteration), monomorphic and polymorphic member access, member
+	// writes, and method calls through the prototype-less function chain.
+	"objects": `
+function Point(x, y) { this.x = x; this.y = y; }
+Point.prototype.sum = function() { return this.x + this.y; };
+function makeTagged(i) {
+  if (i % 2 === 0) { return {kind: 1, x: i, y: i + 1}; }
+  return {kind: 2, x: i, y: i - 1, z: i};
+}
+function makeMega(i) {
+  switch (i % 6) {
+  case 0: return {m: i, a0: 0};
+  case 1: return {m: i, a1: 0};
+  case 2: return {m: i, a2: 0};
+  case 3: return {m: i, a3: 0};
+  case 4: return {m: i, a4: 0};
+  default: return {m: i, a5: 0};
+  }
+}
+function work(n) {
+  var p = new Point(0, 0);
+  var acc = 0;
+  for (var i = 0; i < n; i++) {
+    p.x = p.x + 1;
+    p.y = p.y + 2;
+    var o = makeTagged(i);
+    acc = acc + o.kind + o.x - o.y + p.sum();
+    var lit = {a: i, b: acc};
+    lit.a = lit.a + lit.b;
+    acc = acc + lit.a % 7919;
+    acc = acc + makeMega(i).m % 13;
+    if (acc > 1000000000) { acc = acc % 1000000; }
+  }
+  return acc;
+}
+function storm(n) {
+  // Transition storm: one object growing a fresh key per iteration, then
+  // a delete to force the dictionary fallback, then post-fallback writes.
+  var g = {seed: 0};
+  for (var i = 0; i < n; i++) { g["k" + (i % 24)] = i; }
+  delete g.seed;
+  var t = 0;
+  for (var j = 0; j < n; j++) { g.k0 = j; t = t + g.k0 + (("seed" in g) ? 1 : 0); }
+  return t;
+}
+print(work(1500) + storm(400));`,
 }
 
-var interpBenchOrder = []string{"idents", "calls", "arrays", "strings"}
+var interpBenchOrder = []string{"idents", "calls", "arrays", "strings", "objects"}
 
 // benchMode selects one of the three evaluator paths: compiled thunks,
 // the resolved tree walker, and the legacy dynamic map walker.

@@ -40,6 +40,7 @@ func main() {
 		noComp   = flag.Bool("disable-compile", false, "execute on the tree-walking evaluator instead of compiled thunks (oracle/ablation)")
 		noRes    = flag.Bool("disable-resolve", false, "execute on the dynamic map-scope evaluator (implies -disable-compile)")
 		noShapes = flag.Bool("disable-shapes", false, "execute with dictionary-mode objects and no inline caches (oracle/ablation)")
+		noAnlz   = flag.Bool("disable-analyze", false, "recompute early errors per execution and skip nondet suppression / feature accounting (oracle/ablation)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -82,15 +83,17 @@ func main() {
 		Workers: *workers, Fuel: *fuel,
 		GenShards: *genShard, ProgressEvery: *progEach,
 		DisableResolve: *noRes, DisableCompile: *noComp, DisableShapes: *noShapes,
+		DisableAnalyze: *noAnlz,
 	}
 	if *progress {
 		// The sampling cadence lives in ProgressEvery now: the campaign only
 		// reads the cache counters and invokes this callback on sampled
 		// cases, so large campaigns stop paying per-case progress overhead.
 		base.Progress = func(p campaign.Progress) {
-			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted; execs: %d compiled, %d tree; IC: %d hit, %d miss, %d mega)\n",
+			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted; execs: %d compiled, %d tree; IC: %d hit, %d miss, %d mega; analyze: %d cached, %d early-error skips, %d nondet-flagged, %d features)\n",
 				p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions, p.Compiled, p.Fallback,
-				p.ICHits, p.ICMisses, p.ICMega)
+				p.ICHits, p.ICMisses, p.ICMega,
+				p.Analyzed, p.EarlyErrorSkips, p.FlaggedNondet, p.FeaturesSeen)
 		}
 	}
 
@@ -112,8 +115,9 @@ func main() {
 		cfg.Seed = *seed
 		cfg.ReduceWitnesses = *reduceW
 		res = campaign.Run(cfg)
-		fmt.Printf("campaign done: %d cases, %d findings, %d duplicates filtered\n\n",
-			res.CasesRun, len(res.Found), res.DuplicatesFiltered)
+		fmt.Printf("campaign done: %d cases, %d findings, %d duplicates filtered, %d nondet-suppressed, %d early-error cases\n\n",
+			res.CasesRun, len(res.Found), res.DuplicatesFiltered,
+			len(res.SuppressedNondet), res.EarlyErrorCases)
 		if *reduceW {
 			fmt.Println(campaign.ReductionSummary(res))
 		}

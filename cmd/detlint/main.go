@@ -1,0 +1,95 @@
+// Command detlint checks the deterministic-critical packages of this
+// repository for nondeterminism hazards: map-order iteration without a
+// sort, wall-clock reads, and uses of the process-global math/rand source
+// (see internal/analyzers/detlint). CI runs it over the default target set;
+// a non-empty finding list is a build failure.
+//
+// Usage:
+//
+//	detlint                 # lint the default deterministic-critical set
+//	detlint ./...           # same (the pattern is resolved to that set)
+//	detlint internal/exec   # lint specific package directories
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"comfort/internal/analyzers/detlint"
+)
+
+// defaultTargets is the deterministic-critical package set: generation,
+// scheduling, accounting, dedup and reduction — every stage whose output
+// must be byte-identical across worker counts and runs.
+var defaultTargets = []string{
+	"internal/fuzzers",
+	"internal/campaign",
+	"internal/reduce",
+	"internal/dedup",
+	"internal/exec",
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: detlint [package-dir ...]   (no args or ./... = default target set)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(flag.Args()))
+}
+
+func run(args []string) int {
+	root, modpath, err := detlint.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	targets := args
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "./...") {
+		targets = defaultTargets
+	}
+	l := detlint.NewLinter(root, modpath)
+	bad := false
+	for _, t := range targets {
+		path, err := importPath(root, modpath, t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+		findings, err := l.Lint(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			bad = true
+			fmt.Println(f)
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// importPath turns a target argument (an import path or a directory
+// relative to the working directory or module root) into a module-internal
+// import path.
+func importPath(root, modpath, arg string) (string, error) {
+	if arg == modpath || strings.HasPrefix(arg, modpath+"/") {
+		return arg, nil
+	}
+	rel := filepath.ToSlash(strings.TrimPrefix(arg, "./"))
+	if abs, err := filepath.Abs(arg); err == nil {
+		if r, err := filepath.Rel(root, abs); err == nil && !strings.HasPrefix(r, "..") {
+			rel = filepath.ToSlash(r)
+		}
+	}
+	if rel == "." || rel == "" {
+		return "", fmt.Errorf("%q does not name a package in %s", arg, modpath)
+	}
+	return modpath + "/" + rel, nil
+}

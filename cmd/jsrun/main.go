@@ -37,6 +37,7 @@ func realMain() int {
 		noCompile = flag.Bool("disable-compile", false, "execute on the tree-walking evaluator instead of compiled thunks")
 		noResolve = flag.Bool("disable-resolve", false, "execute on the dynamic map-scope evaluator (implies -disable-compile)")
 		noShapes  = flag.Bool("disable-shapes", false, "execute with dictionary-mode objects and no inline caches")
+		noAnlz    = flag.Bool("disable-analyze", false, "recompute static early errors per execution instead of using the cached report (oracle)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -91,7 +92,7 @@ func realMain() int {
 
 	opts := engines.RunOptions{Fuel: *fuel, Seed: 1,
 		DisableResolve: *noResolve, DisableCompile: *noCompile,
-		DisableShapes: *noShapes}
+		DisableShapes: *noShapes, DisableAnalyze: *noAnlz}
 	tb := engines.ReferenceTestbed(*strict)
 	if *engine != "" {
 		v, ok := engines.FindVersion(*engine, *version)

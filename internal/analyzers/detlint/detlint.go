@@ -1,0 +1,140 @@
+// Package detlint is a small static analyzer over the repository's own Go
+// source that enforces the determinism contract the campaign pipeline
+// depends on (byte-identical findings for any worker/shard count, and
+// replayable runs from a seed alone). It flags three hazard patterns in
+// deterministic-critical packages:
+//
+//   - range-over-map: Go map iteration order is randomised per run, so a
+//     `for ... range m` over a map in an accounting or generation path can
+//     leak nondeterminism into output order. Sites that launder the order
+//     afterwards (collect keys, sort, then use) carry a `//detlint:order`
+//     comment on or directly above the range statement.
+//   - wall-clock: time.Now / time.Since make behaviour depend on when the
+//     run happened rather than the seed.
+//   - global-rand: package-level math/rand functions (rand.Intn,
+//     rand.Float64, ...) read the process-global source, which is shared
+//     across goroutines and seeded once per process. Deterministic code
+//     must thread an explicit *rand.Rand; the constructors rand.New and
+//     rand.NewSource are therefore allowed.
+//
+// The checks are type-driven (go/types), not textual, so runtime.GOMAXPROCS
+// does not trip the wall-clock rule and a local package named rand does not
+// trip the global-rand rule.
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one determinism hazard at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string // "range-over-map" | "wall-clock" | "global-rand"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Rule, f.Msg)
+}
+
+// orderComment is the escape-hatch marker for range-over-map sites whose
+// iteration order is laundered (e.g. keys collected and sorted) before use.
+const orderComment = "detlint:order"
+
+// Check runs all determinism rules over one type-checked package and
+// returns the findings in source order. info must have been populated with
+// Types and Uses during checking.
+func Check(fset *token.FileSet, files []*ast.File, info *types.Info) []Finding {
+	var out []Finding
+	for _, f := range files {
+		out = append(out, checkFile(fset, f, info)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return out
+}
+
+func checkFile(fset *token.FileSet, file *ast.File, info *types.Info) []Finding {
+	// Lines carrying a detlint:order comment: a marker on the range
+	// statement's own line or the line directly above suppresses the
+	// range-over-map rule for that statement.
+	orderLines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, orderComment) {
+				orderLines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.RangeStmt:
+			t := info.TypeOf(v.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			line := fset.Position(v.For).Line
+			if orderLines[line] || orderLines[line-1] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:  fset.Position(v.For),
+				Rule: "range-over-map",
+				Msg: fmt.Sprintf("iteration over map %s has randomised order; sort the keys (and mark the site //detlint:order) or use a slice",
+					types.TypeString(t, nil)),
+			})
+		case *ast.CallExpr:
+			pkg, name := calleePkgFunc(v, info)
+			switch {
+			case pkg == "time" && (name == "Now" || name == "Since"):
+				out = append(out, Finding{
+					Pos:  fset.Position(v.Pos()),
+					Rule: "wall-clock",
+					Msg:  fmt.Sprintf("time.%s makes behaviour depend on wall-clock time, not the seed", name),
+				})
+			case pkg == "math/rand" && name != "New" && name != "NewSource":
+				out = append(out, Finding{
+					Pos:  fset.Position(v.Pos()),
+					Rule: "global-rand",
+					Msg:  fmt.Sprintf("rand.%s reads the process-global source; thread a *rand.Rand from the seed instead", name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// calleePkgFunc resolves a call of the form pkg.Func to its package import
+// path and function name, or ("", "") when the callee is anything else
+// (method call, local function, conversion, variable named like a package).
+func calleePkgFunc(call *ast.CallExpr, info *types.Info) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -1,0 +1,205 @@
+package detlint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule materialises a throwaway module on disk and returns a Linter
+// for it — the loader is exercised end to end, including the recursive
+// module-internal importer and the stdlib source importer.
+func writeModule(t *testing.T, pkgs map[string]map[string]string) *Linter {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module m\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for dir, files := range pkgs {
+		d := filepath.Join(root, filepath.FromSlash(dir))
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, src := range files {
+			if err := os.WriteFile(filepath.Join(d, name), []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return NewLinter(root, "m")
+}
+
+func lintOne(t *testing.T, src string) []Finding {
+	t.Helper()
+	l := writeModule(t, map[string]map[string]string{
+		"p": {"p.go": src},
+	})
+	fs, err := l.Lint("m/p")
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	return fs
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func TestRangeOverMap(t *testing.T) {
+	fs := lintOne(t, `package p
+
+func f(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "range-over-map" {
+		t.Fatalf("want one range-over-map finding, got %v", fs)
+	}
+	if fs[0].Pos.Line != 5 {
+		t.Fatalf("finding at line %d, want 5", fs[0].Pos.Line)
+	}
+}
+
+func TestRangeOverMapEscapes(t *testing.T) {
+	// Annotation on the range line and on the line above both suppress;
+	// slices and channels never trip the rule.
+	fs := lintOne(t, `package p
+
+func f(m map[string]int, xs []int) []string {
+	var keys []string
+	for k := range m { //detlint:order — sorted by caller
+		keys = append(keys, k)
+	}
+	//detlint:order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for range xs {
+	}
+	return keys
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	fs := lintOne(t, `package p
+
+import (
+	"runtime"
+	"time"
+)
+
+func f() int64 {
+	t := time.Now()
+	_ = time.Since(t)
+	_ = runtime.GOMAXPROCS(0) // type-driven check: not a time call
+	return t.Unix()
+}
+`)
+	got := rules(fs)
+	if len(got) != 2 || got[0] != "wall-clock" || got[1] != "wall-clock" {
+		t.Fatalf("want [wall-clock wall-clock], got %v", fs)
+	}
+}
+
+func TestGlobalRand(t *testing.T) {
+	fs := lintOne(t, `package p
+
+import "math/rand"
+
+func f(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned pattern
+	return r.Intn(10) + rand.Intn(10)   // method on r fine; global Intn is not
+}
+`)
+	if len(fs) != 1 || fs[0].Rule != "global-rand" {
+		t.Fatalf("want one global-rand finding, got %v", fs)
+	}
+}
+
+func TestLocalPackageLikeNamesDoNotTrip(t *testing.T) {
+	// A local variable named time/rand must not be mistaken for the package.
+	fs := lintOne(t, `package p
+
+type clock struct{}
+
+func (clock) Now() int  { return 0 }
+func (clock) Intn(int) int { return 0 }
+
+func f() int {
+	var time clock
+	var rand clock
+	return time.Now() + rand.Intn(3)
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("want no findings, got %v", fs)
+	}
+}
+
+func TestModuleInternalImports(t *testing.T) {
+	// The hazard hides behind a module-internal import: package q defines a
+	// map type alias, package p ranges over it. The linter must resolve q
+	// through the module importer to see the map.
+	l := writeModule(t, map[string]map[string]string{
+		"q": {"q.go": `package q
+
+type Table = map[string]int
+`},
+		"p": {"p.go": `package p
+
+import "m/q"
+
+func F(t q.Table) int {
+	n := 0
+	for range t {
+		n++
+	}
+	return n
+}
+`},
+	})
+	fs, err := l.Lint("m/p")
+	if err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+	if len(fs) != 1 || fs[0].Rule != "range-over-map" {
+		t.Fatalf("want one range-over-map finding, got %v", fs)
+	}
+}
+
+// TestRepositoryIsClean is the CI check in test form: the
+// deterministic-critical packages of this repository must lint clean.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks half the module; skipped in -short")
+	}
+	root, modpath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLinter(root, modpath)
+	for _, pkg := range []string{
+		"internal/fuzzers", "internal/campaign", "internal/reduce",
+		"internal/dedup", "internal/exec",
+	} {
+		fs, err := l.Lint(modpath + "/" + pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Linter loads and type-checks packages of one module without any external
+// tooling: module-internal imports are resolved recursively from the module
+// root on disk, standard-library imports through the compiler-independent
+// source importer. Everything is stdlib-only, so the linter works in the
+// offline CI container.
+type Linter struct {
+	fset    *token.FileSet
+	root    string // module root directory
+	modpath string // module path from go.mod
+	std     types.ImporterFrom
+	pkgs    map[string]*types.Package
+}
+
+// NewLinter builds a Linter for the module rooted at root with the given
+// module path.
+func NewLinter(root, modpath string) *Linter {
+	fset := token.NewFileSet()
+	return &Linter{
+		fset:    fset,
+		root:    root,
+		modpath: modpath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    map[string]*types.Package{},
+	}
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func ModuleRoot(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *Linter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// type-checked from source under the module root, everything else is
+// delegated to the standard-library source importer.
+func (l *Linter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.internal(path) {
+		pkg, _, _, err := l.load(path)
+		return pkg, err
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+func (l *Linter) internal(path string) bool {
+	return path == l.modpath || strings.HasPrefix(path, l.modpath+"/")
+}
+
+// Dir returns the on-disk directory of a module-internal import path.
+func (l *Linter) Dir(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modpath), "/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one module-internal package (non-test files
+// only, in file-name order) and memoises the result.
+func (l *Linter) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := l.Dir(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, perr := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if pkg != nil {
+		l.pkgs[path] = pkg
+	}
+	return pkg, files, info, err
+}
+
+// Lint type-checks one module-internal package and returns its determinism
+// findings in source order.
+func (l *Linter) Lint(path string) ([]Finding, error) {
+	if !l.internal(path) {
+		return nil, fmt.Errorf("%s is not in module %s", path, l.modpath)
+	}
+	_, files, info, err := l.load(path)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return Check(l.fset, files, info), nil
+}

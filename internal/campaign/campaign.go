@@ -14,6 +14,7 @@ import (
 	"comfort/internal/engines"
 	"comfort/internal/exec"
 	"comfort/internal/fuzzers"
+	"comfort/internal/js/analyze"
 	"comfort/internal/reduce"
 	"comfort/internal/spec"
 )
@@ -57,6 +58,15 @@ type Config struct {
 	// knob for the hidden-class object layout, threaded through exactly
 	// like DisableCompile.
 	DisableShapes bool
+	// DisableAnalyze turns the static-analysis products off at the
+	// campaign level: executions recompute the early-error verdict from
+	// the AST instead of the analyze-once cached report, and the sink
+	// performs no divergence-risk suppression or feature accounting — the
+	// oracle and ablation knob for internal/js/analyze. Early-error
+	// semantics are identical in both modes, so the findings of a
+	// DisableAnalyze campaign are exactly the default campaign's findings
+	// plus the flagged-nondeterministic families it suppressed.
+	DisableAnalyze bool
 	// Context cancels the campaign early; Run returns the findings
 	// accounted so far. Nil means context.Background().
 	Context context.Context
@@ -88,6 +98,16 @@ type Progress struct {
 	// ICHits/ICMisses/ICMega are the compiled evaluator's inline-cache
 	// counters so far (all zero under DisableShapes or DisableCompile).
 	ICHits, ICMisses, ICMega uint64
+	// Analyzed counts class executions that rode the analyze-once cached
+	// report; EarlyErrorSkips counts executions the static early-error
+	// gate short-circuited before any interpreter ran.
+	Analyzed, EarlyErrorSkips int64
+	// FlaggedNondet counts attributed findings diverted to the
+	// suppressed-nondeterministic set so far.
+	FlaggedNondet int64
+	// FeaturesSeen is the number of distinct language features the
+	// campaign's cases have exercised so far (of analyze.FeatureCount).
+	FeaturesSeen int
 }
 
 // Finding is one unique discovered bug, attributed to its seeded defect.
@@ -97,6 +117,13 @@ type Finding struct {
 	Reduced  string
 	Verdict  difftest.Verdict
 	Engine   string
+	// Features is the witness's language-feature fingerprint (analyzer
+	// feature names; nil under DisableAnalyze).
+	Features []string
+	// Flags lists the divergence-risk rules that fired on the witness.
+	// Non-empty flags mean the finding lives in Result.SuppressedNondet
+	// rather than Result.Found.
+	Flags []string
 	// strict records the mode of the deviant testbed, so the reduction
 	// predicate replays the same divergence that was reported.
 	strict bool
@@ -136,6 +163,26 @@ type Result struct {
 	// UnattributedFindings counts divergences that matched no single seeded
 	// defect in isolation (interaction effects).
 	UnattributedFindings int
+	// SuppressedNondet maps defect ID → finding for divergences whose
+	// witness carried a divergence-risk flag (Math.random, for-in order,
+	// ...): real deviations, but suppressible false positives per the
+	// paper's filtering step. Disjoint from Found; always empty under
+	// DisableAnalyze.
+	SuppressedNondet map[string]*Finding
+	// EarlyErrorCases counts cases rejected uniformly by the static
+	// early-error gate (a subset of the invalid verdict count) — each one
+	// classified without a single interpreter run.
+	EarlyErrorCases int
+	// Analyzed/EarlyErrorSkips are the scheduler's analyze-gate counters
+	// (see Progress); FlaggedNondet counts the findings in
+	// SuppressedNondet.
+	Analyzed, EarlyErrorSkips int64
+	FlaggedNondet             int64
+	// FeatureCounts maps analyzer feature name → number of cases whose
+	// fingerprint carried it; FeaturesSeen is the distinct feature count
+	// (nil/0 under DisableAnalyze).
+	FeatureCounts map[string]int
+	FeaturesSeen  int
 	// Reduction summarises witness reduction (nil unless
 	// Config.ReduceWitnesses was set and findings exist).
 	Reduction *ReductionStats
@@ -149,11 +196,16 @@ type Result struct {
 	ICHits, ICMisses, ICMega uint64
 }
 
-// FoundDefects returns the discovered defects.
+// FoundDefects returns the discovered defects in defect-ID order.
 func (r *Result) FoundDefects() []*Defect {
-	var out []*Defect
-	for _, f := range r.Found {
-		out = append(out, f.Defect)
+	ids := make([]string, 0, len(r.Found))
+	for id := range r.Found { //detlint:order — sorted before use below
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Defect, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, r.Found[id].Defect)
 	}
 	return out
 }
@@ -182,9 +234,13 @@ func Run(cfg Config) *Result {
 		ctx = context.Background()
 	}
 	res := &Result{
-		FuzzerName: cfg.Fuzzer.Name(),
-		Verdicts:   map[difftest.Verdict]int{},
-		Found:      map[string]*Finding{},
+		FuzzerName:       cfg.Fuzzer.Name(),
+		Verdicts:         map[difftest.Verdict]int{},
+		Found:            map[string]*Finding{},
+		SuppressedNondet: map[string]*Finding{},
+	}
+	if !cfg.DisableAnalyze {
+		res.FeatureCounts = map[string]int{}
 	}
 	tree := dedup.New(dedup.KnownAPIsFromSpec(spec.Default().Names()))
 
@@ -210,6 +266,7 @@ func Run(cfg Config) *Result {
 		DisableResolve: cfg.DisableResolve,
 		DisableCompile: cfg.DisableCompile,
 		DisableShapes:  cfg.DisableShapes,
+		DisableAnalyze: cfg.DisableAnalyze,
 	})
 	outcomes := sched.Run(ctx, caseCh)
 
@@ -218,29 +275,45 @@ func Run(cfg Config) *Result {
 	if progressEvery <= 0 {
 		progressEvery = 1
 	}
+	var featsSeen analyze.Features
 	for oc := range outcomes {
 		res.CasesRun++
 		res.Executed += len(oc.Entries)
 		cr := oc.Result
 		res.Verdicts[cr.Verdict]++
+		if cr.EarlyError {
+			res.EarlyErrorCases++
+		}
+		if oc.Analysis != nil {
+			featsSeen |= oc.Analysis.Features
+			for _, name := range oc.Analysis.Features.Names() {
+				res.FeatureCounts[name]++
+			}
+		}
 		if cr.Verdict.IsBuggy() {
-			accountCase(cfg, res, tree, oc.Src, cr)
+			accountCase(cfg, res, tree, oc.Src, cr, oc.Analysis)
 		}
 		if cfg.Progress != nil && (res.CasesRun%progressEvery == 0 || res.CasesRun == cfg.Cases) {
 			h, m, e := sched.CacheStats()
 			cc, fb := sched.ExecCounts()
 			ih, im, ig := sched.ICStats()
+			an, es := sched.AnalyzeStats()
 			cfg.Progress(Progress{
 				Done: res.CasesRun, Total: cfg.Cases,
 				CacheHits: h, CacheMisses: m, CacheEvictions: e,
 				Compiled: cc, Fallback: fb,
 				ICHits: ih, ICMisses: im, ICMega: ig,
+				Analyzed: an, EarlyErrorSkips: es,
+				FlaggedNondet: res.FlaggedNondet,
+				FeaturesSeen:  featsSeen.Count(),
 			})
 		}
 	}
 	res.CacheHits, res.CacheMisses, res.CacheEvictions = sched.CacheStats()
 	res.Compiled, res.Fallback = sched.ExecCounts()
 	res.ICHits, res.ICMisses, res.ICMega = sched.ICStats()
+	res.Analyzed, res.EarlyErrorSkips = sched.AnalyzeStats()
+	res.FeaturesSeen = featsSeen.Count()
 
 	// Stage 4 (optional): witness reduction, after the stream has drained
 	// and dedup/attribution settled — never on the hot accounting path.
@@ -255,7 +328,7 @@ func Run(cfg Config) *Result {
 // worker-count independent, so the reduced witnesses are deterministic.
 func reduceFindings(ctx context.Context, cfg Config, res *Result) {
 	ids := make([]string, 0, len(res.Found))
-	for id := range res.Found {
+	for id := range res.Found { //detlint:order — sorted before use below
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
@@ -293,7 +366,7 @@ func reduceFinding(ctx context.Context, f *Finding, cfg Config) string {
 	// the defect and reference executions when parser options coincide.
 	opts := engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed,
 		DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile,
-		DisableShapes: cfg.DisableShapes}
+		DisableShapes: cfg.DisableShapes, DisableAnalyze: cfg.DisableAnalyze}
 	buggy := engines.NewDefectRunner(f.Defect, f.strict)
 	ref := engines.NewDefectRunner(nil, f.strict)
 	return reduce.Parallel(f.TestCase, engines.DivergesRunners(buggy, ref, opts),
@@ -302,7 +375,19 @@ func reduceFinding(ctx context.Context, f *Finding, cfg Config) string {
 
 // accountCase folds one buggy case into the campaign result: Figure-6
 // deduplication, then ground-truth attribution of each deviant testbed.
-func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difftest.CaseResult) {
+// When the witness's static analysis carries divergence-risk flags
+// (rep.Flags), dedup and attribution still run exactly as in the
+// no-analysis pipeline — only the final Found insertion is diverted to
+// SuppressedNondet. The seen-guard consults both maps, so a later
+// unflagged witness never re-adds a suppressed defect: the Found set of a
+// default campaign is exactly the DisableAnalyze campaign's Found set
+// minus the SuppressedNondet IDs.
+func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difftest.CaseResult, rep *analyze.Report) {
+	var flags, feats []string
+	if rep != nil {
+		flags = rep.Flags.Names()
+		feats = rep.Features.Names()
+	}
 	api := tree.APIOf(src)
 	for _, dev := range cr.Deviations {
 		engine := dev.Testbed.Version.Engine
@@ -314,7 +399,7 @@ func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difft
 		attributed := engines.Attribute(src, dev.Testbed,
 			engines.RunOptions{Fuel: cfg.Fuel, Seed: cfg.Seed,
 				DisableResolve: cfg.DisableResolve, DisableCompile: cfg.DisableCompile,
-				DisableShapes: cfg.DisableShapes})
+				DisableShapes: cfg.DisableShapes, DisableAnalyze: cfg.DisableAnalyze})
 		if len(attributed) == 0 {
 			res.UnattributedFindings++
 			continue
@@ -323,9 +408,19 @@ func accountCase(cfg Config, res *Result, tree *dedup.Tree, src string, cr difft
 			if _, seen := res.Found[d.ID]; seen {
 				continue
 			}
-			res.Found[d.ID] = &Finding{
+			if _, seen := res.SuppressedNondet[d.ID]; seen {
+				continue
+			}
+			f := &Finding{
 				Defect: d, TestCase: src, Verdict: cr.Verdict,
-				Engine: engine, strict: dev.Testbed.Strict,
+				Engine: engine, Features: feats, Flags: flags,
+				strict: dev.Testbed.Strict,
+			}
+			if len(flags) > 0 {
+				res.SuppressedNondet[d.ID] = f
+				res.FlaggedNondet++
+			} else {
+				res.Found[d.ID] = f
 			}
 		}
 	}

@@ -342,7 +342,7 @@ func Figure8With(base Config, casesPerFuzzer int, seed int64) (string, []FuzzerC
 		cfg.Seed = seed
 		res := Run(cfg)
 		c := FuzzerComparison{Name: f.Name()}
-		for _, finding := range res.Found {
+		for _, finding := range res.Found { //detlint:order — order-independent counting
 			c.Found++
 			if finding.Defect.Verified {
 				c.Confirmed++

@@ -121,7 +121,7 @@ func (t *Tree) Engines() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var out []string
-	for e := range t.root {
+	for e := range t.root { //detlint:order — sorted before use below
 		out = append(out, e)
 	}
 	sort.Strings(out)

@@ -87,6 +87,11 @@ type CaseResult struct {
 	Deviations  []Deviation
 	MajorityKey string
 	Results     map[string]engines.ExecResult // by testbed ID
+	// EarlyError marks a VerdictInvalid case whose rejection came from the
+	// static analyzer's early-error gate on every testbed (rather than the
+	// parser): the campaign accounts these separately — the whole case was
+	// classified without a single interpreter run.
+	EarlyError bool
 }
 
 // Options parameterise a run.
@@ -175,7 +180,8 @@ func Classify(entries []ExecEntry) CaseResult {
 	}
 	a := classifyPool(normal)
 	b := classifyPool(strict)
-	merged := CaseResult{Results: a.Results, Verdict: a.Verdict, MajorityKey: a.MajorityKey}
+	merged := CaseResult{Results: a.Results, Verdict: a.Verdict, MajorityKey: a.MajorityKey,
+		EarlyError: a.EarlyError && b.EarlyError}
 	for k, v := range b.Results {
 		merged.Results[k] = v
 	}
@@ -223,14 +229,19 @@ func classifyPool(entries []ExecEntry) CaseResult {
 
 	// Step 1: parse consistency.
 	parseErrs := 0
+	earlyErrs := 0
 	for _, e := range entries {
 		if e.Result.Outcome == engines.OutcomeParseError {
 			parseErrs++
+			if e.Result.EarlyError {
+				earlyErrs++
+			}
 		}
 	}
 	switch {
 	case parseErrs == len(entries):
 		res.Verdict = VerdictInvalid
+		res.EarlyError = earlyErrs == len(entries)
 		return res
 	case parseErrs > 0:
 		res.Verdict = VerdictParseInconsistent

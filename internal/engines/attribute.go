@@ -1,6 +1,7 @@
 package engines
 
 import (
+	"comfort/internal/js/analyze"
 	"comfort/internal/js/ast"
 	"comfort/internal/js/builtins"
 	"comfort/internal/js/compile"
@@ -9,17 +10,17 @@ import (
 	"comfort/internal/js/resolve"
 )
 
-// finishParse applies the resolve-once and compile-once passes to a fresh
-// parse per the run options — the single-defect executors' equivalent of
-// PreparedTestbed.parseFor.
+// finishParse applies the resolve-once, compile-once and analyze-once
+// passes to a fresh parse per the run options — the single-defect
+// executors' equivalent of PreparedTestbed.parseFor.
 func finishParse(prog *ast.Program, opts RunOptions) {
-	if opts.DisableResolve {
-		return
+	if !opts.DisableResolve {
+		resolve.Program(prog)
+		if !opts.DisableCompile {
+			compile.Program(prog)
+		}
 	}
-	resolve.Program(prog)
-	if !opts.DisableCompile {
-		compile.Program(prog)
-	}
+	analyze.Program(prog)
 }
 
 // runProgram executes a (possibly thunk-compiled) program on a fresh
@@ -60,6 +61,9 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
 	}
 	finishParse(prog, opts)
+	if res, bad := earlyErrorResult(prog, opts); bad {
+		return res
+	}
 	runErr := runProgram(in, prog, opts)
 	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
 	res.ICHit, res.ICMiss, res.ICMega = in.ICStats()
@@ -128,6 +132,9 @@ func (r *DefectRunner) preParseError(src string) string {
 func (r *DefectRunner) execParsed(prog *ast.Program, err error, opts RunOptions) ExecResult {
 	if err != nil {
 		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
+	}
+	if res, bad := earlyErrorResult(prog, opts); bad {
+		return res
 	}
 	cfg := r.baseCfg
 	cfg.Fuel = opts.Fuel
@@ -199,8 +206,11 @@ func Attribute(src string, tb Testbed, opts RunOptions) []*Defect {
 		c, ok := cache[fp]
 		if !ok {
 			c.prog, c.err = parser.ParseWith(src, r.parseOpts)
-			if c.err == nil && !opts.DisableResolve {
-				resolve.Program(c.prog)
+			if c.err == nil {
+				if !opts.DisableResolve {
+					resolve.Program(c.prog)
+				}
+				analyze.Program(c.prog)
 			}
 			cache[fp] = c
 		}

@@ -248,6 +248,12 @@ type ExecResult struct {
 	Error    string // exception rendering (name: message) or parse error
 	ErrName  string // exception constructor name for classification
 	FuelUsed int64
+	// EarlyError marks a pre-execution SyntaxError from the static
+	// analyzer (Outcome is OutcomeParseError): the program violated a
+	// static-semantics rule every testbed enforces identically. Part of
+	// the observable semantics — both the cached-report path and the
+	// DisableAnalyze recompute path must produce it byte-identically.
+	EarlyError bool
 	// ICHit/ICMiss/ICMega count the compiled evaluator's inline-cache
 	// probes for this run (all zero under DisableShapes/DisableCompile).
 	ICHit, ICMiss, ICMega uint64
@@ -291,6 +297,13 @@ type RunOptions struct {
 	// differential oracle and ablation knob for the hidden-class object
 	// layout, mirrored by exec.Config and campaign.Config.
 	DisableShapes bool
+	// DisableAnalyze bypasses the report cached on the program
+	// (ast.Program.Analysis) and recomputes the early-error verdict from
+	// the AST on every execution — the differential oracle and ablation
+	// knob for internal/js/analyze, mirrored by exec.Config and
+	// campaign.Config. The observable semantics are identical in both
+	// modes; the knob validates the analyze-once publication machinery.
+	DisableAnalyze bool
 }
 
 // ActiveDefects returns the catalog defects present in the given version.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"comfort/internal/js/analyze"
 	"comfort/internal/js/ast"
 	"comfort/internal/js/builtins"
 	"comfort/internal/js/compile"
@@ -132,6 +133,7 @@ func (p *PreparedTestbed) Parse(src string) (*ast.Program, error) {
 	if err == nil {
 		resolve.Program(prog)
 		compile.Program(prog)
+		analyze.Program(prog)
 	}
 	return prog, err
 }
@@ -143,6 +145,7 @@ func (p *PreparedTestbed) ParseResolved(src string) (*ast.Program, error) {
 	prog, err := parser.ParseWith(src, p.parseOps)
 	if err == nil {
 		resolve.Program(prog)
+		analyze.Program(prog)
 	}
 	return prog, err
 }
@@ -150,9 +153,15 @@ func (p *PreparedTestbed) ParseResolved(src string) (*ast.Program, error) {
 // ParseUnresolved parses src without the resolve pass, leaving execution on
 // the interpreter's dynamic map-scope path. It exists for the differential
 // oracle that cross-checks the evaluator paths (and the campaign
-// ablation behind exec.Config.DisableResolve).
+// ablation behind exec.Config.DisableResolve). The static analysis still
+// attaches — it consumes nothing but the raw AST, so every evaluator
+// ablation keeps identical early-error semantics.
 func (p *PreparedTestbed) ParseUnresolved(src string) (*ast.Program, error) {
-	return parser.ParseWith(src, p.parseOps)
+	prog, err := parser.ParseWith(src, p.parseOps)
+	if err == nil {
+		analyze.Program(prog)
+	}
+	return prog, err
 }
 
 // PreParseResult renders a PreParseError message as its ExecResult.
@@ -184,13 +193,42 @@ func (p *PreparedTestbed) parseFor(src string, opts RunOptions) (*ast.Program, e
 
 // ExecParsed adapts an (already pre-parse-checked) parse result — typically
 // from a parse cache — into an execution: a parse error classifies as
-// OutcomeParseError, anything else interprets. Keeping this in one place
-// stops the direct-run, difftest and scheduler paths from drifting apart.
+// OutcomeParseError, a static-semantics violation as a pre-execution
+// SyntaxError, anything else interprets. Keeping this in one place stops
+// the direct-run, difftest and scheduler paths from drifting apart.
 func (p *PreparedTestbed) ExecParsed(prog *ast.Program, err error, opts RunOptions) ExecResult {
 	if err != nil {
 		return ExecResult{Outcome: OutcomeParseError, Error: err.Error(), ErrName: "SyntaxError"}
 	}
+	if res, bad := earlyErrorResult(prog, opts); bad {
+		return res
+	}
 	return p.Exec(prog, opts)
+}
+
+// earlyErrorResult returns the pre-execution SyntaxError for a program
+// the static analyzer rejects. The default path reads the report cached
+// on the program by the parse pipeline; DisableAnalyze recomputes the
+// verdict from the AST per execution — two implementations of identical
+// semantics, exactly the DisableCompile oracle pattern. The report is
+// never attached here: programs may already be shared across goroutines.
+func earlyErrorResult(prog *ast.Program, opts RunOptions) (ExecResult, bool) {
+	var rep *analyze.Report
+	if opts.DisableAnalyze {
+		rep = analyze.Analyze(prog)
+	} else if rep = analyze.Of(prog); rep == nil {
+		rep = analyze.Analyze(prog)
+	}
+	ee := rep.FirstError()
+	if ee == nil {
+		return ExecResult{}, false
+	}
+	return ExecResult{
+		Outcome:    OutcomeParseError,
+		Error:      ee.Render(),
+		ErrName:    "SyntaxError",
+		EarlyError: true,
+	}, true
 }
 
 // Exec runs an already-parsed program. The program may be shared across

@@ -15,6 +15,7 @@ import (
 
 	"comfort/internal/difftest"
 	"comfort/internal/engines"
+	"comfort/internal/js/analyze"
 	"comfort/internal/js/ast"
 )
 
@@ -32,6 +33,11 @@ type Outcome struct {
 	Case
 	Entries []difftest.ExecEntry
 	Result  difftest.CaseResult
+	// Analysis is the case's static-semantics report (divergence-risk
+	// flags, feature fingerprint), shared from the parse cache. Nil when
+	// the case failed to parse or the scheduler runs with DisableAnalyze —
+	// the ablation's sink must see exactly the no-analyzer pipeline.
+	Analysis *analyze.Report
 }
 
 // Config parameterises a scheduler.
@@ -61,6 +67,13 @@ type Config struct {
 	// compiled evaluator's inline caches empty — the differential oracle
 	// and ablation knob for the hidden-class object layout.
 	DisableShapes bool
+	// DisableAnalyze makes every execution recompute the early-error
+	// verdict from the AST instead of reading the report the parse
+	// pipeline cached on the program, and withholds Outcome.Analysis from
+	// the sink — the differential oracle and ablation knob for
+	// internal/js/analyze. Execution semantics are identical in both
+	// modes; the sink-side flag accounting is what differs.
+	DisableAnalyze bool
 }
 
 // Scheduler executes cases over prepared testbeds. One Scheduler is one
@@ -88,6 +101,11 @@ type Scheduler struct {
 	icHit  atomic.Uint64
 	icMiss atomic.Uint64
 	icMega atomic.Uint64
+	// analyzed counts class executions that consulted the analyze-once
+	// report cached on the program; earlySkips counts executions the
+	// early-error gate short-circuited before any interpreter ran.
+	analyzed   atomic.Int64
+	earlySkips atomic.Int64
 }
 
 // New builds a scheduler: testbeds are prepared up front (catalog scan,
@@ -140,6 +158,13 @@ func (s *Scheduler) ExecCounts() (compiled, fallback int64) {
 // accumulated across all executions so far.
 func (s *Scheduler) ICStats() (hit, miss, mega uint64) {
 	return s.icHit.Load(), s.icMiss.Load(), s.icMega.Load()
+}
+
+// AnalyzeStats reports the analyze-once gate's activity so far: class
+// executions that rode a cached report, and executions the early-error
+// verdict short-circuited (the latter counts in both analyze modes).
+func (s *Scheduler) AnalyzeStats() (analyzed, earlySkips int64) {
+	return s.analyzed.Load(), s.earlySkips.Load()
 }
 
 // caseState tracks one in-flight case across its testbed executions.
@@ -267,6 +292,9 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 					continue
 				}
 				oc := Outcome{Case: c.c, Entries: c.entries, Result: difftest.Classify(c.entries)}
+				if !s.cfg.DisableAnalyze {
+					oc.Analysis = s.analysisFor(c.c.Src)
+				}
 				select {
 				case out <- oc:
 				case <-ctx.Done():
@@ -289,7 +317,11 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 func (s *Scheduler) runOne(p *engines.PreparedTestbed, src string) engines.ExecResult {
 	r := difftest.RunCell(p, src, s.countingParse,
 		engines.RunOptions{Fuel: s.cfg.Fuel, Seed: s.cfg.Seed,
-			DisableCompile: s.cfg.DisableCompile, DisableShapes: s.cfg.DisableShapes})
+			DisableCompile: s.cfg.DisableCompile, DisableShapes: s.cfg.DisableShapes,
+			DisableAnalyze: s.cfg.DisableAnalyze})
+	if r.EarlyError {
+		s.earlySkips.Add(1)
+	}
 	if r.ICHit != 0 {
 		s.icHit.Add(r.ICHit)
 	}
@@ -302,11 +334,31 @@ func (s *Scheduler) runOne(p *engines.PreparedTestbed, src string) engines.ExecR
 	return r
 }
 
+// analysisFor fetches the case's static-semantics report through the
+// parse cache (a hit for any case that just executed). The first class
+// representative is the deterministic choice of parse fingerprint, so
+// the report a sink sees never depends on worker interleaving.
+func (s *Scheduler) analysisFor(src string) *analyze.Report {
+	prog, err := s.cache.parse(s.classRep[0], src)
+	if err != nil {
+		return nil
+	}
+	return analyze.Of(prog)
+}
+
 // countingParse wraps the cache parse with the compiled/fallback
-// execution counters (parse errors count in neither).
+// execution counters (parse errors count in neither, and neither do
+// programs the early-error gate stops before an evaluator runs).
 func (s *Scheduler) countingParse(p *engines.PreparedTestbed, src string) (*ast.Program, error) {
 	prog, err := s.cache.parse(p, src)
 	if err == nil {
+		rep := analyze.Of(prog)
+		if !s.cfg.DisableAnalyze && rep != nil {
+			s.analyzed.Add(1)
+		}
+		if rep.Invalid() {
+			return prog, err
+		}
 		if prog.Compiled != nil && !s.cfg.DisableCompile {
 			s.compiled.Add(1)
 		} else {

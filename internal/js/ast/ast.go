@@ -135,6 +135,10 @@ type Program struct {
 	// executing layer type-asserts. Like the scope annotations it is
 	// written once, before the program is shared across goroutines.
 	Compiled any
+	// Analysis holds the static-semantics report (an *analyze.Report),
+	// attached by internal/js/analyze under the same write-once,
+	// publish-before-sharing contract as Compiled.
+	Analysis any
 }
 
 // VarKind distinguishes var/let/const declarations.

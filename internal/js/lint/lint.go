@@ -1,12 +1,15 @@
 // Package lint is the JSHint substitute: a static syntax checker used by
 // the generation pipeline to classify synthesised programs as syntactically
 // valid or invalid, plus a handful of static quality warnings.
+//
+// The warning passes live in internal/js/analyze now (one analyzer serves
+// the lint API, the exec pipeline's early-error gate and the campaign's
+// fingerprint accounting); Check and Valid remain as the stable thin API
+// the generators and the Figure-9 quality metrics call.
 package lint
 
 import (
-	"fmt"
-
-	"comfort/internal/js/ast"
+	"comfort/internal/js/analyze"
 	"comfort/internal/js/parser"
 )
 
@@ -17,80 +20,18 @@ type Result struct {
 	Warnings []string
 }
 
-// Check parses src and, when it parses, runs the static warning passes.
+// Check parses src and, when it parses, runs the analyzer's static
+// warning passes.
 func Check(src string) Result {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		return Result{Valid: false, Err: err}
 	}
-	return Result{Valid: true, Warnings: warnings(prog)}
+	return Result{Valid: true, Warnings: analyze.Analyze(prog).Warnings}
 }
 
 // Valid reports only whether src parses.
 func Valid(src string) bool {
 	_, err := parser.Parse(src)
 	return err == nil
-}
-
-// warnings runs the static quality passes: unused declarations, assignments
-// in conditions, duplicate object keys, and unreachable statements.
-func warnings(prog *ast.Program) []string {
-	var out []string
-	declared := map[string]bool{}
-	used := map[string]bool{}
-	ast.Walk(prog, func(n ast.Node) bool {
-		switch v := n.(type) {
-		case *ast.VarDecl:
-			for _, d := range v.Decls {
-				declared[d.Name] = true
-			}
-		case *ast.Ident:
-			used[v.Name] = true
-		case *ast.IfStmt:
-			if a, ok := v.Cond.(*ast.AssignExpr); ok {
-				_ = a
-				out = append(out, fmt.Sprintf("line %d: assignment in condition; did you mean ==?", v.Pos().Line))
-			}
-		case *ast.ObjectLit:
-			seen := map[string]bool{}
-			for _, p := range v.Props {
-				if p.Computed || p.Kind != ast.PropInit {
-					continue
-				}
-				if seen[p.Key] {
-					out = append(out, fmt.Sprintf("line %d: duplicate object key %q", v.Pos().Line, p.Key))
-				}
-				seen[p.Key] = true
-			}
-		case *ast.BlockStmt:
-			out = append(out, unreachable(v.Body)...)
-		}
-		return true
-	})
-	for name := range declared {
-		if !used[name] {
-			out = append(out, fmt.Sprintf("unused variable %q", name))
-		}
-	}
-	return out
-}
-
-// unreachable flags statements following an unconditional control transfer.
-func unreachable(body []ast.Stmt) []string {
-	var out []string
-	for i, s := range body {
-		terminal := false
-		switch s.(type) {
-		case *ast.ReturnStmt, *ast.ThrowStmt, *ast.BreakStmt, *ast.ContinueStmt:
-			terminal = true
-		}
-		if terminal && i+1 < len(body) {
-			next := body[i+1]
-			if _, isFn := next.(*ast.FuncDecl); !isFn {
-				out = append(out, fmt.Sprintf("line %d: unreachable code", next.Pos().Line))
-			}
-			break
-		}
-	}
-	return out
 }

@@ -6,8 +6,10 @@ package comfort
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"comfort/internal/campaign"
 	"comfort/internal/engines"
@@ -240,6 +242,34 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 		// The campaign shape lives in campaign.ThroughputProbe, shared
 		// with cmd/benchgate (the CI regression gate on this metric).
 		executed += int64(campaign.ThroughputProbe(120, 8, 2021))
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// BenchmarkCampaignThroughputCheckpointed is the headline shape with the
+// full robustness stack armed: periodic checkpoint writes at an aggressive
+// 30-case cadence (8× the default density, so a 120-case run pays for four
+// mid-run snapshots plus the final flush), the per-case wall-clock watchdog
+// on the real clock, and panic guards (always on). The delta against
+// BenchmarkCampaignThroughput is the price of crash-safety; EXPERIMENTS.md
+// records it (<3% claimed).
+func BenchmarkCampaignThroughputCheckpointed(b *testing.B) {
+	dir := b.TempDir()
+	var executed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := campaign.Run(campaign.Config{
+			Fuzzer:          fuzzers.NewComfort(),
+			Testbeds:        engines.Testbeds(),
+			Cases:           120,
+			Seed:            2021,
+			Workers:         8,
+			Checkpoint:      filepath.Join(dir, "bench.ckpt"),
+			CheckpointEvery: 30,
+			CaseDeadline:    10 * time.Second,
+			Clock:           time.Now,
+		})
+		executed += int64(res.Executed)
 	}
 	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
 }

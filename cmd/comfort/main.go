@@ -12,15 +12,28 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"comfort/internal/campaign"
 	"comfort/internal/engines"
+	"comfort/internal/faultinject"
 	"comfort/internal/fuzzers"
+)
+
+// Exit codes: 0 success, 1 usage/config error, 3 interrupted (partial
+// results flushed; resumable), 4 fault-injected kill (CI soak runs).
+const (
+	exitInterrupted = 3
+	exitFaultKill   = 4
 )
 
 func main() {
@@ -43,6 +56,12 @@ func main() {
 		noAnlz   = flag.Bool("disable-analyze", false, "recompute early errors per execution and skip nondet suppression / feature accounting (oracle/ablation)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		ckptPath = flag.String("checkpoint", "", "periodically persist campaign state to this file (atomic writes)")
+		resume   = flag.Bool("resume", false, "resume the campaign from the -checkpoint file")
+		ckptEach = flag.Int("checkpoint-every", 0, "cases between checkpoint writes; 0 = default (256)")
+		ckptIvl  = flag.Duration("checkpoint-interval", 0, "also checkpoint when this much wall time has passed (0 = off)")
+		deadline = flag.Duration("case-deadline", 0, "wall-clock watchdog per execution; hung cases become timeout findings (0 = off)")
+		faultStr = flag.String("faults", "", "deterministic fault-injection spec, e.g. \"seed=7,panic=100,slow=150,kill=2\" (testing/CI)")
 	)
 	flag.Parse()
 
@@ -74,6 +93,23 @@ func main() {
 		}()
 	}
 
+	// Graceful shutdown: the first SIGINT/SIGTERM cancels the campaign
+	// context — the sink drains, flushes a final checkpoint and the partial
+	// report prints below — and a second signal force-quits.
+	ctx, cancelCampaign := context.WithCancel(context.Background())
+	defer cancelCampaign()
+	var interrupted atomic.Bool
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "\ninterrupted: draining pipeline, flushing checkpoint and partial report (signal again to force quit)")
+		interrupted.Store(true)
+		cancelCampaign()
+		<-sigCh
+		os.Exit(130)
+	}()
+
 	// base carries the scheduler options every campaign in this invocation
 	// shares (including the per-fuzzer campaigns behind -figure 8).
 	// ReduceWitnesses stays out of base: Figure 8 only reads Found counts,
@@ -84,16 +120,18 @@ func main() {
 		GenShards: *genShard, ProgressEvery: *progEach,
 		DisableResolve: *noRes, DisableCompile: *noComp, DisableShapes: *noShapes,
 		DisableAnalyze: *noAnlz,
+		Context:        ctx,
 	}
 	if *progress {
 		// The sampling cadence lives in ProgressEvery now: the campaign only
 		// reads the cache counters and invokes this callback on sampled
 		// cases, so large campaigns stop paying per-case progress overhead.
 		base.Progress = func(p campaign.Progress) {
-			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted; execs: %d compiled, %d tree; IC: %d hit, %d miss, %d mega; analyze: %d cached, %d early-error skips, %d nondet-flagged, %d features)\n",
+			fmt.Fprintf(os.Stderr, "  %d/%d cases (program cache: %d hits, %d misses, %d evicted; execs: %d compiled, %d tree; IC: %d hit, %d miss, %d mega; analyze: %d cached, %d early-error skips, %d nondet-flagged, %d features; robustness: %d panics, %d wall-timeouts, %d checkpoints)\n",
 				p.Done, p.Total, p.CacheHits, p.CacheMisses, p.CacheEvictions, p.Compiled, p.Fallback,
 				p.ICHits, p.ICMisses, p.ICMega,
-				p.Analyzed, p.EarlyErrorSkips, p.FlaggedNondet, p.FeaturesSeen)
+				p.Analyzed, p.EarlyErrorSkips, p.FlaggedNondet, p.FeaturesSeen,
+				p.Panics, p.WallTimeouts, p.Checkpoints)
 		}
 	}
 
@@ -114,10 +152,48 @@ func main() {
 		cfg.Cases = *cases
 		cfg.Seed = *seed
 		cfg.ReduceWitnesses = *reduceW
-		res = campaign.Run(cfg)
-		fmt.Printf("campaign done: %d cases, %d findings, %d duplicates filtered, %d nondet-suppressed, %d early-error cases\n\n",
+		cfg.Checkpoint = *ckptPath
+		cfg.CheckpointEvery = *ckptEach
+		cfg.CheckpointInterval = *ckptIvl
+		cfg.CaseDeadline = *deadline
+		cfg.Clock = time.Now
+		if *faultStr != "" {
+			fcfg, err := faultinject.Parse(*faultStr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			plan := faultinject.New(fcfg)
+			plan.Kill = func() {
+				// Die exactly as a crash would: no final flush, no report.
+				fmt.Fprintln(os.Stderr, "faultinject: killing process after checkpoint write")
+				os.Exit(exitFaultKill)
+			}
+			cfg.Faults = plan
+		}
+		if *resume {
+			if *ckptPath == "" {
+				fmt.Fprintln(os.Stderr, "-resume requires -checkpoint <path>")
+				os.Exit(1)
+			}
+			st, err := campaign.LoadState(*ckptPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("resuming from %s: %d/%d cases already accounted\n\n", *ckptPath, st.CasesDone, *cases)
+			res, err = campaign.Resume(cfg, st)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			res = campaign.Run(cfg)
+		}
+		fmt.Printf("campaign done: %d cases, %d findings, %d duplicates filtered, %d nondet-suppressed, %d early-error cases, %d recovered panics, %d wall-timeouts, %d checkpoints\n\n",
 			res.CasesRun, len(res.Found), res.DuplicatesFiltered,
-			len(res.SuppressedNondet), res.EarlyErrorCases)
+			len(res.SuppressedNondet), res.EarlyErrorCases,
+			res.Panics, res.WallTimeouts, res.Checkpoints)
 		if *reduceW {
 			fmt.Println(campaign.ReductionSummary(res))
 		}
@@ -153,5 +229,14 @@ func main() {
 	if *figure == 9 {
 		out, _ := campaign.Figure9(*n, *seed)
 		fmt.Println(out)
+	}
+	if interrupted.Load() {
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: partial results above; continue with -resume -checkpoint %s\n", *ckptPath)
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted: partial results above (run with -checkpoint to make interrupts resumable)")
+		}
+		pprof.StopCPUProfile() // deferred handlers are skipped by os.Exit
+		os.Exit(exitInterrupted)
 	}
 }

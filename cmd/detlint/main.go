@@ -30,6 +30,7 @@ var defaultTargets = []string{
 	"internal/reduce",
 	"internal/dedup",
 	"internal/exec",
+	"internal/faultinject",
 }
 
 func main() {

@@ -8,11 +8,13 @@ package campaign
 import (
 	"context"
 	"sort"
+	"time"
 
 	"comfort/internal/dedup"
 	"comfort/internal/difftest"
 	"comfort/internal/engines"
 	"comfort/internal/exec"
+	"comfort/internal/faultinject"
 	"comfort/internal/fuzzers"
 	"comfort/internal/js/analyze"
 	"comfort/internal/reduce"
@@ -80,6 +82,34 @@ type Config struct {
 	// large campaigns set it higher so accounting stops paying the
 	// callback on the hot path.
 	ProgressEvery int
+	// Checkpoint, when non-empty, is the path the sink periodically (and
+	// finally) persists the campaign's accounted state to, atomically —
+	// see state.go. A killed campaign resumes from it via Resume with
+	// findings byte-identical to an uninterrupted run.
+	Checkpoint string
+	// CheckpointEvery is the case cadence of checkpoint writes; 0 means
+	// 256. Writes happen on the sink goroutine between cases, never
+	// concurrently with accounting.
+	CheckpointEvery int
+	// CheckpointInterval additionally checkpoints when this much wall time
+	// has passed since the last write (requires Clock; 0 disables the
+	// time axis).
+	CheckpointInterval time.Duration
+	// CaseDeadline arms a per-execution wall-clock watchdog in the
+	// scheduler (requires Clock; 0 disables). A hung case surfaces as a
+	// classified timeout finding instead of stalling a worker forever.
+	CaseDeadline time.Duration
+	// Clock supplies wall time for CheckpointInterval and CaseDeadline.
+	// The campaign never calls time.Now itself — deterministic callers
+	// leave Clock nil and stay clock-free; cmd/comfort injects time.Now.
+	Clock func() time.Time
+	// Faults is the deterministic fault-injection plan (nil in
+	// production): injected evaluator panics, injected hangs, and
+	// kill-after-checkpoint points for the crash-recovery oracle tests.
+	Faults *faultinject.Plan
+	// resume carries the validated checkpoint a Resume call continues
+	// from; nil for fresh runs.
+	resume *State
 }
 
 // Progress is one campaign progress sample: case accounting position plus
@@ -108,6 +138,10 @@ type Progress struct {
 	// FeaturesSeen is the number of distinct language features the
 	// campaign's cases have exercised so far (of analyze.FeatureCount).
 	FeaturesSeen int
+	// Panics/WallTimeouts count physical executions that ended in a
+	// recovered evaluator panic or a wall-clock watchdog abort;
+	// Checkpoints counts checkpoint writes. All cumulative across resumes.
+	Panics, WallTimeouts, Checkpoints int64
 }
 
 // Finding is one unique discovered bug, attributed to its seeded defect.
@@ -194,6 +228,13 @@ type Result struct {
 	Compiled, Fallback int64
 	// ICHits/ICMisses/ICMega are the final inline-cache counters.
 	ICHits, ICMisses, ICMega uint64
+	// Panics counts physical executions that ended in a recovered
+	// evaluator panic (each surfaced as a classified crash result, never a
+	// dead process); WallTimeouts counts wall-clock watchdog aborts.
+	Panics, WallTimeouts int64
+	// Checkpoints/CheckpointFailures count checkpoint writes and failed
+	// write attempts (a failed write never stops the campaign).
+	Checkpoints, CheckpointFailures int64
 }
 
 // FoundDefects returns the discovered defects in defect-ID order.
@@ -220,6 +261,15 @@ func (r *Result) FoundDefects() []*Defect {
 // incrementally: memory stays bounded by the scheduler's in-flight window
 // rather than the campaign's case budget.
 func Run(cfg Config) *Result {
+	// The error path is only reachable with a resume checkpoint, which
+	// Resume validates before calling run.
+	res, _ := run(withDefaults(cfg))
+	return res
+}
+
+// withDefaults resolves the config's zero-value knobs. Both entry points
+// (Run, Resume) apply it exactly once, before fingerprinting.
+func withDefaults(cfg Config) Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
 	}
@@ -229,10 +279,23 @@ func Run(cfg Config) *Result {
 	if len(cfg.Testbeds) == 0 {
 		cfg.Testbeds = engines.LatestTestbeds()
 	}
-	ctx := cfg.Context
-	if ctx == nil {
-		ctx = context.Background()
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 256
 	}
+	return cfg
+}
+
+// run is the shared campaign body behind Run and Resume; cfg has defaults
+// applied. The only error source is a corrupt resume checkpoint.
+func run(cfg Config) (*Result, error) {
+	baseCtx := cfg.Context
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	// The campaign's own cancel handle: a simulated checkpoint kill stops
+	// the pipeline without touching the caller's context.
+	ctx, cancel := context.WithCancel(baseCtx)
+	defer cancel()
 	res := &Result{
 		FuzzerName:       cfg.Fuzzer.Name(),
 		Verdicts:         map[difftest.Verdict]int{},
@@ -243,6 +306,27 @@ func Run(cfg Config) *Result {
 		res.FeatureCounts = map[string]int{}
 	}
 	tree := dedup.New(dedup.KnownAPIsFromSpec(spec.Default().Names()))
+
+	// Resume: load the killed run's accounted state and position the
+	// generator at the first unaccounted case. base carries the killed
+	// run's diagnostic counters so totals stay cumulative.
+	var base State
+	var start genStart
+	var featsSeen analyze.Features
+	if cfg.resume != nil {
+		base = *cfg.resume
+		bits, err := restoreInto(cfg.resume, res, tree)
+		if err != nil {
+			return nil, err
+		}
+		featsSeen = analyze.Features(bits)
+		start = genStart{batch: base.NextBatch, off: base.NextOff, index: base.CasesDone}
+		if base.Done || base.CasesDone >= cfg.Cases {
+			// Nothing left to run: reconstruct the final result.
+			finishResult(res, &base, nil, featsSeen)
+			return res, nil
+		}
+	}
 
 	// Stage 1: the fuzzer. The stream depends only on the seed — Forkable
 	// fuzzers generate as GenShards concurrent shards whose batches are
@@ -255,7 +339,7 @@ func Run(cfg Config) *Result {
 		shards = defaultGenShards()
 	}
 	caseCh := make(chan exec.Case)
-	go generateCases(ctx, cfg, shards, caseCh)
+	go generateCases(ctx, cfg, shards, start, caseCh)
 
 	// Stage 2: the scheduler.
 	sched := exec.New(exec.Config{
@@ -267,18 +351,92 @@ func Run(cfg Config) *Result {
 		DisableCompile: cfg.DisableCompile,
 		DisableShapes:  cfg.DisableShapes,
 		DisableAnalyze: cfg.DisableAnalyze,
+		CaseDeadline:   cfg.CaseDeadline,
+		Clock:          cfg.Clock,
+		Faults:         cfg.Faults,
 	})
 	outcomes := sched.Run(ctx, caseCh)
 
-	// Stage 3: the sink — classify/dedup/attribute in stream order.
+	// Stage 3: the sink — classify/dedup/attribute in stream order, with
+	// checkpoint writes between cases (never concurrent with accounting).
 	progressEvery := cfg.ProgressEvery
 	if progressEvery <= 0 {
 		progressEvery = 1
 	}
-	var featsSeen analyze.Features
+	fp := fingerprint(cfg)
+	ckpt := cfg.Checkpoint != ""
+	nextBatch, nextOff := start.batch, start.off
+	sinceCkpt := 0
+	var ckptWrites, ckptFails int64 // this process's writes
+	var lastCkptAt time.Time
+	if cfg.Clock != nil {
+		lastCkptAt = cfg.Clock()
+	}
+	snapshot := func(done bool) *State {
+		st := &State{
+			Format: StateFormatVersion, Fingerprint: fp,
+			CasesDone: res.CasesRun, NextBatch: nextBatch, NextOff: nextOff, Done: done,
+			Executed:             res.Executed,
+			Verdicts:             map[string]int{},
+			DuplicatesFiltered:   res.DuplicatesFiltered,
+			UnattributedFindings: res.UnattributedFindings,
+			EarlyErrorCases:      res.EarlyErrorCases,
+			FlaggedNondet:        res.FlaggedNondet,
+			FeatureBits:          uint64(featsSeen),
+			Dedup:                tree.Snapshot(),
+			Found:                saveFindings(res.Found),
+			Suppressed:           saveFindings(res.SuppressedNondet),
+		}
+		for v, n := range res.Verdicts { //detlint:order — string-keyed map output (JSON-sorted)
+			st.Verdicts[v.String()] = n
+		}
+		if res.FeatureCounts != nil {
+			st.FeatureCounts = map[string]int{}
+			for name, n := range res.FeatureCounts { //detlint:order — string-keyed map output (JSON-sorted)
+				st.FeatureCounts[name] = n
+			}
+		}
+		st.CacheHits, st.CacheMisses, st.CacheEvictions = sched.CacheStats()
+		st.Compiled, st.Fallback = sched.ExecCounts()
+		st.ICHits, st.ICMisses, st.ICMega = sched.ICStats()
+		st.Analyzed, st.EarlyErrSkips = sched.AnalyzeStats()
+		pn, wt := sched.FaultStats()
+		st.CacheHits += base.CacheHits
+		st.CacheMisses += base.CacheMisses
+		st.CacheEvictions += base.CacheEvictions
+		st.Compiled += base.Compiled
+		st.Fallback += base.Fallback
+		st.ICHits += base.ICHits
+		st.ICMisses += base.ICMisses
+		st.ICMega += base.ICMega
+		st.Analyzed += base.Analyzed
+		st.EarlyErrSkips += base.EarlyErrSkips
+		st.Panics = base.Panics + pn
+		st.WallTimeouts = base.WallTimeouts + wt
+		st.Checkpoints = base.Checkpoints + ckptWrites
+		st.CkptFailures = base.CkptFailures + ckptFails
+		return st
+	}
+	writeCkpt := func(done bool) {
+		if err := WriteState(cfg.Checkpoint, snapshot(done)); err != nil {
+			ckptFails++
+		} else {
+			ckptWrites++
+		}
+		sinceCkpt = 0
+		if cfg.Clock != nil {
+			lastCkptAt = cfg.Clock()
+		}
+	}
+	killed := false
 	for oc := range outcomes {
 		res.CasesRun++
 		res.Executed += len(oc.Entries)
+		if oc.Batch < 0 {
+			nextBatch, nextOff = -1, 0
+		} else {
+			nextBatch, nextOff = oc.Batch, oc.Off+1
+		}
 		cr := oc.Result
 		res.Verdicts[cr.Verdict]++
 		if cr.EarlyError {
@@ -298,29 +456,103 @@ func Run(cfg Config) *Result {
 			cc, fb := sched.ExecCounts()
 			ih, im, ig := sched.ICStats()
 			an, es := sched.AnalyzeStats()
+			pn, wt := sched.FaultStats()
 			cfg.Progress(Progress{
 				Done: res.CasesRun, Total: cfg.Cases,
-				CacheHits: h, CacheMisses: m, CacheEvictions: e,
-				Compiled: cc, Fallback: fb,
-				ICHits: ih, ICMisses: im, ICMega: ig,
-				Analyzed: an, EarlyErrorSkips: es,
+				CacheHits: base.CacheHits + h, CacheMisses: base.CacheMisses + m,
+				CacheEvictions: base.CacheEvictions + e,
+				Compiled:       base.Compiled + cc, Fallback: base.Fallback + fb,
+				ICHits: base.ICHits + ih, ICMisses: base.ICMisses + im, ICMega: base.ICMega + ig,
+				Analyzed: base.Analyzed + an, EarlyErrorSkips: base.EarlyErrSkips + es,
 				FlaggedNondet: res.FlaggedNondet,
 				FeaturesSeen:  featsSeen.Count(),
+				Panics:        base.Panics + pn, WallTimeouts: base.WallTimeouts + wt,
+				Checkpoints: base.Checkpoints + ckptWrites,
 			})
 		}
+		if ckpt && res.CasesRun < cfg.Cases {
+			sinceCkpt++
+			due := sinceCkpt >= cfg.CheckpointEvery
+			if !due && cfg.CheckpointInterval > 0 && cfg.Clock != nil &&
+				cfg.Clock().Sub(lastCkptAt) >= cfg.CheckpointInterval {
+				due = true
+			}
+			if due {
+				writeCkpt(false)
+				if cfg.Faults.KillAtCheckpoint(int(ckptWrites)) {
+					// Simulate the process dying right after the write: no
+					// final flush, no reduction, pipeline torn down. The CLI
+					// installs a real os.Exit in Faults.Kill for soak runs.
+					if cfg.Faults.Kill != nil {
+						cfg.Faults.Kill()
+					}
+					killed = true
+					cancel()
+					break
+				}
+			}
+		}
 	}
-	res.CacheHits, res.CacheMisses, res.CacheEvictions = sched.CacheStats()
-	res.Compiled, res.Fallback = sched.ExecCounts()
-	res.ICHits, res.ICMisses, res.ICMega = sched.ICStats()
-	res.Analyzed, res.EarlyErrorSkips = sched.AnalyzeStats()
-	res.FeaturesSeen = featsSeen.Count()
+	if killed {
+		for range outcomes { // drain so the scheduler's goroutines exit
+		}
+	}
+	pn, wt := sched.FaultStats()
+	finishResult(res, &base, sched, featsSeen)
+	res.Panics = base.Panics + pn
+	res.WallTimeouts = base.WallTimeouts + wt
+	res.Checkpoints = base.Checkpoints + ckptWrites
+	res.CheckpointFailures = base.CkptFailures + ckptFails
+	if killed {
+		return res, nil
+	}
 
 	// Stage 4 (optional): witness reduction, after the stream has drained
 	// and dedup/attribution settled — never on the hot accounting path.
 	if cfg.ReduceWitnesses {
 		reduceFindings(ctx, cfg, res)
 	}
-	return res
+
+	// Final flush — also on cancellation, so a gracefully-stopped partial
+	// campaign resumes from exactly where it was interrupted. Runs after
+	// reduction so a complete checkpoint carries the reduced witnesses.
+	if ckpt {
+		writeCkpt(res.CasesRun == cfg.Cases)
+		res.Checkpoints = base.Checkpoints + ckptWrites
+		res.CheckpointFailures = base.CkptFailures + ckptFails
+	}
+	return res, nil
+}
+
+// finishResult folds the scheduler's diagnostic counters (plus the resume
+// baselines) into the result. sched is nil when a Done checkpoint
+// reconstructs a result without running a pipeline.
+func finishResult(res *Result, base *State, sched *exec.Scheduler, featsSeen analyze.Features) {
+	var h, m, e, cc, fb, an, es int64
+	var ih, im, ig uint64
+	if sched != nil {
+		h, m, e = sched.CacheStats()
+		cc, fb = sched.ExecCounts()
+		ih, im, ig = sched.ICStats()
+		an, es = sched.AnalyzeStats()
+	}
+	res.CacheHits = base.CacheHits + h
+	res.CacheMisses = base.CacheMisses + m
+	res.CacheEvictions = base.CacheEvictions + e
+	res.Compiled = base.Compiled + cc
+	res.Fallback = base.Fallback + fb
+	res.ICHits = base.ICHits + ih
+	res.ICMisses = base.ICMisses + im
+	res.ICMega = base.ICMega + ig
+	res.Analyzed = base.Analyzed + an
+	res.EarlyErrorSkips = base.EarlyErrSkips + es
+	res.FeaturesSeen = featsSeen.Count()
+	if sched == nil {
+		res.Panics = base.Panics
+		res.WallTimeouts = base.WallTimeouts
+		res.Checkpoints = base.Checkpoints
+		res.CheckpointFailures = base.CkptFailures
+	}
 }
 
 // reduceFindings shrinks every finding's witness with the parallel ddmin

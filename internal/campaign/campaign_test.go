@@ -163,7 +163,7 @@ func TestCampaignProgressStreams(t *testing.T) {
 func collectStream(t *testing.T, cfg Config, shards int) []string {
 	t.Helper()
 	ch := make(chan exec.Case)
-	go generateCases(context.Background(), cfg, shards, ch)
+	go generateCases(context.Background(), cfg, shards, genStart{}, ch)
 	var out []string
 	for c := range ch {
 		if c.Index != len(out) {

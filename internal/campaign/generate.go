@@ -47,22 +47,40 @@ func batchSeed(seed int64, j int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
+// genStart is a generator restart position from a checkpoint: resume
+// emission at global case index `index`, which sits at offset `off` into
+// batch `batch`. The zero value is a fresh start. batch == -1 marks a
+// serial-path position: the stream is replayed from case 0 with emission
+// suppressed below `index`, because a stateful fuzzer's RNG cannot be
+// fast-forwarded — the replay is the fast part of a resumed campaign
+// (generation only; no executions).
+type genStart struct {
+	batch, off, index int
+}
+
 // generateCases produces the campaign's deterministic case stream on out,
 // closing it when the budget is met, the fuzzer is exhausted (an empty
-// batch), or ctx is cancelled.
-func generateCases(ctx context.Context, cfg Config, shards int, out chan<- exec.Case) {
+// batch), or ctx is cancelled. Because batch j is a pure function of
+// (seed, j) on the forkable path, resuming at (batch, off) re-generates
+// the exact suffix of the fresh run's stream, for every shard count.
+func generateCases(ctx context.Context, cfg Config, shards int, start genStart, out chan<- exec.Case) {
 	defer close(out)
 	forkable, ok := cfg.Fuzzer.(fuzzers.Forkable)
 	if !ok {
-		generateSerial(ctx, cfg, out)
+		generateSerial(ctx, cfg, start, out)
 		return
+	}
+	if start.batch < 0 {
+		// Fingerprints pin the fuzzer, so a serial-format position never
+		// reaches the forkable path; tolerate it as a fresh start anyway.
+		start = genStart{}
 	}
 	if shards <= 1 {
 		// One shard: the same per-batch-derived RNG scheme, run inline.
-		emit := newEmitter(ctx, cfg, out)
-		for j := 0; ; j++ {
+		emit := newEmitter(ctx, cfg, start.index, 0, out)
+		for j := start.batch; ; j++ {
 			batch := cfg.Fuzzer.Next(rand.New(rand.NewSource(batchSeed(cfg.Seed, j))))
-			if len(batch) == 0 || !emit(batch) {
+			if len(batch) == 0 || !emit(j, batch, startSkip(start, j)) {
 				return
 			}
 		}
@@ -78,7 +96,7 @@ func generateCases(ctx context.Context, cfg Config, shards int, out chan<- exec.
 		chans[s] = ch
 		go func(s int, f fuzzers.Fuzzer) {
 			defer close(ch)
-			for j := s; ; j += shards {
+			for j := start.batch + s; ; j += shards {
 				batch := f.Next(rand.New(rand.NewSource(batchSeed(cfg.Seed, j))))
 				select {
 				case <-shardCtx.Done():
@@ -91,23 +109,34 @@ func generateCases(ctx context.Context, cfg Config, shards int, out chan<- exec.
 			}
 		}(s, forkable.Fork(batchSeed(cfg.Seed, -1-s)))
 	}
-	emit := newEmitter(ctx, cfg, out)
-	for j := 0; ; j++ {
-		batch, ok := <-chans[j%shards]
-		if !ok || len(batch) == 0 || !emit(batch) {
+	emit := newEmitter(ctx, cfg, start.index, 0, out)
+	for j := start.batch; ; j++ {
+		batch, ok := <-chans[(j-start.batch)%shards]
+		if !ok || len(batch) == 0 || !emit(j, batch, startSkip(start, j)) {
 			return
 		}
 	}
 }
 
+// startSkip is the number of already-consumed cases to drop from batch j:
+// the resume offset for the restart batch, zero for every later one.
+func startSkip(start genStart, j int) int {
+	if j == start.batch {
+		return start.off
+	}
+	return 0
+}
+
 // generateSerial is the legacy path: one RNG advanced batch to batch — the
-// determinism anchor for fuzzers whose state evolves across Next calls.
-func generateSerial(ctx context.Context, cfg Config, out chan<- exec.Case) {
+// determinism anchor for fuzzers whose state evolves across Next calls. A
+// resume replays the stream from the beginning, suppressing emission below
+// the restart index.
+func generateSerial(ctx context.Context, cfg Config, start genStart, out chan<- exec.Case) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	emit := newEmitter(ctx, cfg, out)
+	emit := newEmitter(ctx, cfg, 0, start.index, out)
 	for {
 		batch := cfg.Fuzzer.Next(rng)
-		if len(batch) == 0 || !emit(batch) {
+		if len(batch) == 0 || !emit(-1, batch, 0) {
 			return
 		}
 	}
@@ -115,18 +144,28 @@ func generateSerial(ctx context.Context, cfg Config, out chan<- exec.Case) {
 
 // newEmitter returns a closure that forwards one batch's cases to the
 // scheduler under the campaign budget, reporting false when generation
-// should stop (budget met or context cancelled).
-func newEmitter(ctx context.Context, cfg Config, out chan<- exec.Case) func([]string) bool {
-	produced := 0
-	return func(batch []string) bool {
-		for _, src := range batch {
+// should stop (budget met or context cancelled). produced is the global
+// index of the next case the emitter will see; cases below suppressBelow
+// are generated but not emitted (the serial replay resume). Each emitted
+// case carries its (batch, offset) position so the sink can checkpoint an
+// exact restart point.
+func newEmitter(ctx context.Context, cfg Config, produced, suppressBelow int, out chan<- exec.Case) func(int, []string, int) bool {
+	return func(j int, batch []string, skip int) bool {
+		for off, src := range batch {
+			if off < skip {
+				continue
+			}
 			if produced >= cfg.Cases {
 				return false
+			}
+			if produced < suppressBelow {
+				produced++
+				continue
 			}
 			select {
 			case <-ctx.Done():
 				return false
-			case out <- exec.Case{Index: produced, Src: src}:
+			case out <- exec.Case{Index: produced, Src: src, Batch: j, Off: off}:
 				produced++
 			}
 		}

@@ -116,6 +116,58 @@ func (t *Tree) Stats() (leaves, filtered int) {
 	return t.leaves, t.hits
 }
 
+// Snapshot is a Tree's serialisable state: the full leaf set plus the
+// hit/leaf counters. Campaign checkpoints persist it so a resumed run
+// filters duplicates against exactly the tree the killed run had built.
+type Snapshot struct {
+	Root   map[string]map[string]map[string]bool `json:"root"`
+	Leaves int                                   `json:"leaves"`
+	Hits   int                                   `json:"hits"`
+}
+
+// Snapshot deep-copies the tree's current state.
+func (t *Tree) Snapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	root := make(map[string]map[string]map[string]bool, len(t.root))
+	for e, apis := range t.root { //detlint:order — copying into a map
+		ac := make(map[string]map[string]bool, len(apis))
+		for a, classes := range apis { //detlint:order — copying into a map
+			cc := make(map[string]bool, len(classes))
+			for c, v := range classes { //detlint:order — copying into a map
+				cc[c] = v
+			}
+			ac[a] = cc
+		}
+		root[e] = ac
+	}
+	return &Snapshot{Root: root, Leaves: t.leaves, Hits: t.hits}
+}
+
+// Restore replaces the tree's leaf set and counters with a snapshot's
+// (the detector's known-API list is config, not state, and is untouched).
+func (t *Tree) Restore(s *Snapshot) {
+	if s == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.root = make(map[string]map[string]map[string]bool, len(s.Root))
+	for e, apis := range s.Root { //detlint:order — copying into a map
+		ac := make(map[string]map[string]bool, len(apis))
+		for a, classes := range apis { //detlint:order — copying into a map
+			cc := make(map[string]bool, len(classes))
+			for c, v := range classes { //detlint:order — copying into a map
+				cc[c] = v
+			}
+			ac[a] = cc
+		}
+		t.root[e] = ac
+	}
+	t.leaves = s.Leaves
+	t.hits = s.Hits
+}
+
 // Engines returns the engines with recorded bugs (first tree layer).
 func (t *Tree) Engines() []string {
 	t.mu.Lock()

@@ -57,6 +57,23 @@ func (v Verdict) String() string {
 	}
 }
 
+// verdictNames maps each verdict's String rendering back to the value —
+// the stable encoding campaign checkpoints persist verdict counters under.
+var verdictNames = map[string]Verdict{}
+
+func init() {
+	for v := VerdictPass; v <= VerdictInconclusive; v++ {
+		verdictNames[v.String()] = v
+	}
+}
+
+// VerdictByName resolves a Verdict from its String rendering (checkpoint
+// decoding). The second return is false for unknown names.
+func VerdictByName(name string) (Verdict, bool) {
+	v, ok := verdictNames[name]
+	return v, ok
+}
+
 // IsBuggy reports whether the verdict indicates anomalous engine behaviour
 // worth reporting.
 func (v Verdict) IsBuggy() bool {
@@ -270,7 +287,10 @@ func classifyPool(entries []ExecEntry) CaseResult {
 	res.Deviations = nil
 
 	// Step 3: the 2× timeout rule over fuel. An engine that exhausted its
-	// budget while others finished far below it is deviant.
+	// budget while others finished far below it is deviant. A wall-clock
+	// watchdog timeout is deviant unconditionally: the engine hung in real
+	// time while the others finished, so its (possibly tiny) fuel reading
+	// says nothing — the 2× fuel comparison only gates fuel timeouts.
 	var maxFinished int64
 	finished := 0
 	for _, e := range entries {
@@ -286,7 +306,8 @@ func classifyPool(entries []ExecEntry) CaseResult {
 		return res
 	}
 	for _, e := range entries {
-		if e.Result.Outcome == engines.OutcomeTimeout && e.Result.FuelUsed > 2*maxFinished {
+		if e.Result.Outcome == engines.OutcomeTimeout &&
+			(e.Result.WallClock || e.Result.FuelUsed > 2*maxFinished) {
 			res.Deviations = append(res.Deviations, Deviation{e.Testbed, e.Result})
 		}
 	}

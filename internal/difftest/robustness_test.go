@@ -1,0 +1,80 @@
+package difftest
+
+import (
+	"testing"
+
+	"comfort/internal/engines"
+)
+
+// TestClassifyWallClockTimeoutUnconditionallyDeviant pins the robustness
+// amendment to the Figure-5 timeout rule: a wall-clock watchdog abort is
+// deviant even when its fuel reading sits far below the 2× bar (the hung
+// engine burned real time, not fuel), while a plain fuel timeout with the
+// same reading stays within the rule.
+func TestClassifyWallClockTimeoutUnconditionallyDeviant(t *testing.T) {
+	wallTimeout := engines.ExecResult{
+		Outcome: engines.OutcomeTimeout, ErrName: "timeout",
+		FuelUsed: 10, WallClock: true,
+	}
+	fuelTimeoutLow := engines.ExecResult{
+		Outcome: engines.OutcomeTimeout, ErrName: "timeout", FuelUsed: 10,
+	}
+
+	res := Classify([]ExecEntry{
+		entry("A", "1", false, wallTimeout),
+		entry("B", "1", false, pass("1")),
+		entry("C", "1", false, pass("1")),
+	})
+	if res.Verdict != VerdictTimeout {
+		t.Fatalf("wall-clock timeout verdict = %v, want timeout", res.Verdict)
+	}
+	if len(res.Deviations) != 1 || res.Deviations[0].Testbed.Version.Engine != "A" {
+		t.Fatalf("wall-clock hang not the deviant: %+v", res.Deviations)
+	}
+
+	// Control: the same fuel reading without WallClock is inside the 2×
+	// band (10 ≤ 2×100) — not deviant, so the case majority-votes instead.
+	ctrl := Classify([]ExecEntry{
+		entry("A", "1", false, fuelTimeoutLow),
+		entry("B", "1", false, pass("1")),
+		entry("C", "1", false, pass("1")),
+	})
+	if ctrl.Verdict == VerdictTimeout {
+		t.Errorf("low-fuel timeout misread as deviant without WallClock")
+	}
+}
+
+// TestClassifyCrashFromRecoveredPanic: a recovered-panic crash entry drives
+// the case to VerdictCrash with the crashing engine deviant — a crash IS a
+// finding, per the panic-isolation contract.
+func TestClassifyCrashFromRecoveredPanic(t *testing.T) {
+	crash := engines.ExecResult{
+		Outcome: engines.OutcomeCrash, Error: "panic: boom", ErrName: "panic",
+		FuelUsed: 42, Panic: true,
+	}
+	res := Classify([]ExecEntry{
+		entry("A", "1", false, crash),
+		entry("B", "1", false, pass("1")),
+		entry("C", "1", false, pass("1")),
+	})
+	if res.Verdict != VerdictCrash {
+		t.Fatalf("verdict = %v, want crash", res.Verdict)
+	}
+	if len(res.Deviations) != 1 || !res.Deviations[0].Result.Panic {
+		t.Fatalf("panic crash not the deviant: %+v", res.Deviations)
+	}
+}
+
+// TestVerdictByNameRoundTrip pins the checkpoint encoding: every verdict
+// round-trips through its String rendering.
+func TestVerdictByNameRoundTrip(t *testing.T) {
+	for v := VerdictPass; v <= VerdictInconclusive; v++ {
+		got, ok := VerdictByName(v.String())
+		if !ok || got != v {
+			t.Errorf("verdict %v does not round-trip (got %v, ok=%v)", v, got, ok)
+		}
+	}
+	if _, ok := VerdictByName("no-such-verdict"); ok {
+		t.Error("unknown verdict name resolved")
+	}
+}

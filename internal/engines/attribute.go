@@ -23,15 +23,6 @@ func finishParse(prog *ast.Program, opts RunOptions) {
 	analyze.Program(prog)
 }
 
-// runProgram executes a (possibly thunk-compiled) program on a fresh
-// runtime, honouring the compile ablation knob.
-func runProgram(in *interp.Interp, prog *ast.Program, opts RunOptions) error {
-	if cp := compile.Of(prog); cp != nil && !opts.DisableCompile {
-		return cp.Run(in)
-	}
-	return in.Run(prog)
-}
-
 // RunWithDefect executes src with exactly one defect installed — the
 // ground-truth attribution primitive used by the campaign accounting.
 func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResult {
@@ -55,6 +46,7 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 	}
 	cfg.DisableCompile = opts.DisableCompile
 	cfg.DisableShapes = opts.DisableShapes
+	cfg.Watchdog = opts.Watchdog
 	in := builtins.NewRuntime(cfg)
 	prog, err := parser.ParseWith(src, parseOpts)
 	if err != nil {
@@ -64,11 +56,7 @@ func RunWithDefect(d *Defect, src string, strict bool, opts RunOptions) ExecResu
 	if res, bad := earlyErrorResult(prog, opts); bad {
 		return res
 	}
-	runErr := runProgram(in, prog, opts)
-	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
-	res.ICHit, res.ICMiss, res.ICMega = in.ICStats()
-	classifyRunError(&res, runErr)
-	return res
+	return runGuarded(in, prog, opts)
 }
 
 // DefectRunner is the prepared form of RunWithDefect: the interpreter
@@ -141,12 +129,9 @@ func (r *DefectRunner) execParsed(prog *ast.Program, err error, opts RunOptions)
 	cfg.Seed = opts.Seed
 	cfg.DisableCompile = opts.DisableCompile
 	cfg.DisableShapes = opts.DisableShapes
+	cfg.Watchdog = opts.Watchdog
 	in := builtins.NewRuntime(cfg)
-	runErr := runProgram(in, prog, opts)
-	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
-	res.ICHit, res.ICMiss, res.ICMega = in.ICStats()
-	classifyRunError(&res, runErr)
-	return res
+	return runGuarded(in, prog, opts)
 }
 
 // DivergesRunners builds a reduction predicate over two prepared

@@ -254,6 +254,18 @@ type ExecResult struct {
 	// the observable semantics — both the cached-report path and the
 	// DisableAnalyze recompute path must produce it byte-identically.
 	EarlyError bool
+	// Panic marks an OutcomeCrash produced by the panic-isolation layer:
+	// the evaluator panicked mid-run and the recover() converted it into a
+	// classified crash instead of killing the process. The interpreter is
+	// deterministic, so a panicking (defect, src, fuel, seed) panics — with
+	// the same rendering, partial output and fuel — on every run.
+	Panic bool
+	// WallClock marks an OutcomeTimeout raised by the wall-clock watchdog
+	// (interp.AbortDeadline) rather than fuel exhaustion: the case hung in
+	// real time while its step budget still had headroom. Classification
+	// treats such entries as deviant without the 2× fuel test — a hung
+	// engine is anomalous no matter how little fuel it burned.
+	WallClock bool
 	// ICHit/ICMiss/ICMega count the compiled evaluator's inline-cache
 	// probes for this run (all zero under DisableShapes/DisableCompile).
 	ICHit, ICMiss, ICMega uint64
@@ -304,6 +316,16 @@ type RunOptions struct {
 	// campaign.Config. The observable semantics are identical in both
 	// modes; the knob validates the analyze-once publication machinery.
 	DisableAnalyze bool
+	// Watchdog is the wall-clock deadline probe threaded into
+	// interp.Config.Watchdog (see there): polled every
+	// interp.WatchdogStride fuel steps, a true return classifies the run
+	// as a WallClock timeout. Nil disables the watchdog entirely.
+	Watchdog func() bool
+	// InjectPanic makes the execution panic inside the guarded evaluator
+	// region — the fault-injection harness's hook for proving that the
+	// panic-isolation layer converts evaluator panics into classified
+	// crash results. Always false in normal operation.
+	InjectPanic bool
 }
 
 // ActiveDefects returns the catalog defects present in the given version.

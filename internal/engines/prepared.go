@@ -234,7 +234,9 @@ func earlyErrorResult(prog *ast.Program, opts RunOptions) (ExecResult, bool) {
 // Exec runs an already-parsed program. The program may be shared across
 // concurrent Exec calls (the interpreter never mutates the AST), which is
 // what enables the scheduler's parse-once source cache. Callers must have
-// applied PreParseError to the original source themselves.
+// applied PreParseError to the original source themselves. The execution
+// is panic-isolated: an evaluator panic classifies as an OutcomeCrash
+// result (see runGuarded) instead of unwinding into the scheduler.
 func (p *PreparedTestbed) Exec(prog *ast.Program, opts RunOptions) ExecResult {
 	cfg := p.baseCfg
 	cfg.Fuel = opts.Fuel
@@ -242,18 +244,10 @@ func (p *PreparedTestbed) Exec(prog *ast.Program, opts RunOptions) ExecResult {
 	cfg.Hook = p.hook
 	cfg.DisableCompile = opts.DisableCompile
 	cfg.DisableShapes = opts.DisableShapes
+	cfg.Watchdog = opts.Watchdog
 	in := builtins.NewRuntime(cfg)
 	in.Cov = opts.Cov
-	var runErr error
-	if cp := compile.Of(prog); cp != nil && !opts.DisableCompile {
-		runErr = cp.Run(in)
-	} else {
-		runErr = in.Run(prog)
-	}
-	res := ExecResult{Output: in.Out.String(), FuelUsed: in.FuelUsed()}
-	res.ICHit, res.ICMiss, res.ICMega = in.ICStats()
-	classifyRunError(&res, runErr)
-	return res
+	return runGuarded(in, prog, opts)
 }
 
 // classifyRunError maps an interpreter error to the Figure-5 per-testbed
@@ -272,6 +266,11 @@ func classifyRunError(res *ExecResult, runErr error) {
 			res.Outcome = OutcomeCrash
 			res.Error = e.Error()
 			res.ErrName = "crash"
+		case interp.AbortDeadline:
+			res.Outcome = OutcomeTimeout
+			res.Error = e.Error()
+			res.ErrName = "timeout"
+			res.WallClock = true
 		default:
 			res.Outcome = OutcomeTimeout
 			res.Error = e.Error()

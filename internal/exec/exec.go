@@ -12,18 +12,25 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"comfort/internal/difftest"
 	"comfort/internal/engines"
+	"comfort/internal/faultinject"
 	"comfort/internal/js/analyze"
 	"comfort/internal/js/ast"
 )
 
 // Case is one fuzzer-generated test program, tagged with its position in
-// the campaign's deterministic generation order.
+// the campaign's deterministic generation order. Batch/Off locate the case
+// in the generator's batch structure (batch number and offset within it)
+// so a checkpoint can record an exact generator restart position; serial
+// generators stamp Batch = -1 and resume by index instead.
 type Case struct {
 	Index int
 	Src   string
+	Batch int
+	Off   int
 }
 
 // Outcome is the classified result of one case across all testbeds.
@@ -74,6 +81,23 @@ type Config struct {
 	// internal/js/analyze. Execution semantics are identical in both
 	// modes; the sink-side flag accounting is what differs.
 	DisableAnalyze bool
+	// CaseDeadline, when positive, arms a wall-clock watchdog on every
+	// physical execution: the interpreter probes Clock at its fuel-charge
+	// site and aborts with a classified timeout once the deadline passes.
+	// This is a robustness guard against pathological cases, not part of
+	// the deterministic oracle — a firing deadline depends on machine
+	// speed, which is why the deterministic fuel budget remains the
+	// primary timeout axis and the deadline defaults to off.
+	CaseDeadline time.Duration
+	// Clock supplies wall time for CaseDeadline (the scheduler never calls
+	// time.Now itself — determinism-sensitive callers inject nothing and
+	// stay clock-free). Required when CaseDeadline > 0.
+	Clock func() time.Time
+	// Faults is the deterministic fault-injection plan, nil in production.
+	// An injected fault targets exactly one behaviour class of its case so
+	// the faulted execution deviates from the healthy majority and
+	// surfaces as a finding.
+	Faults *faultinject.Plan
 }
 
 // Scheduler executes cases over prepared testbeds. One Scheduler is one
@@ -106,6 +130,12 @@ type Scheduler struct {
 	// early-error gate short-circuited before any interpreter ran.
 	analyzed   atomic.Int64
 	earlySkips atomic.Int64
+	// panics/wallTimeouts count physical executions that ended in a
+	// recovered evaluator panic or a wall-clock watchdog abort — the
+	// robustness layer's visible pulse, surfaced through
+	// campaign.Progress.
+	panics       atomic.Int64
+	wallTimeouts atomic.Int64
 }
 
 // New builds a scheduler: testbeds are prepared up front (catalog scan,
@@ -165,6 +195,12 @@ func (s *Scheduler) ICStats() (hit, miss, mega uint64) {
 // verdict short-circuited (the latter counts in both analyze modes).
 func (s *Scheduler) AnalyzeStats() (analyzed, earlySkips int64) {
 	return s.analyzed.Load(), s.earlySkips.Load()
+}
+
+// FaultStats reports physical executions that ended in a recovered
+// evaluator panic and in a wall-clock watchdog abort (injected or real).
+func (s *Scheduler) FaultStats() (panics, wallTimeouts int64) {
+	return s.panics.Load(), s.wallTimeouts.Load()
 }
 
 // caseState tracks one in-flight case across its testbed executions.
@@ -243,7 +279,7 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 				if ctx.Err() != nil {
 					atomic.StoreInt32(&t.cs.cancelled, 1)
 				} else {
-					r := s.runOne(s.classRep[t.class], t.cs.c.Src)
+					r := s.runOne(t.class, t.cs.c)
 					for _, i := range s.classes[t.class] {
 						t.cs.entries[i] = difftest.ExecEntry{
 							Testbed: s.prepared[i].Testbed,
@@ -310,15 +346,38 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 	return out
 }
 
-// runOne executes one (case, testbed) cell through the shared difftest
-// cell semantics, with the campaign-wide parse cache supplying compiled
-// programs; the parse hook accounts which evaluator the execution runs
-// on.
-func (s *Scheduler) runOne(p *engines.PreparedTestbed, src string) engines.ExecResult {
-	r := difftest.RunCell(p, src, s.countingParse,
-		engines.RunOptions{Fuel: s.cfg.Fuel, Seed: s.cfg.Seed,
-			DisableCompile: s.cfg.DisableCompile, DisableShapes: s.cfg.DisableShapes,
-			DisableAnalyze: s.cfg.DisableAnalyze})
+// runOne executes one (case, behaviour class) cell through the shared
+// difftest cell semantics, with the campaign-wide parse cache supplying
+// compiled programs; the parse hook accounts which evaluator the
+// execution runs on. Fault injection and the wall-clock watchdog are
+// armed here, per physical run, so shared-class fan-out replicates the
+// (deterministic) faulted result instead of re-rolling it.
+func (s *Scheduler) runOne(class int, c Case) engines.ExecResult {
+	p := s.classRep[class]
+	opts := engines.RunOptions{Fuel: s.cfg.Fuel, Seed: s.cfg.Seed,
+		DisableCompile: s.cfg.DisableCompile, DisableShapes: s.cfg.DisableShapes,
+		DisableAnalyze: s.cfg.DisableAnalyze}
+	if fault, sel := s.cfg.Faults.CaseFault(c.Index); fault != faultinject.FaultNone &&
+		class == int(sel%uint64(len(s.classes))) {
+		switch fault {
+		case faultinject.FaultPanic:
+			opts.InjectPanic = true
+		case faultinject.FaultSlow:
+			opts.Watchdog = faultinject.CountdownWatchdog(s.cfg.Faults.SlowProbes())
+		}
+	}
+	if opts.Watchdog == nil && s.cfg.CaseDeadline > 0 && s.cfg.Clock != nil {
+		start := s.cfg.Clock()
+		deadline := s.cfg.CaseDeadline
+		opts.Watchdog = func() bool { return s.cfg.Clock().Sub(start) > deadline }
+	}
+	r := difftest.RunCell(p, c.Src, s.countingParse, opts)
+	if r.Panic {
+		s.panics.Add(1)
+	}
+	if r.WallClock {
+		s.wallTimeouts.Add(1)
+	}
 	if r.EarlyError {
 		s.earlySkips.Add(1)
 	}
@@ -378,7 +437,7 @@ func FromSlice(ctx context.Context, srcs []string) <-chan Case {
 			select {
 			case <-ctx.Done():
 				return
-			case ch <- Case{Index: i, Src: src}:
+			case ch <- Case{Index: i, Src: src, Batch: -1, Off: i}:
 			}
 		}
 	}()

@@ -1,0 +1,229 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the campaign robustness layer's oracle tests and CI soak runs. A Plan is
+// a pure function of its seed: whether case i receives an injected
+// evaluator panic, an injected wall-clock hang, or nothing — and which
+// behaviour class the fault lands on — is derived from (seed, i) alone by
+// splitmix64 mixing, never from wall-clock time, map order or scheduling.
+// The same spec therefore injects the same faults at every worker count,
+// shard count and checkpoint resume, which is what lets the oracle tests
+// assert byte-identical findings across a killed-and-resumed campaign and
+// an uninterrupted one.
+//
+// Three fault kinds cover the three robustness layers:
+//
+//   - FaultPanic: the execution panics inside the evaluator's guarded
+//     region (engines.RunOptions.InjectPanic), proving the recover() layer
+//     converts panics into classified crash findings.
+//   - FaultSlow: the execution's watchdog fires deterministically after a
+//     fixed number of probes (CountdownWatchdog), proving the wall-clock
+//     deadline path classifies hung cases instead of hanging a worker.
+//   - checkpoint kills (KillAtCheckpoint): the campaign dies immediately
+//     after its n-th checkpoint write, proving atomic checkpoints resume
+//     byte-identically from every kill point.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fault is the per-case fault kind.
+type Fault int
+
+// Per-case faults.
+const (
+	FaultNone Fault = iota
+	// FaultPanic injects an evaluator panic into one behaviour class of
+	// the case.
+	FaultPanic
+	// FaultSlow arms a deterministic watchdog on one behaviour class of
+	// the case, simulating a wall-clock hang.
+	FaultSlow
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultPanic:
+		return "panic"
+	case FaultSlow:
+		return "slow"
+	default:
+		return "none"
+	}
+}
+
+// Config parameterises a fault plan. The zero value injects nothing.
+type Config struct {
+	// Seed drives every per-case decision; plans with equal configs are
+	// identical functions.
+	Seed int64
+	// PanicEvery injects an evaluator panic into roughly 1-in-N cases
+	// (exactly: cases whose derived hash ≡ 0 mod N). 0 disables.
+	PanicEvery int
+	// SlowEvery injects a wall-clock hang into roughly 1-in-N cases
+	// (panic wins when both would fire). 0 disables.
+	SlowEvery int
+	// SlowProbes is the number of watchdog probes an injected hang
+	// survives before the watchdog fires; <=0 means 2. Probes happen every
+	// interp.WatchdogStride fuel steps, so the abort point — and with it
+	// the partial output and fuel reading — is fuel-deterministic.
+	SlowProbes int
+	// KillAtCheckpoints lists 1-based checkpoint-write ordinals after
+	// which the campaign is killed (the kill-at-every-checkpoint resume
+	// test iterates this over every ordinal). Empty disables.
+	KillAtCheckpoints []int
+}
+
+// Plan is a prepared fault plan. A nil *Plan is the no-fault plan: every
+// method treats it as "inject nothing", so pipeline code may call through
+// unconditionally.
+type Plan struct {
+	cfg Config
+	// Kill, when non-nil, is invoked in place of the default in-process
+	// abort when a checkpoint kill fires — cmd/comfort installs a hard
+	// os.Exit here so the CI soak run dies exactly as a real crash would.
+	Kill func()
+}
+
+// New prepares a plan from a config.
+func New(cfg Config) *Plan {
+	if cfg.SlowProbes <= 0 {
+		cfg.SlowProbes = 2
+	}
+	return &Plan{cfg: cfg}
+}
+
+// Fingerprint canonically renders the plan's finding-relevant parameters
+// for campaign config fingerprints. Kill points are excluded: they decide
+// where a run stops, never what it finds, so a resume may retarget them
+// (the kill-at-every-checkpoint oracle depends on exactly that).
+func (p *Plan) Fingerprint() string {
+	if p == nil || (p.cfg.PanicEvery == 0 && p.cfg.SlowEvery == 0) {
+		return "none"
+	}
+	return fmt.Sprintf("seed=%d,panic=%d,slow=%d,probes=%d",
+		p.cfg.Seed, p.cfg.PanicEvery, p.cfg.SlowEvery, p.cfg.SlowProbes)
+}
+
+// Enabled reports whether the plan can inject any fault at all.
+func (p *Plan) Enabled() bool {
+	return p != nil && (p.cfg.PanicEvery > 0 || p.cfg.SlowEvery > 0 || len(p.cfg.KillAtCheckpoints) > 0)
+}
+
+// mix is one splitmix64 round over (seed, lane): uncorrelated streams for
+// consecutive lanes, dependent on nothing but the inputs.
+func mix(seed int64, lane uint64) uint64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(lane+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// CaseFault decides the fault for case index: the kind, and a selector the
+// scheduler reduces modulo its behaviour-class count to pick the single
+// class the fault lands on (so the faulted class deviates from the healthy
+// majority and the fault surfaces as a finding, not a uniform behaviour).
+func (p *Plan) CaseFault(index int) (Fault, uint64) {
+	if p == nil {
+		return FaultNone, 0
+	}
+	lane := uint64(index) * 3
+	if p.cfg.PanicEvery > 0 && mix(p.cfg.Seed, lane)%uint64(p.cfg.PanicEvery) == 0 {
+		return FaultPanic, mix(p.cfg.Seed, lane+2)
+	}
+	if p.cfg.SlowEvery > 0 && mix(p.cfg.Seed, lane+1)%uint64(p.cfg.SlowEvery) == 0 {
+		return FaultSlow, mix(p.cfg.Seed, lane+2)
+	}
+	return FaultNone, 0
+}
+
+// SlowProbes returns the armed watchdog's probe budget for injected hangs.
+func (p *Plan) SlowProbes() int {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.SlowProbes
+}
+
+// KillAtCheckpoint reports whether the campaign should die right after
+// its n-th (1-based) checkpoint write.
+func (p *Plan) KillAtCheckpoint(n int) bool {
+	if p == nil {
+		return false
+	}
+	for _, k := range p.cfg.KillAtCheckpoints {
+		if k == n {
+			return true
+		}
+	}
+	return false
+}
+
+// CountdownWatchdog returns a watchdog probe that fires (returns true) on
+// the n-th call and every call after it — the deterministic stand-in for
+// a wall-clock deadline closure. Each physical run arms its own instance.
+func CountdownWatchdog(n int) func() bool {
+	remaining := n
+	return func() bool {
+		remaining--
+		return remaining < 0
+	}
+}
+
+// Parse decodes a fault spec string of comma-separated key=value pairs:
+//
+//	seed=7,panic=100,slow=150,probes=3,kill=2+5
+//
+// panic/slow are the 1-in-N case rates, probes the injected hang's
+// watchdog budget, kill a '+'-separated list of checkpoint ordinals.
+func Parse(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: %q is not key=value", kv)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faultinject: seed: %v", err)
+			}
+			cfg.Seed = n
+		case "panic", "slow", "probes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("faultinject: %s: want a non-negative int, got %q", key, val)
+			}
+			switch key {
+			case "panic":
+				cfg.PanicEvery = n
+			case "slow":
+				cfg.SlowEvery = n
+			case "probes":
+				cfg.SlowProbes = n
+			}
+		case "kill":
+			for _, part := range strings.Split(val, "+") {
+				n, err := strconv.Atoi(part)
+				if err != nil || n < 1 {
+					return cfg, fmt.Errorf("faultinject: kill: want 1-based checkpoint ordinals, got %q", val)
+				}
+				cfg.KillAtCheckpoints = append(cfg.KillAtCheckpoints, n)
+			}
+			sort.Ints(cfg.KillAtCheckpoints)
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown key %q (want seed/panic/slow/probes/kill)", key)
+		}
+	}
+	return cfg, nil
+}

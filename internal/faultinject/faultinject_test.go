@@ -1,0 +1,121 @@
+package faultinject
+
+import "testing"
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if p.Enabled() {
+		t.Error("nil plan reports Enabled")
+	}
+	if f, _ := p.CaseFault(42); f != FaultNone {
+		t.Errorf("nil plan injected %v", f)
+	}
+	if p.KillAtCheckpoint(1) {
+		t.Error("nil plan kills at checkpoints")
+	}
+	if p.SlowProbes() != 0 {
+		t.Error("nil plan has a probe budget")
+	}
+	if p.Fingerprint() != "none" {
+		t.Errorf("nil plan fingerprint = %q", p.Fingerprint())
+	}
+}
+
+func TestCaseFaultDeterministicAndSeedSensitive(t *testing.T) {
+	a := New(Config{Seed: 7, PanicEvery: 10, SlowEvery: 15})
+	b := New(Config{Seed: 7, PanicEvery: 10, SlowEvery: 15})
+	c := New(Config{Seed: 8, PanicEvery: 10, SlowEvery: 15})
+	var panics, slows, diffs int
+	for i := 0; i < 2000; i++ {
+		fa, sa := a.CaseFault(i)
+		fb, sb := b.CaseFault(i)
+		if fa != fb || sa != sb {
+			t.Fatalf("case %d: same config disagrees: (%v,%d) vs (%v,%d)", i, fa, sa, fb, sb)
+		}
+		if fc, _ := c.CaseFault(i); fc != fa {
+			diffs++
+		}
+		switch fa {
+		case FaultPanic:
+			panics++
+		case FaultSlow:
+			slows++
+		}
+	}
+	if panics == 0 || slows == 0 {
+		t.Fatalf("fault rates degenerate: %d panics, %d slows over 2000 cases", panics, slows)
+	}
+	// Roughly 1-in-10 and 1-in-15; allow a wide band.
+	if panics < 100 || panics > 400 {
+		t.Errorf("panic rate off: %d/2000 at 1-in-10", panics)
+	}
+	if diffs == 0 {
+		t.Error("different seeds produced identical fault plans")
+	}
+}
+
+func TestPanicTakesPrecedenceOverSlow(t *testing.T) {
+	p := New(Config{Seed: 1, PanicEvery: 1, SlowEvery: 1})
+	for i := 0; i < 50; i++ {
+		if f, _ := p.CaseFault(i); f != FaultPanic {
+			t.Fatalf("case %d: got %v, want panic to win", i, f)
+		}
+	}
+}
+
+func TestKillAtCheckpoint(t *testing.T) {
+	p := New(Config{KillAtCheckpoints: []int{2, 5}})
+	for n, want := range map[int]bool{1: false, 2: true, 3: false, 5: true, 6: false} {
+		if got := p.KillAtCheckpoint(n); got != want {
+			t.Errorf("KillAtCheckpoint(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if !p.Enabled() {
+		t.Error("kill-only plan reports disabled")
+	}
+}
+
+func TestCountdownWatchdog(t *testing.T) {
+	wd := CountdownWatchdog(3)
+	for i := 0; i < 3; i++ {
+		if wd() {
+			t.Fatalf("fired on probe %d, want survival through 3", i+1)
+		}
+	}
+	if !wd() || !wd() {
+		t.Error("did not fire (and stay fired) after the budget")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cfg, err := Parse("seed=7, panic=100, slow=150, probes=3, kill=2+5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.PanicEvery != 100 || cfg.SlowEvery != 150 || cfg.SlowProbes != 3 {
+		t.Errorf("parsed %+v", cfg)
+	}
+	if len(cfg.KillAtCheckpoints) != 2 || cfg.KillAtCheckpoints[0] != 2 || cfg.KillAtCheckpoints[1] != 5 {
+		t.Errorf("kill points %v", cfg.KillAtCheckpoints)
+	}
+	if c, err := Parse(""); err != nil || c.PanicEvery != 0 {
+		t.Errorf("empty spec: %+v, %v", c, err)
+	}
+	for _, bad := range []string{"panic", "panic=-1", "kill=0", "seed=x", "bogus=1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFingerprintExcludesKillPoints(t *testing.T) {
+	a := New(Config{Seed: 3, PanicEvery: 50, KillAtCheckpoints: []int{1}})
+	b := New(Config{Seed: 3, PanicEvery: 50, KillAtCheckpoints: []int{4}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("kill points leaked into fingerprint: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+	c := New(Config{Seed: 4, PanicEvery: 50})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("seed change did not change fingerprint")
+	}
+}

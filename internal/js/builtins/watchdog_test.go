@@ -1,0 +1,82 @@
+package builtins
+
+import (
+	"testing"
+
+	"comfort/internal/js/interp"
+	"comfort/internal/js/parser"
+)
+
+// TestWatchdogDeadlineAbort pins the wall-clock watchdog contract: a probe
+// that starts returning true aborts the run with AbortDeadline long before
+// the fuel budget is exhausted, and the probe is polled once per
+// WatchdogStride consumed steps.
+func TestWatchdogDeadlineAbort(t *testing.T) {
+	prog, err := parser.Parse(`while (true) {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuel := int64(50 * interp.WatchdogStride)
+	probes := 0
+	in := NewRuntime(interp.Config{Fuel: fuel, Watchdog: func() bool {
+		probes++
+		return probes >= 3
+	}})
+	err = in.Run(prog)
+	abort, ok := interp.IsAbort(err)
+	if !ok || abort.Kind != interp.AbortDeadline {
+		t.Fatalf("expected deadline abort, got %v", err)
+	}
+	if probes != 3 {
+		t.Errorf("watchdog polled %d times before firing, want 3", probes)
+	}
+	// Three strides of fuel, give or take a stride for charge granularity.
+	if used := in.FuelUsed(); used > 4*interp.WatchdogStride {
+		t.Errorf("deadline abort consumed %d fuel, want ≈3 strides (%d)", used, 3*interp.WatchdogStride)
+	}
+	if interp.AbortDeadline.String() != "deadline" {
+		t.Errorf("AbortDeadline renders as %q", interp.AbortDeadline)
+	}
+}
+
+// TestWatchdogQuietWhenNotFiring: a never-true probe changes nothing — the
+// program completes with its normal output, and probe frequency is bounded
+// by consumed fuel / stride.
+func TestWatchdogQuietWhenNotFiring(t *testing.T) {
+	src := `var s = 0; for (var i = 0; i < 1000; i++) s += i; print(s);`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := 0
+	in := NewRuntime(interp.Config{Fuel: 2_000_000, Watchdog: func() bool {
+		probes++
+		return false
+	}})
+	if err := in.Run(prog); err != nil {
+		t.Fatalf("watchdog-armed run failed: %v", err)
+	}
+	plain := run(t, src)
+	if in.Out.String() != plain {
+		t.Errorf("output differs with watchdog armed: %q vs %q", in.Out.String(), plain)
+	}
+	if maxProbes := int(in.FuelUsed()/interp.WatchdogStride) + 1; probes > maxProbes {
+		t.Errorf("watchdog polled %d times for %d fuel (max %d)", probes, in.FuelUsed(), maxProbes)
+	}
+}
+
+// TestWatchdogFiresOnFuelExhaustionFirst: when fuel runs out before the
+// deadline, the abort is still the classic timeout — the watchdog never
+// masks the deterministic fuel axis.
+func TestWatchdogFuelStillPrimary(t *testing.T) {
+	prog, err := parser.Parse(`while (true) {}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewRuntime(interp.Config{Fuel: 10000, Watchdog: func() bool { return false }})
+	err = in.Run(prog)
+	abort, ok := interp.IsAbort(err)
+	if !ok || abort.Kind != interp.AbortTimeout {
+		t.Fatalf("expected fuel timeout abort, got %v", err)
+	}
+}

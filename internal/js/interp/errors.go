@@ -34,9 +34,10 @@ type AbortKind int
 
 // Abort kinds.
 const (
-	AbortTimeout AbortKind = iota // fuel exhausted
-	AbortCrash                    // simulated engine crash (e.g. memory safety)
-	AbortLimit                    // internal limit (recursion depth, regex budget)
+	AbortTimeout  AbortKind = iota // fuel exhausted
+	AbortCrash                     // simulated engine crash (e.g. memory safety)
+	AbortLimit                     // internal limit (recursion depth, regex budget)
+	AbortDeadline                  // wall-clock watchdog fired (Config.Watchdog)
 )
 
 func (k AbortKind) String() string {
@@ -45,6 +46,8 @@ func (k AbortKind) String() string {
 		return "timeout"
 	case AbortCrash:
 		return "crash"
+	case AbortDeadline:
+		return "deadline"
 	default:
 		return "limit"
 	}

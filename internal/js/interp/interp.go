@@ -39,7 +39,22 @@ type Config struct {
 	// differential oracle and ablation knob for the hidden-class machinery,
 	// wired through engines/exec/campaign exactly like DisableCompile.
 	DisableShapes bool
+	// Watchdog, when non-nil, is the wall-clock deadline probe: it is
+	// polled cooperatively at the shared fuel-charge site every
+	// WatchdogStride consumed steps, and a true return aborts the run with
+	// AbortDeadline. The interpreter itself never reads a clock — the
+	// caller decides what "too long" means (a wall-clock closure in the
+	// scheduler, a deterministic countdown in the fault-injection
+	// harness) — so execution stays replayable from the seed alone. Nil
+	// (the default) costs one pointer test per charge and nothing else.
+	Watchdog func() bool
 }
+
+// WatchdogStride is the fuel interval between Watchdog probes: small
+// enough that a hung case is caught within a fraction of the default
+// budget, large enough that an enabled watchdog prices at well under a
+// probe per thousand charges.
+const WatchdogStride = 16384
 
 // DefaultFuel is the default step budget per program run.
 const DefaultFuel = 2_000_000
@@ -104,6 +119,13 @@ type Interp struct {
 	depth    int
 	maxDepth int
 
+	// watchdog mirrors Config.Watchdog; wdNext is the fuel level at or
+	// below which the next probe fires (fuel counts down, so the probe
+	// cadence is expressed in consumed steps and shared by both
+	// evaluators' charge sites).
+	watchdog func() bool
+	wdNext   int64
+
 	thisStack []Value
 	// pendingLabel carries a statement label into the next loop statement so
 	// labelled continue/break can match it.
@@ -165,6 +187,8 @@ func New(cfg Config) *Interp {
 		fuel:               fuel,
 		fuelCap:            fuel,
 		maxDepth:           maxDepth,
+		watchdog:           cfg.Watchdog,
+		wdNext:             fuel - WatchdogStride,
 	}
 	in.Global = in.NewObject(nil)
 	in.GlobalEnv = NewEnv(nil, true)
@@ -196,10 +220,20 @@ func (in *Interp) Rand() *rand.Rand {
 func (in *Interp) FuelUsed() int64 { return in.fuelCap - in.fuel }
 
 // charge consumes n steps and reports a timeout abort when exhausted.
+// When a watchdog is armed it is probed here — the one site every
+// evaluator path funnels fuel through — every WatchdogStride consumed
+// steps. (ChargeSeq fuses only pure step sequences, so its skipped probes
+// are made up by the next unit charge.)
 func (in *Interp) charge(n int64) error {
 	in.fuel -= n
 	if in.fuel <= 0 {
 		return &Abort{Kind: AbortTimeout, Msg: "step budget exhausted"}
+	}
+	if in.watchdog != nil && in.fuel <= in.wdNext {
+		in.wdNext = in.fuel - WatchdogStride
+		if in.watchdog() {
+			return &Abort{Kind: AbortDeadline, Msg: "wall-clock deadline exceeded"}
+		}
 	}
 	return nil
 }

@@ -7,8 +7,8 @@ import (
 	"testing"
 )
 
-// benchHistory mirrors BENCH_campaign.json — the machine-readable
-// campaign-throughput trajectory that each perf PR appends to (the
+// benchHistory mirrors the BENCH_*.json trajectory files — the
+// machine-readable throughput records each perf PR appends to (the
 // human-readable analysis lives in EXPERIMENTS.md).
 type benchHistory struct {
 	Benchmark string `json:"benchmark"`
@@ -21,23 +21,24 @@ type benchHistory struct {
 	} `json:"history"`
 }
 
-// TestBenchCampaignJSON keeps the perf-trajectory file parseable and
-// coherent: strictly increasing PR numbers, positive measurements, and a
-// trajectory that never ends below where it started — a PR that regresses
-// the headline benchmark must say so in EXPERIMENTS.md, not silently
-// corrupt the record.
-func TestBenchCampaignJSON(t *testing.T) {
-	raw, err := os.ReadFile("BENCH_campaign.json")
+// checkBenchJSON keeps one trajectory file parseable and coherent:
+// strictly increasing PR numbers, positive measurements, and a trajectory
+// that never ends below where it started — a PR that regresses its
+// benchmark must say so in EXPERIMENTS.md, not silently corrupt the
+// record.
+func checkBenchJSON(t *testing.T, path, benchmark string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("BENCH_campaign.json unreadable: %v", err)
+		t.Fatalf("%s unreadable: %v", path, err)
 	}
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	var h benchHistory
 	if err := dec.Decode(&h); err != nil {
-		t.Fatalf("BENCH_campaign.json schema drift: %v", err)
+		t.Fatalf("%s schema drift: %v", path, err)
 	}
-	if h.Benchmark != "BenchmarkCampaignThroughput" || h.Metric != "execs/sec" {
+	if h.Benchmark != benchmark || h.Metric != "execs/sec" {
 		t.Fatalf("unexpected benchmark/metric: %q / %q", h.Benchmark, h.Metric)
 	}
 	if len(h.History) == 0 {
@@ -58,4 +59,12 @@ func TestBenchCampaignJSON(t *testing.T) {
 	if last, first := h.History[len(h.History)-1], h.History[0]; last.ExecsPerSec < first.ExecsPerSec {
 		t.Errorf("trajectory ends below its start: %v < %v", last.ExecsPerSec, first.ExecsPerSec)
 	}
+}
+
+func TestBenchCampaignJSON(t *testing.T) {
+	checkBenchJSON(t, "BENCH_campaign.json", "BenchmarkCampaignThroughput")
+}
+
+func TestBenchServerJSON(t *testing.T) {
+	checkBenchJSON(t, "BENCH_server.json", "BenchmarkServerLoad")
 }

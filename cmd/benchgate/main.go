@@ -2,14 +2,18 @@
 // the BenchmarkCampaignThroughput campaign shape (via the same
 // campaign.ThroughputProbe the benchmark measures) and compares the
 // observed execs/sec against the newest entry of BENCH_campaign.json —
-// the machine-readable perf trajectory each perf PR appends to. CI fails
-// when throughput falls more than the threshold below the recorded value.
+// the machine-readable perf trajectory each perf PR appends to. It also
+// gates the multi-campaign server shape (server.LoadProbe, the
+// BenchmarkServerLoad workload) against BENCH_server.json. CI fails when
+// either throughput falls more than the threshold below its recorded
+// value.
 //
 // Usage:
 //
-//	benchgate                      # gate against BENCH_campaign.json at 15%
+//	benchgate                      # gate both shapes at 15%
 //	benchgate -threshold 0.35      # slack for noisy shared runners
 //	benchgate -reps 3              # best-of-3 damps scheduler noise
+//	benchgate -server-json ""      # skip the server gate
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"time"
 
 	"comfort/internal/campaign"
+	"comfort/internal/server"
 )
 
 // benchHistory mirrors BENCH_campaign.json (schema-checked by
@@ -37,49 +42,77 @@ type benchHistory struct {
 
 func main() {
 	var (
-		jsonPath  = flag.String("bench-json", "BENCH_campaign.json", "perf-trajectory file to gate against")
-		threshold = flag.Float64("threshold", 0.15, "maximum allowed fractional regression vs the newest entry")
-		reps      = flag.Int("reps", 3, "probe repetitions; the best rate is compared (damps scheduler noise)")
-		cases     = flag.Int("cases", 120, "campaign case budget (the recorded shape)")
-		workers   = flag.Int("workers", 8, "scheduler workers (the recorded shape)")
-		seed      = flag.Int64("seed", 2021, "campaign seed (the recorded shape)")
+		jsonPath   = flag.String("bench-json", "BENCH_campaign.json", "perf-trajectory file to gate against")
+		serverJSON = flag.String("server-json", "BENCH_server.json", "server-load trajectory file; empty = skip the server gate")
+		threshold  = flag.Float64("threshold", 0.15, "maximum allowed fractional regression vs the newest entry")
+		reps       = flag.Int("reps", 3, "probe repetitions; the best rate is compared (damps scheduler noise)")
+		cases      = flag.Int("cases", 120, "campaign case budget (the recorded shape)")
+		workers    = flag.Int("workers", 8, "scheduler workers (the recorded shape)")
+		seed       = flag.Int64("seed", 2021, "campaign seed (the recorded shape)")
+		loadJobs   = flag.Int("server-jobs", 3, "concurrent campaigns in the server-load shape")
 	)
 	flag.Parse()
 
-	raw, err := os.ReadFile(*jsonPath)
+	ok := gate(*jsonPath, "campaign", *threshold, *reps, func() (int, error) {
+		return campaign.ThroughputProbe(*cases, *workers, *seed), nil
+	})
+	if *serverJSON != "" {
+		ok = gate(*serverJSON, "server-load", *threshold, *reps, func() (int, error) {
+			dir, err := os.MkdirTemp("", "benchgate-server-*")
+			if err != nil {
+				return 0, err
+			}
+			defer os.RemoveAll(dir)
+			return server.LoadProbe(dir, *loadJobs, *cases, *workers, *seed)
+		}) && ok
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+// gate runs one probe shape best-of-reps and compares it against the
+// newest entry of its trajectory file; false means regression.
+func gate(jsonPath, label string, threshold float64, reps int, probe func() (int, error)) bool {
+	raw, err := os.ReadFile(jsonPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
 	var h benchHistory
 	if err := json.Unmarshal(raw, &h); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", *jsonPath, err)
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", jsonPath, err)
 		os.Exit(2)
 	}
 	if len(h.History) == 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s has no history entries\n", *jsonPath)
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no history entries\n", jsonPath)
 		os.Exit(2)
 	}
 	last := h.History[len(h.History)-1]
 
 	best := 0.0
-	for i := 0; i < *reps; i++ {
+	for i := 0; i < reps; i++ {
 		start := time.Now()
-		executed := campaign.ThroughputProbe(*cases, *workers, *seed)
+		executed, err := probe()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s probe: %v\n", label, err)
+			os.Exit(2)
+		}
 		rate := float64(executed) / time.Since(start).Seconds()
-		fmt.Printf("probe %d/%d: %d executions, %.1f execs/sec\n", i+1, *reps, executed, rate)
+		fmt.Printf("%s probe %d/%d: %d executions, %.1f execs/sec\n", label, i+1, reps, executed, rate)
 		if rate > best {
 			best = rate
 		}
 	}
 
-	floor := last.ExecsPerSec * (1 - *threshold)
-	fmt.Printf("benchgate: best %.1f execs/sec vs recorded PR %d at %.1f (floor %.1f, threshold %.0f%%)\n",
-		best, last.PR, last.ExecsPerSec, floor, *threshold*100)
+	floor := last.ExecsPerSec * (1 - threshold)
+	fmt.Printf("benchgate: %s best %.1f execs/sec vs recorded PR %d at %.1f (floor %.1f, threshold %.0f%%)\n",
+		label, best, last.PR, last.ExecsPerSec, floor, threshold*100)
 	if best < floor {
-		fmt.Fprintf(os.Stderr, "benchgate: REGRESSION — %.1f execs/sec is %.1f%% below the recorded %.1f\n",
-			best, 100*(1-best/last.ExecsPerSec), last.ExecsPerSec)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "benchgate: %s REGRESSION — %.1f execs/sec is %.1f%% below the recorded %.1f\n",
+			label, best, 100*(1-best/last.ExecsPerSec), last.ExecsPerSec)
+		return false
 	}
-	fmt.Println("benchgate: OK")
+	return true
 }

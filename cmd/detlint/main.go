@@ -31,6 +31,7 @@ var defaultTargets = []string{
 	"internal/dedup",
 	"internal/exec",
 	"internal/faultinject",
+	"internal/server",
 }
 
 func main() {

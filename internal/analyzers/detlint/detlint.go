@@ -10,7 +10,11 @@
 //     afterwards (collect keys, sort, then use) carry a `//detlint:order`
 //     comment on or directly above the range statement.
 //   - wall-clock: time.Now / time.Since make behaviour depend on when the
-//     run happened rather than the seed.
+//     run happened rather than the seed; the timer constructors time.Sleep,
+//     time.After, time.Tick, time.NewTimer and time.NewTicker smuggle the
+//     same dependency in through scheduling. Sites that legitimately own
+//     wall time (a server's retry-backoff timer, a watchdog) carry a
+//     `//detlint:wallclock` comment on or directly above the call.
 //   - global-rand: package-level math/rand functions (rand.Intn,
 //     rand.Float64, ...) read the process-global source, which is shared
 //     across goroutines and seeded once per process. Deterministic code
@@ -46,6 +50,19 @@ func (f Finding) String() string {
 // iteration order is laundered (e.g. keys collected and sorted) before use.
 const orderComment = "detlint:order"
 
+// wallclockComment is the escape-hatch marker for call sites that
+// legitimately own wall-clock time (injected-clock defaults, backoff
+// timers, watchdogs) in packages that are otherwise clock-free.
+const wallclockComment = "detlint:wallclock"
+
+// wallClockFuncs are the time-package functions that make behaviour
+// depend on when (or how fast) the run happened rather than on the seed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
 // Check runs all determinism rules over one type-checked package and
 // returns the findings in source order. info must have been populated with
 // Types and Uses during checking.
@@ -65,14 +82,18 @@ func Check(fset *token.FileSet, files []*ast.File, info *types.Info) []Finding {
 }
 
 func checkFile(fset *token.FileSet, file *ast.File, info *types.Info) []Finding {
-	// Lines carrying a detlint:order comment: a marker on the range
+	// Lines carrying an escape comment: a marker on the flagged
 	// statement's own line or the line directly above suppresses the
-	// range-over-map rule for that statement.
+	// corresponding rule for that statement.
 	orderLines := map[int]bool{}
+	wallclockLines := map[int]bool{}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			if strings.Contains(c.Text, orderComment) {
 				orderLines[fset.Position(c.Pos()).Line] = true
+			}
+			if strings.Contains(c.Text, wallclockComment) {
+				wallclockLines[fset.Position(c.Pos()).Line] = true
 			}
 		}
 	}
@@ -101,11 +122,15 @@ func checkFile(fset *token.FileSet, file *ast.File, info *types.Info) []Finding 
 		case *ast.CallExpr:
 			pkg, name := calleePkgFunc(v, info)
 			switch {
-			case pkg == "time" && (name == "Now" || name == "Since"):
+			case pkg == "time" && wallClockFuncs[name]:
+				line := fset.Position(v.Pos()).Line
+				if wallclockLines[line] || wallclockLines[line-1] {
+					return true
+				}
 				out = append(out, Finding{
 					Pos:  fset.Position(v.Pos()),
 					Rule: "wall-clock",
-					Msg:  fmt.Sprintf("time.%s makes behaviour depend on wall-clock time, not the seed", name),
+					Msg:  fmt.Sprintf("time.%s makes behaviour depend on wall-clock time, not the seed; inject the clock/timer, or mark a legitimate owner //detlint:wallclock", name),
 				})
 			case pkg == "math/rand" && name != "New" && name != "NewSource":
 				out = append(out, Finding{

@@ -113,6 +113,57 @@ func f() int64 {
 	}
 }
 
+func TestWallClockTimers(t *testing.T) {
+	// The timer constructors smuggle wall-clock dependence in through
+	// scheduling; each is flagged like time.Now.
+	fs := lintOne(t, `package p
+
+import "time"
+
+func f(d time.Duration) {
+	time.Sleep(d)
+	<-time.After(d)
+	t := time.NewTimer(d)
+	t.Stop()
+	k := time.NewTicker(d)
+	k.Stop()
+}
+`)
+	got := rules(fs)
+	if len(got) != 4 {
+		t.Fatalf("want 4 wall-clock findings, got %v", fs)
+	}
+	for _, r := range got {
+		if r != "wall-clock" {
+			t.Fatalf("want all wall-clock, got %v", fs)
+		}
+	}
+}
+
+func TestWallClockEscape(t *testing.T) {
+	// A //detlint:wallclock marker on the call's line or the line above
+	// declares a legitimate wall-clock owner (backoff timers, watchdogs).
+	fs := lintOne(t, `package p
+
+import "time"
+
+func f(d time.Duration) {
+	t := time.NewTimer(d) //detlint:wallclock — backoff legitimately waits wall time
+	t.Stop()
+	//detlint:wallclock — watchdog
+	time.Sleep(d)
+	time.Sleep(d) // unmarked: still a finding
+}
+`)
+	got := rules(fs)
+	if len(got) != 1 || got[0] != "wall-clock" {
+		t.Fatalf("want exactly the unmarked time.Sleep flagged, got %v", fs)
+	}
+	if fs[0].Pos.Line != 10 {
+		t.Fatalf("finding at line %d, want 10", fs[0].Pos.Line)
+	}
+}
+
 func TestGlobalRand(t *testing.T) {
 	fs := lintOne(t, `package p
 
@@ -192,7 +243,8 @@ func TestRepositoryIsClean(t *testing.T) {
 	l := NewLinter(root, modpath)
 	for _, pkg := range []string{
 		"internal/fuzzers", "internal/campaign", "internal/reduce",
-		"internal/dedup", "internal/exec",
+		"internal/dedup", "internal/exec", "internal/faultinject",
+		"internal/server",
 	} {
 		fs, err := l.Lint(modpath + "/" + pkg)
 		if err != nil {

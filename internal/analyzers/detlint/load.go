@@ -23,7 +23,18 @@ type Linter struct {
 	root    string // module root directory
 	modpath string // module path from go.mod
 	std     types.ImporterFrom
-	pkgs    map[string]*types.Package
+	pkgs    map[string]*loaded
+}
+
+// loaded memoises one type-checked package in full. Caching only the
+// *types.Package and re-checking on demand would mint a second package
+// instance for the same import path — and two instances of the same type
+// never unify, so a target linted after one of its dependencies would
+// fail to typecheck against the stale instance.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
 }
 
 // NewLinter builds a Linter for the module rooted at root with the given
@@ -35,7 +46,7 @@ func NewLinter(root, modpath string) *Linter {
 		root:    root,
 		modpath: modpath,
 		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:    map[string]*types.Package{},
+		pkgs:    map[string]*loaded{},
 	}
 }
 
@@ -74,7 +85,7 @@ func (l *Linter) Import(path string) (*types.Package, error) {
 // delegated to the standard-library source importer.
 func (l *Linter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if p, ok := l.pkgs[path]; ok {
-		return p, nil
+		return p.pkg, nil
 	}
 	if l.internal(path) {
 		pkg, _, _, err := l.load(path)
@@ -94,8 +105,12 @@ func (l *Linter) Dir(path string) string {
 }
 
 // load parses and type-checks one module-internal package (non-test files
-// only, in file-name order) and memoises the result.
+// only, in file-name order) and memoises the result; a path is checked at
+// most once per Linter so every client sees one package identity.
 func (l *Linter) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.pkg, p.files, p.info, nil
+	}
 	dir := l.Dir(path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -128,8 +143,8 @@ func (l *Linter) load(path string) (*types.Package, []*ast.File, *types.Info, er
 	}
 	conf := types.Config{Importer: l}
 	pkg, err := conf.Check(path, l.fset, files, info)
-	if pkg != nil {
-		l.pkgs[path] = pkg
+	if pkg != nil && err == nil {
+		l.pkgs[path] = &loaded{pkg: pkg, files: files, info: info}
 	}
 	return pkg, files, info, err
 }

@@ -107,6 +107,12 @@ type Config struct {
 	// production): injected evaluator panics, injected hangs, and
 	// kill-after-checkpoint points for the crash-recovery oracle tests.
 	Faults *faultinject.Plan
+	// Gate, when non-nil, is a process-wide execution-slot pool shared by
+	// several concurrent campaigns (the campaign server's shared worker
+	// pool). Like Workers and GenShards it shapes scheduling only — the
+	// findings are byte-identical with and without a gate — so it stays
+	// outside the checkpoint fingerprint.
+	Gate exec.Gate
 	// resume carries the validated checkpoint a Resume call continues
 	// from; nil for fresh runs.
 	resume *State
@@ -354,6 +360,7 @@ func run(cfg Config) (*Result, error) {
 		CaseDeadline:   cfg.CaseDeadline,
 		Clock:          cfg.Clock,
 		Faults:         cfg.Faults,
+		Gate:           cfg.Gate,
 	})
 	outcomes := sched.Run(ctx, caseCh)
 

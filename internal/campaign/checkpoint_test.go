@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -288,6 +289,58 @@ func TestLoadStateRejectsBadCheckpoints(t *testing.T) {
 	st.CasesDone = 999
 	if _, err := Resume(over, st); err == nil {
 		t.Error("checkpoint with CasesDone past the budget resumed")
+	}
+}
+
+// TestFingerprintMismatchIsActionable: a resume under a diverging config
+// names the diverging fields (and only those), both through
+// DiffFingerprints and through the Resume error message itself.
+func TestFingerprintMismatchIsActionable(t *testing.T) {
+	diffs := DiffFingerprints(
+		"comfort-campaign/v1 fuzzer=COMFORT seed=2 cases=40 dedup=true faults=none",
+		"comfort-campaign/v1 fuzzer=DIE seed=3 cases=40 dedup=true faults=seed=7,panic=5")
+	want := []string{
+		"fuzzer: checkpoint has COMFORT, config has DIE",
+		"seed: checkpoint has 2, config has 3",
+		"faults: checkpoint has none, config has seed=7,panic=5",
+	}
+	if len(diffs) != len(want) {
+		t.Fatalf("got %d diffs %v, want %d", len(diffs), diffs, len(want))
+	}
+	for i := range want {
+		if diffs[i] != want[i] {
+			t.Errorf("diff %d = %q, want %q", i, diffs[i], want[i])
+		}
+	}
+	if d := DiffFingerprints("a b=1", "a b=1"); d != nil {
+		t.Errorf("identical fingerprints diff to %v", d)
+	}
+
+	// End to end: the Resume error names the diverging field.
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	cfg := Config{
+		Fuzzer: fuzzers.NewComfort(), Testbeds: figure8Testbeds(),
+		Cases: 20, Seed: 2, Workers: 2,
+		Checkpoint: path, CheckpointEvery: 5,
+		Faults: faultinject.New(faultinject.Config{KillAtCheckpoints: []int{1}}),
+	}
+	Run(cfg)
+	st, err := LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Seed = 3
+	bad.Faults = nil
+	_, err = Resume(bad, st)
+	if err == nil {
+		t.Fatal("mismatched resume succeeded")
+	}
+	if !strings.Contains(err.Error(), "seed: checkpoint has 2, config has 3") {
+		t.Errorf("mismatch error does not name the diverging seed:\n%v", err)
+	}
+	if strings.Contains(err.Error(), "fuzzer:") {
+		t.Errorf("mismatch error names a field that did not diverge:\n%v", err)
 	}
 }
 

@@ -200,6 +200,54 @@ func LoadState(path string) (*State, error) {
 	return &st, nil
 }
 
+// DiffFingerprints compares two campaign fingerprints field by field and
+// reports each diverging parameter as "name: checkpoint has X, config has
+// Y" — the actionable form of a mismatch, so an operator learns *which*
+// knob differs (seed, fuzzer, testbed set, ...) instead of eyeballing two
+// opaque strings. Fingerprints are space-separated key=value tokens after
+// a version header (see fingerprint above); an identical pair diffs to
+// nil.
+func DiffFingerprints(checkpoint, config string) []string {
+	parse := func(fp string) (map[string]string, []string) {
+		m := map[string]string{}
+		var order []string
+		for i, tok := range strings.Fields(fp) {
+			key, val, ok := strings.Cut(tok, "=")
+			if i == 0 && !ok {
+				key, val = "version", tok
+			} else if !ok {
+				continue
+			}
+			if _, seen := m[key]; !seen {
+				order = append(order, key)
+			}
+			m[key] = val
+		}
+		return m, order
+	}
+	ck, order := parse(checkpoint)
+	cf, cfOrder := parse(config)
+	for _, key := range cfOrder {
+		if _, ok := ck[key]; !ok {
+			order = append(order, key)
+		}
+	}
+	var out []string
+	for _, key := range order {
+		cv, inCk := ck[key]
+		gv, inCf := cf[key]
+		switch {
+		case !inCf:
+			out = append(out, fmt.Sprintf("%s: checkpoint has %s, config has no such field", key, cv))
+		case !inCk:
+			out = append(out, fmt.Sprintf("%s: checkpoint has no such field, config has %s", key, gv))
+		case cv != gv:
+			out = append(out, fmt.Sprintf("%s: checkpoint has %s, config has %s", key, cv, gv))
+		}
+	}
+	return out
+}
+
 // Resume continues a campaign from a checkpoint. The config must describe
 // the same campaign the checkpoint came from (fingerprint equality over
 // every finding-relevant parameter); workers, shard count, checkpoint
@@ -208,8 +256,14 @@ func LoadState(path string) (*State, error) {
 func Resume(cfg Config, st *State) (*Result, error) {
 	cfg = withDefaults(cfg)
 	if fp := fingerprint(cfg); st.Fingerprint != fp {
-		return nil, fmt.Errorf("checkpoint belongs to a different campaign:\n  checkpoint: %s\n  config:     %s",
-			st.Fingerprint, fp)
+		diffs := DiffFingerprints(st.Fingerprint, fp)
+		if len(diffs) == 0 {
+			// Same fields, different rendering (shouldn't happen; belt and
+			// braces for hand-edited checkpoints).
+			diffs = []string{fmt.Sprintf("checkpoint %q vs config %q", st.Fingerprint, fp)}
+		}
+		return nil, fmt.Errorf("checkpoint belongs to a different campaign; diverging fields:\n  %s",
+			strings.Join(diffs, "\n  "))
 	}
 	if st.CasesDone > cfg.Cases {
 		return nil, fmt.Errorf("checkpoint has %d cases accounted, config budget is %d", st.CasesDone, cfg.Cases)

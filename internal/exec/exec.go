@@ -98,6 +98,12 @@ type Config struct {
 	// the faulted execution deviates from the healthy majority and
 	// surfaces as a finding.
 	Faults *faultinject.Plan
+	// Gate, when non-nil, is a shared execution-slot pool acquired around
+	// every physical run — several schedulers in one process (the campaign
+	// server's shared worker pool) bound their combined parallelism with
+	// one Gate. Gating changes scheduling only, never outcomes: see
+	// gate.go.
+	Gate Gate
 }
 
 // Scheduler executes cases over prepared testbeds. One Scheduler is one
@@ -276,10 +282,11 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 		go func() {
 			defer wg.Done()
 			for t := range tasks {
-				if ctx.Err() != nil {
+				if !s.acquireSlot(ctx) {
 					atomic.StoreInt32(&t.cs.cancelled, 1)
 				} else {
 					r := s.runOne(t.class, t.cs.c)
+					s.releaseSlot()
 					for _, i := range s.classes[t.class] {
 						t.cs.entries[i] = difftest.ExecEntry{
 							Testbed: s.prepared[i].Testbed,
@@ -344,6 +351,25 @@ func (s *Scheduler) Run(ctx context.Context, in <-chan Case) <-chan Outcome {
 		}
 	}()
 	return out
+}
+
+// acquireSlot gates one physical run: a cancelled context reports false
+// (the case is marked cancelled, preserving the contiguous-prefix
+// contract exactly as the pre-gate cancellation check did).
+func (s *Scheduler) acquireSlot(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if s.cfg.Gate == nil {
+		return true
+	}
+	return s.cfg.Gate.Acquire(ctx) == nil
+}
+
+func (s *Scheduler) releaseSlot() {
+	if s.cfg.Gate != nil {
+		s.cfg.Gate.Release()
+	}
 }
 
 // runOne executes one (case, behaviour class) cell through the shared

@@ -1,0 +1,49 @@
+// A Gate bounds physical executions across schedulers. One Scheduler
+// already caps its own concurrency with Config.Workers; when several
+// campaigns run side by side in one process (internal/server's shared
+// worker pool), each campaign's workers additionally acquire a slot from a
+// process-wide Gate around every physical run, so the machine's execution
+// parallelism stays bounded no matter how many campaigns are admitted.
+// The gate bounds *concurrency*, never *order*: the case stream, the
+// outcome order and all accounting are unchanged by gating, so findings
+// remain byte-identical with and without a gate (the determinism contract
+// treats the gate exactly like the worker count).
+package exec
+
+import "context"
+
+// Gate is a shared execution-slot pool. Acquire blocks until a slot is
+// free or ctx is cancelled; every successful Acquire must be paired with
+// exactly one Release. Implementations must be safe for concurrent use by
+// many schedulers' workers.
+type Gate interface {
+	Acquire(ctx context.Context) error
+	Release()
+}
+
+// chanGate is the channel-semaphore Gate.
+type chanGate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a Gate with n concurrently-held slots; n <= 0 is
+// clamped to 1.
+func NewGate(n int) Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &chanGate{slots: make(chan struct{}, n)}
+}
+
+func (g *chanGate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *chanGate) Release() {
+	<-g.slots
+}

@@ -1,0 +1,40 @@
+// Retry backoff. The schedule is a pure function of (job sequence, retry
+// ordinal): exponential growth capped at a maximum, plus deterministic
+// splitmix64-derived jitter so a burst of jobs crashing together does not
+// retry in lockstep. No wall clock and no global RNG — the supervisor's
+// injected Sleep decides how the delays are actually waited out, which is
+// what makes the schedule assertable in tests.
+package server
+
+import "time"
+
+// retryDelay computes the wait before retry number attempt (1-based) of
+// the job with sequence number seq.
+func retryDelay(base, max time.Duration, seq, attempt int) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	if max <= 0 {
+		max = time.Minute
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter in [0, base): enough to de-synchronise, small enough to keep
+	// the exponential shape readable in logs and tests.
+	j := time.Duration(mix64(uint64(seq), uint64(attempt)) % uint64(base))
+	return d + j
+}
+
+// mix64 is one splitmix64 round over (a, b) — the same mixing discipline
+// as faultinject and the generator's batch seeds.
+func mix64(a, b uint64) uint64 {
+	z := a + 0x9e3779b97f4a7c15*(b+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,138 @@
+// The HTTP/JSON surface of comfortd. Thin by design: every endpoint
+// translates between HTTP and the supervisor, which owns all state. The
+// stream endpoint speaks server-sent events off a hub subscription; its
+// bounded drop-oldest buffer is what lets a slow or dead client fall
+// behind without ever stalling the campaign feeding it.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler builds the comfortd HTTP API over a supervisor:
+//
+//	POST /jobs              submit a Spec, returns the created Status
+//	GET  /jobs              list all job statuses in submission order
+//	GET  /jobs/{id}         one job's status (+ accounting once done)
+//	POST /jobs/{id}/cancel  cancel a non-terminal job
+//	GET  /jobs/{id}/stream  server-sent events of progress samples
+//	GET  /healthz           liveness + queue counters
+func Handler(s *Supervisor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var sp Spec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&sp); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed spec: %v", err))
+			return
+		}
+		st, err := s.Submit(sp)
+		if err != nil {
+			var qf *QueueFullError
+			switch {
+			case errors.As(err, &qf):
+				w.Header().Set("Retry-After", strconv.Itoa(int(qf.RetryAfter.Seconds())))
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			case errors.Is(err, ErrDraining):
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			default:
+				writeError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		writeJSONResponse(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResponse(w, http.StatusOK, map[string]any{"jobs": s.List()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		st, ok := s.JobStatus(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound.Error())
+			return
+		}
+		resp := map[string]any{"status": st}
+		if st.State == StateDone {
+			if data := s.Accounting(id); data != nil {
+				resp["accounting"] = json.RawMessage(data)
+			}
+		}
+		writeJSONResponse(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		switch err := s.CancelJob(id); {
+		case err == nil:
+			st, _ := s.JobStatus(id)
+			writeJSONResponse(w, http.StatusOK, st)
+		case errors.Is(err, ErrNotFound):
+			writeError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrTerminal):
+			writeError(w, http.StatusConflict, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	})
+	mux.HandleFunc("GET /jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		sub, ok := s.Subscribe(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, ErrNotFound.Error())
+			return
+		}
+		defer s.Unsubscribe(id, sub)
+		fl, canFlush := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+		if canFlush {
+			fl.Flush()
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case sample, open := <-sub.ch:
+				if !open {
+					return // terminal state reached: stream complete
+				}
+				data, err := json.Marshal(sample)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+					return
+				}
+				if canFlush {
+					fl.Flush()
+				}
+			}
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		counts := map[string]int{}
+		for _, st := range s.List() {
+			counts[st.State]++
+		}
+		writeJSONResponse(w, http.StatusOK, map[string]any{"ok": true, "jobs": counts})
+	})
+	return mux
+}
+
+func writeJSONResponse(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSONResponse(w, code, map[string]any{"error": msg})
+}

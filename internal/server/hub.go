@@ -1,0 +1,126 @@
+// Per-job progress broadcasting. Each job owns a hub; the campaign's
+// Progress callback publishes samples into it and HTTP stream handlers
+// subscribe. The backpressure contract: publish NEVER blocks, no matter
+// how slow or dead a subscriber is. Every subscriber owns a bounded
+// buffer; when it is full the oldest buffered sample is dropped to make
+// room for the newest (progress is a gauge, not a log — the latest sample
+// is the valuable one). A campaign can therefore outrun, and outlive,
+// every client watching it.
+package server
+
+import (
+	"sync"
+
+	"comfort/internal/campaign"
+)
+
+// Sample is one streamed progress event: the job, its state at the time,
+// and the campaign's progress counters.
+type Sample struct {
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	campaign.Progress
+}
+
+// subBuffer is each subscriber's buffered-sample bound.
+const subBuffer = 16
+
+type subscriber struct {
+	ch chan Sample
+}
+
+type hub struct {
+	mu      sync.Mutex
+	subs    map[*subscriber]bool
+	last    Sample
+	hasLast bool
+	closed  bool
+	// dropped counts samples discarded across all subscribers (test and
+	// diagnostics visibility for the drop-oldest policy).
+	dropped int64
+}
+
+func newHub() *hub {
+	return &hub{subs: map[*subscriber]bool{}}
+}
+
+// subscribe registers a new subscriber; the most recent sample (if any)
+// is delivered immediately so late subscribers see the current position
+// without waiting for the next cadence tick. A closed hub returns a
+// subscriber whose channel is already closed.
+func (h *hub) subscribe() *subscriber {
+	sub := &subscriber{ch: make(chan Sample, subBuffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.hasLast {
+		sub.ch <- h.last
+	}
+	if h.closed {
+		close(sub.ch)
+		return sub
+	}
+	h.subs[sub] = true
+	return sub
+}
+
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs[sub] {
+		delete(h.subs, sub)
+		close(sub.ch)
+	}
+}
+
+// publish delivers a sample to every subscriber without ever blocking:
+// a full subscriber buffer sheds its oldest sample first.
+func (h *hub) publish(s Sample) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.last, h.hasLast = s, true
+	for sub := range h.subs { //detlint:order — independent per-subscriber delivery, order-free
+		select {
+		case sub.ch <- s:
+			continue
+		default:
+		}
+		// Buffer full: drop the oldest, then retry once. The subscriber may
+		// have drained concurrently, so both selects need defaults.
+		select {
+		case <-sub.ch:
+			h.dropped++
+		default:
+		}
+		select {
+		case sub.ch <- s:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// close ends the stream: all subscriber channels are closed (the HTTP
+// handlers see EOF after draining buffered samples) and later publishes
+// are ignored.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs { //detlint:order — closing every channel, order-free
+		close(sub.ch)
+	}
+	h.subs = map[*subscriber]bool{}
+}
+
+// droppedCount reports the total samples shed by the drop-oldest policy.
+func (h *hub) droppedCount() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}

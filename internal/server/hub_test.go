@@ -1,0 +1,127 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"comfort/internal/campaign"
+)
+
+// TestHubSlowSubscriberNeverBlocksPublish is the backpressure contract: a
+// subscriber that never reads cannot stall the publisher. Publishing far
+// more samples than any buffer holds must complete promptly, shedding the
+// oldest samples while keeping the newest reachable.
+func TestHubSlowSubscriberNeverBlocksPublish(t *testing.T) {
+	h := newHub()
+	dead := h.subscribe() // never read from
+	const n = 10000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= n; i++ {
+			h.publish(Sample{JobID: "job-000001", State: StateRunning,
+				Progress: campaign.Progress{Done: i, Total: n}})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("publish blocked on a dead subscriber")
+	}
+	if got := h.droppedCount(); got < n-subBuffer {
+		t.Fatalf("dropped %d samples, want >= %d (drop-oldest under overflow)", got, n-subBuffer)
+	}
+	// The buffer holds the most recent window, newest last.
+	var last Sample
+	drained := 0
+	for {
+		select {
+		case s := <-dead.ch:
+			last, drained = s, drained+1
+			continue
+		default:
+		}
+		break
+	}
+	if drained == 0 || drained > subBuffer {
+		t.Fatalf("dead subscriber buffered %d samples, want 1..%d", drained, subBuffer)
+	}
+	if last.Done != n {
+		t.Fatalf("newest buffered sample is Done=%d, want %d (oldest must be shed first)", last.Done, n)
+	}
+}
+
+// TestHubLateSubscriberSeesLastSample: subscribing after samples have
+// flowed delivers the current position immediately.
+func TestHubLateSubscriberSeesLastSample(t *testing.T) {
+	h := newHub()
+	h.publish(Sample{JobID: "j", State: StateRunning, Progress: campaign.Progress{Done: 42, Total: 100}})
+	sub := h.subscribe()
+	select {
+	case s := <-sub.ch:
+		if s.Done != 42 {
+			t.Fatalf("late subscriber got Done=%d, want 42", s.Done)
+		}
+	default:
+		t.Fatal("late subscriber received nothing")
+	}
+	h.close()
+	if _, open := <-sub.ch; open {
+		t.Fatal("subscriber channel still open after hub close")
+	}
+	// Subscribing to a closed hub yields the last sample, then EOF.
+	after := h.subscribe()
+	s, open := <-after.ch
+	if !open || s.Done != 42 {
+		t.Fatalf("post-close subscriber got (%+v, open=%v), want last sample then close", s, open)
+	}
+	if _, open := <-after.ch; open {
+		t.Fatal("post-close subscriber channel not closed")
+	}
+}
+
+// TestHubPublishAfterCloseIsIgnored guards the shutdown race: campaign
+// progress callbacks may still fire while a job is being finalised.
+func TestHubPublishAfterCloseIsIgnored(t *testing.T) {
+	h := newHub()
+	h.close()
+	h.publish(Sample{JobID: "j", State: StateRunning}) // must not panic
+	h.close()                                          // idempotent
+}
+
+// TestSlowSubscriberDoesNotStallCampaign is the end-to-end version: a job
+// with an attached never-reading stream subscriber must still run to
+// completion at full speed.
+func TestSlowSubscriberDoesNotStallCampaign(t *testing.T) {
+	opt := testOptions(t)
+	s, err := NewSupervisor(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+	st, err := s.Submit(Spec{Fuzzer: "COMFORT", Cases: 40, Seed: 2, TestbedLimit: 4,
+		CheckpointEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, ok := s.Subscribe(st.ID)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	_ = sub // deliberately never read
+	waitIdle(t, s)
+	final, _ := s.JobStatus(st.ID)
+	if final.State != StateDone {
+		t.Fatalf("state %s with a dead subscriber attached, want done", final.State)
+	}
+	// The dead subscriber's buffer ends with the terminal sample still
+	// reachable after drop-oldest shedding.
+	var last Sample
+	got := false
+	for sample := range sub.ch { // closed by the terminal transition
+		last, got = sample, true
+	}
+	if !got || last.State != StateDone {
+		t.Fatalf("dead subscriber's newest sample is %+v, want terminal done sample", last)
+	}
+}

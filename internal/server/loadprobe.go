@@ -1,0 +1,51 @@
+// The multi-campaign load probe: the fixed workload shape behind the
+// repo-root BenchmarkServerLoad and the cmd/benchgate server gate, shared
+// so the benchmark and the CI regression gate measure the same thing.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// LoadProbe runs `jobs` concurrent campaigns of `cases` cases each
+// (seeds seed, seed+1, ...) through a supervisor over a shared pool of
+// `pool` execution slots, in the data directory dir. It returns the total
+// number of testbed executions accounted across all jobs; the caller
+// divides by its own wall-clock measurement to get the aggregate rate.
+func LoadProbe(dir string, jobs, cases, pool int, seed int64) (int, error) {
+	store, err := OpenStore(dir)
+	if err != nil {
+		return 0, err
+	}
+	s, err := NewSupervisor(Options{
+		Store:       store,
+		PoolWorkers: pool,
+		MaxActive:   jobs,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer s.Shutdown()
+	for i := 0; i < jobs; i++ {
+		if _, err := s.Submit(Spec{Fuzzer: "COMFORT", Cases: cases, Seed: seed + int64(i)}); err != nil {
+			return 0, fmt.Errorf("submit job %d: %w", i, err)
+		}
+	}
+	for !s.Idle() {
+		time.Sleep(time.Millisecond) //detlint:wallclock — completion poll in a throughput probe
+	}
+	total := 0
+	for _, st := range s.List() {
+		if st.State != StateDone {
+			return 0, fmt.Errorf("%s ended %s (%q), want done", st.ID, st.State, st.LastError)
+		}
+		var a Accounting
+		if err := json.Unmarshal(s.Accounting(st.ID), &a); err != nil {
+			return 0, fmt.Errorf("%s: accounting unreadable: %w", st.ID, err)
+		}
+		total += a.Executed
+	}
+	return total, nil
+}

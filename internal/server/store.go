@@ -1,0 +1,187 @@
+// The persistent job store. Layout under the data root:
+//
+//	jobs/<id>/spec.json        the submitted Spec, written once
+//	jobs/<id>/status.json      the Status, rewritten on every transition
+//	jobs/<id>/checkpoint.json  the campaign.State (written by the campaign)
+//	jobs/<id>/result.json      the final Accounting, written on completion
+//
+// Every write is atomic (temp file + rename in the target directory), so
+// a SIGKILL at any instant leaves each file either absent, old or new —
+// never torn — and the supervisor reconstructs the entire queue from this
+// directory alone on startup.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Store is the on-disk job queue.
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) a data directory.
+func OpenStore(root string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(root, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("open store: %w", err)
+	}
+	return &Store{root: root}, nil
+}
+
+// Root returns the data directory path.
+func (s *Store) Root() string { return s.root }
+
+func (s *Store) jobDir(id string) string { return filepath.Join(s.root, "jobs", id) }
+
+// CheckpointPath is where a job's campaign persists its checkpoint.
+func (s *Store) CheckpointPath(id string) string {
+	return filepath.Join(s.jobDir(id), "checkpoint.json")
+}
+
+// ResultPath is where a job's final accounting lands.
+func (s *Store) ResultPath(id string) string {
+	return filepath.Join(s.jobDir(id), "result.json")
+}
+
+// jobID renders a sequence number as a job ID; IDs sort in submission
+// order both lexically and numerically.
+func jobID(seq int) string { return fmt.Sprintf("job-%06d", seq) }
+
+// seqOf parses a job ID back to its sequence number.
+func seqOf(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// writeAtomic stages data in a temp file and renames it over path — the
+// same crash-safe discipline as campaign.WriteState.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".stage-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(path, append(data, '\n'))
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// CreateJob persists a new job: its directory, spec and initial status.
+func (s *Store) CreateJob(st Status, sp Spec) error {
+	dir := s.jobDir(st.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(dir, "spec.json"), sp); err != nil {
+		return err
+	}
+	return s.WriteStatus(st)
+}
+
+// WriteStatus atomically rewrites a job's status file.
+func (s *Store) WriteStatus(st Status) error {
+	return writeJSON(filepath.Join(s.jobDir(st.ID), "status.json"), st)
+}
+
+// WriteResult atomically writes a job's final accounting bytes.
+func (s *Store) WriteResult(id string, data []byte) error {
+	return writeAtomic(s.ResultPath(id), data)
+}
+
+// ReadResult returns a job's final accounting bytes, or nil when the job
+// has not completed.
+func (s *Store) ReadResult(id string) []byte {
+	data, err := os.ReadFile(s.ResultPath(id))
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// JobRecord is one reconstructed job.
+type JobRecord struct {
+	Spec   Spec
+	Status Status
+}
+
+// LoadJobs reconstructs every job from disk in submission (sequence)
+// order and reports the highest sequence number seen. Directories with a
+// torn or missing spec are skipped and reported as warnings rather than
+// failing the whole startup — one corrupt job must not hold the queue
+// hostage.
+func (s *Store) LoadJobs() (jobs []JobRecord, maxSeq int, warnings []string, err error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "jobs"))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		id := e.Name()
+		seq, ok := seqOf(id)
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("%s: not a job directory, skipped", id))
+			continue
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		var rec JobRecord
+		if err := readJSON(filepath.Join(s.jobDir(id), "spec.json"), &rec.Spec); err != nil {
+			warnings = append(warnings, fmt.Sprintf("%s: unreadable spec (%v), skipped", id, err))
+			continue
+		}
+		if err := readJSON(filepath.Join(s.jobDir(id), "status.json"), &rec.Status); err != nil {
+			// A kill between spec and first status write: reconstruct the
+			// initial status from the spec.
+			rec.Status = Status{State: StateQueued, CasesTotal: rec.Spec.Cases}
+		}
+		rec.Status.ID = id
+		rec.Status.Seq = seq
+		rec.Status.CasesTotal = rec.Spec.Cases
+		jobs = append(jobs, rec)
+	}
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Status.Seq < jobs[j].Status.Seq })
+	return jobs, maxSeq, warnings, nil
+}

@@ -1,0 +1,29 @@
+// Benchmark for the campaign server's multi-campaign throughput — the
+// scheduling cost of running several concurrent jobs over one shared
+// execution pool, measured next to the single-campaign headline
+// (BenchmarkCampaignThroughput). BENCH_server.json records the trajectory
+// and cmd/benchgate gates it in CI via the same server.LoadProbe shape.
+package comfort
+
+import (
+	"testing"
+
+	"comfort/internal/server"
+)
+
+// BenchmarkServerLoad runs three concurrent 120-case campaigns through a
+// supervisor sharing one 8-slot execution gate — the headline campaign
+// shape tripled, on the same seed family. The reported rate is aggregate
+// testbed executions per second across all jobs.
+func BenchmarkServerLoad(b *testing.B) {
+	var executed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := server.LoadProbe(b.TempDir(), 3, 120, 8, 2021)
+		if err != nil {
+			b.Fatal(err)
+		}
+		executed += int64(n)
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "execs/sec")
+}

@@ -9,6 +9,12 @@
 //	comfortd -data /var/lib/comfortd             # serve on :8334
 //	comfortd -addr :9000 -pool 8 -max-active 4   # wider shared pool
 //
+// Several instances may share one -data directory (distinct
+// -instance-id each): jobs are claimed through per-job lease files with
+// fencing epochs, a crashed instance's jobs are taken over by peers
+// after -lease-ttl, and a gracefully stopped instance hands its jobs
+// over immediately (see internal/server/lease.go and DESIGN.md §9).
+//
 // API (see internal/server.Handler):
 //
 //	POST /jobs              submit a campaign spec
@@ -54,12 +60,23 @@ func main() {
 		backoffMin = flag.Duration("backoff-base", 0, "first retry delay; 0 = default (1s)")
 		backoffMax = flag.Duration("backoff-max", 0, "retry delay cap; 0 = default (1m)")
 		progEach   = flag.Int("progress-every", 0, "cases between streamed progress samples; 0 = default (64)")
+		instanceID = flag.String("instance-id", "", "stable identity for job leases; instances sharing a -data directory must differ, a restart should reuse its old ID; default: hostname")
+		leaseTTL   = flag.Duration("lease-ttl", 0, "job lease lifetime — a dead instance's jobs become claimable by peers after this; 0 = default (15s)")
+		heartbeat  = flag.Duration("heartbeat", 0, "lease renewal and peer-scan interval; 0 = default (lease-ttl/3)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "comfortd: unexpected arguments %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(1)
+	}
+
+	if *instanceID == "" {
+		if host, herr := os.Hostname(); herr == nil && host != "" {
+			*instanceID = host
+		} else {
+			*instanceID = "comfortd"
+		}
 	}
 
 	store, err := server.OpenStore(*data)
@@ -69,6 +86,9 @@ func main() {
 	}
 	sup, err := server.NewSupervisor(server.Options{
 		Store:         store,
+		InstanceID:    *instanceID,
+		LeaseTTL:      *leaseTTL,
+		Heartbeat:     *heartbeat,
 		PoolWorkers:   *pool,
 		MaxActive:     *maxActive,
 		QueueMax:      *queueMax,
@@ -95,8 +115,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: server.Handler(sup)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "comfortd: serving on %s, data in %s (%d jobs pending)\n",
-		*addr, *data, recovered)
+	fmt.Fprintf(os.Stderr, "comfortd: instance %q serving on %s, data in %s (%d jobs pending)\n",
+		*instanceID, *addr, *data, recovered)
 
 	// First SIGINT/SIGTERM drains: stop accepting HTTP, cancel running
 	// campaigns (each flushes a final checkpoint), persist every status,

@@ -91,6 +91,16 @@ type Config struct {
 	// 256. Writes happen on the sink goroutine between cases, never
 	// concurrently with accounting.
 	CheckpointEvery int
+	// WriteCheckpoint, when non-nil, replaces the default atomic
+	// WriteState(Checkpoint, st) call for every checkpoint write. It is
+	// the seam the campaign server uses to fence checkpoint writes with
+	// its job lease: a server instance that lost its claim must refuse
+	// the write instead of overwriting a peer's checkpoint. The function
+	// owns durability; a returned error counts as a checkpoint failure
+	// exactly like a failed WriteState. Like Checkpoint itself it shapes
+	// where state lands, never what the campaign finds, so it stays
+	// outside the checkpoint fingerprint.
+	WriteCheckpoint func(*State) error
 	// CheckpointInterval additionally checkpoints when this much wall time
 	// has passed since the last write (requires Clock; 0 disables the
 	// time axis).
@@ -371,7 +381,7 @@ func run(cfg Config) (*Result, error) {
 		progressEvery = 1
 	}
 	fp := fingerprint(cfg)
-	ckpt := cfg.Checkpoint != ""
+	ckpt := cfg.Checkpoint != "" || cfg.WriteCheckpoint != nil
 	nextBatch, nextOff := start.batch, start.off
 	sinceCkpt := 0
 	var ckptWrites, ckptFails int64 // this process's writes
@@ -425,7 +435,14 @@ func run(cfg Config) (*Result, error) {
 		return st
 	}
 	writeCkpt := func(done bool) {
-		if err := WriteState(cfg.Checkpoint, snapshot(done)); err != nil {
+		st := snapshot(done)
+		var err error
+		if cfg.WriteCheckpoint != nil {
+			err = cfg.WriteCheckpoint(st)
+		} else {
+			err = WriteState(cfg.Checkpoint, st)
+		}
+		if err != nil {
 			ckptFails++
 		} else {
 			ckptWrites++

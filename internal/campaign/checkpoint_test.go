@@ -444,3 +444,73 @@ func TestCancellationWithReductionAndAnalysis(t *testing.T) {
 	})
 	requireSameAccounting(t, "cancel+reduce+analyze", fresh, partial)
 }
+
+// TestWriteCheckpointHook pins the Config.WriteCheckpoint seam the
+// campaign server fences with its job lease: when set, the hook replaces
+// the default WriteState call for every checkpoint write, the default
+// path receives no bytes, the states it persists resume byte-identically
+// — and a hook error counts as a checkpoint failure without changing
+// what the campaign finds.
+func TestWriteCheckpointHook(t *testing.T) {
+	const cases, every = 40, 8
+	base := func() Config {
+		return Config{
+			Fuzzer: fuzzers.NewComfort(), Testbeds: figure8Testbeds(),
+			Cases: cases, Seed: 2, CheckpointEvery: every,
+		}
+	}
+	want := Run(base())
+	if want.CasesRun != cases {
+		t.Fatalf("baseline ran %d cases, want %d", want.CasesRun, cases)
+	}
+
+	// Hooked run killed mid-campaign: the hook's file is the only
+	// checkpoint, and resuming from it completes identically.
+	dir := t.TempDir()
+	defaultPath := filepath.Join(dir, "default.json")
+	hookPath := filepath.Join(dir, "hook.json")
+	writes := 0
+	killCfg := base()
+	killCfg.Checkpoint = defaultPath
+	killCfg.WriteCheckpoint = func(st *State) error {
+		writes++
+		return WriteState(hookPath, st)
+	}
+	killCfg.Faults = faultinject.New(faultinject.Config{KillAtCheckpoints: []int{2}})
+	killed := Run(killCfg)
+	if killed.CasesRun != 2*every {
+		t.Fatalf("killed run accounted %d cases, want %d", killed.CasesRun, 2*every)
+	}
+	if writes != 2 {
+		t.Fatalf("hook saw %d writes before the kill, want 2", writes)
+	}
+	if _, err := os.Stat(defaultPath); !os.IsNotExist(err) {
+		t.Fatalf("default checkpoint path written despite hook (err %v)", err)
+	}
+	st, err := LoadState(hookPath)
+	if err != nil {
+		t.Fatalf("hook-persisted state unreadable: %v", err)
+	}
+	resumeCfg := base()
+	resumeCfg.Checkpoint = defaultPath
+	resumeCfg.WriteCheckpoint = func(s *State) error { return WriteState(hookPath, s) }
+	resumed, err := Resume(resumeCfg, st)
+	if err != nil {
+		t.Fatalf("resume from hook state: %v", err)
+	}
+	requireSameAccounting(t, "hooked kill+resume", want, resumed)
+
+	// A hook that always fails: checkpoint failures are counted, the
+	// campaign still completes, and the accounting is untouched — the
+	// hook shapes where state lands, never what the campaign finds.
+	failCfg := base()
+	failCfg.WriteCheckpoint = func(*State) error { return fmt.Errorf("fenced") }
+	failed := Run(failCfg)
+	if failed.CheckpointFailures == 0 {
+		t.Fatal("failing hook not accounted as checkpoint failures")
+	}
+	if failed.Checkpoints != 0 {
+		t.Fatalf("failing hook counted %d successful checkpoints", failed.Checkpoints)
+	}
+	requireSameAccounting(t, "failing hook", want, failed)
+}

@@ -76,6 +76,11 @@ func Handler(s *Supervisor) http.Handler {
 		case errors.Is(err, ErrTerminal):
 			writeError(w, http.StatusConflict, err.Error())
 		default:
+			var ph *PeerHeldError
+			if errors.As(err, &ph) {
+				writeError(w, http.StatusConflict, err.Error())
+				return
+			}
 			writeError(w, http.StatusInternalServerError, err.Error())
 		}
 	})
@@ -120,7 +125,24 @@ func Handler(s *Supervisor) http.Handler {
 		for _, st := range s.List() {
 			counts[st.State]++
 		}
-		writeJSONResponse(w, http.StatusOK, map[string]any{"ok": true, "jobs": counts})
+		resp := map[string]any{
+			"ok":   true,
+			"jobs": counts,
+			// The operator's view of this instance's lease health: its
+			// identity, how many jobs it holds, how often it self-fenced
+			// (non-zero means it keeps losing claims to peers), and how
+			// many jobs are parked in quarantine.
+			"instance": map[string]any{
+				"id":          s.Instance(),
+				"leases_held": s.LeasesHeld(),
+				"fences":      s.Fences(),
+				"quarantined": counts[StateQuarantined],
+			},
+		}
+		if warns := s.Warnings(); len(warns) > 0 {
+			resp["store_warnings"] = warns
+		}
+		writeJSONResponse(w, http.StatusOK, resp)
 	})
 	return mux
 }

@@ -275,6 +275,96 @@ func TestHandlerStream(t *testing.T) {
 	}
 }
 
+// TestHandlerHealthz pins the operator surface for multi-instance
+// stores: /healthz names the instance, its held-lease and self-fence
+// counts, the quarantine count, and surfaces LoadJobs warnings — and a
+// cancel of a job a live peer is running is a 409 naming the holder, not
+// a silent success or a 500.
+func TestHandlerHealthz(t *testing.T) {
+	clk := newFakeClock()
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stray directory in the store produces a startup warning both
+	// instances must surface.
+	if err := os.MkdirAll(filepath.Join(store.Root(), "jobs", "not-a-job"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := NewSupervisor(twoInstanceOptions(store, clk, "alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	created, err := a.Submit(Spec{Fuzzer: "COMFORT", Cases: 100000, Seed: 2, TestbedLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, _ := a.JobStatus(created.ID)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("alpha's job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if a.LeasesHeld() != 1 {
+		t.Fatalf("alpha holds %d leases, want 1", a.LeasesHeld())
+	}
+
+	// Beta serves the HTTP API over the same store; alpha's fresh lease
+	// makes the job a read-only mirror there.
+	_, ts := newTestServer(t, twoInstanceOptions(store, clk, "beta"))
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK       bool           `json:"ok"`
+		Jobs     map[string]int `json:"jobs"`
+		Instance struct {
+			ID          string `json:"id"`
+			LeasesHeld  int    `json:"leases_held"`
+			Fences      int64  `json:"fences"`
+			Quarantined int    `json:"quarantined"`
+		} `json:"instance"`
+		StoreWarnings []string `json:"store_warnings"`
+	}
+	decodeBody(t, resp, &health)
+	if !health.OK {
+		t.Fatalf("healthz not ok: %+v", health)
+	}
+	if health.Instance.ID != "beta" || health.Instance.LeasesHeld != 0 ||
+		health.Instance.Fences != 0 || health.Instance.Quarantined != 0 {
+		t.Fatalf("instance section %+v, want beta with no leases, fences or quarantine", health.Instance)
+	}
+	if health.Jobs[StateRunning] != 1 {
+		t.Fatalf("beta does not mirror the peer-run job: %+v", health.Jobs)
+	}
+	if len(health.StoreWarnings) != 1 || !strings.Contains(health.StoreWarnings[0], "not-a-job") {
+		t.Fatalf("store warnings %v, want one naming not-a-job", health.StoreWarnings)
+	}
+
+	// Cancelling alpha's running job through beta names the live holder.
+	resp = postJSON(t, ts.URL+"/jobs/"+created.ID+"/cancel", "")
+	var e map[string]any
+	code := resp.StatusCode
+	decodeBody(t, resp, &e)
+	if code != http.StatusConflict {
+		t.Fatalf("peer-held cancel: code %d (%v), want 409", code, e)
+	}
+	if msg, _ := e["error"].(string); !strings.Contains(msg, "alpha") {
+		t.Fatalf("409 does not name the holding instance: %v", e)
+	}
+	if err := a.CancelJob(created.ID); err != nil {
+		t.Fatalf("holder's own cancel: %v", err)
+	}
+}
+
 // TestStoreReconstruction unit-tests LoadJobs: sequence ordering, corrupt
 // directories skipped with warnings, missing statuses rebuilt from specs.
 func TestStoreReconstruction(t *testing.T) {

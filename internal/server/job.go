@@ -34,6 +34,9 @@ type Spec struct {
 	Cases  int    `json:"cases"`
 	Seed   int64  `json:"seed"`
 	Fuel   int64  `json:"fuel,omitempty"`
+	// Priority orders dispatch: higher runs first, ties break by
+	// submission order. Range [-100, 100]; 0 is the default.
+	Priority int `json:"priority,omitempty"`
 	// TestbedLimit restricts the campaign to the first N catalog testbeds
 	// (a deterministic subset); 0 means the full catalog. Small limits are
 	// the testing/CI shape.
@@ -67,6 +70,9 @@ func (sp *Spec) Validate() error {
 	}
 	if sp.Cases <= 0 {
 		return fmt.Errorf("cases must be positive, got %d", sp.Cases)
+	}
+	if sp.Priority < -100 || sp.Priority > 100 {
+		return fmt.Errorf("priority %d outside [-100, 100]", sp.Priority)
 	}
 	if sp.TestbedLimit < 0 || sp.TestbedLimit > len(engines.Testbeds()) {
 		return fmt.Errorf("testbed_limit %d outside [0, %d]", sp.TestbedLimit, len(engines.Testbeds()))
@@ -136,6 +142,10 @@ type Status struct {
 	// UpdatedAt is wall-clock metadata (RFC3339) stamped by the injected
 	// clock; empty when the supervisor runs clock-free (tests).
 	UpdatedAt string `json:"updated_at,omitempty"`
+	// Instance/Epoch record which instance last ran the job and under
+	// which fencing epoch — multi-instance provenance (see lease.go).
+	Instance string `json:"instance,omitempty"`
+	Epoch    int64  `json:"epoch,omitempty"`
 }
 
 // FindingRecord is one finding in a job's final accounting, by catalog

@@ -107,9 +107,13 @@ func readJSON(path string, v any) error {
 }
 
 // CreateJob persists a new job: its directory, spec and initial status.
+// The directory create is plain Mkdir, not MkdirAll: it doubles as the
+// cross-instance arbiter for sequence numbers — two instances submitting
+// concurrently cannot both create job-NNNNNN, the loser sees fs.ErrExist
+// and retries with the next sequence.
 func (s *Store) CreateJob(st Status, sp Spec) error {
 	dir := s.jobDir(st.ID)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.Mkdir(dir, 0o755); err != nil {
 		return err
 	}
 	if err := writeJSON(filepath.Join(dir, "spec.json"), sp); err != nil {

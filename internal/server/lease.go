@@ -57,9 +57,13 @@ const LeaseFormatVersion = 1
 type Lease struct {
 	Format   int    `json:"format"`
 	Instance string `json:"instance"`
-	// Epoch is the fencing counter: bumped by every takeover, never
-	// reused. A writer whose epoch is not the file's exact epoch has
-	// lost the claim.
+	// Epoch is the fencing counter, bumped by every takeover. Epochs are
+	// NOT globally unique on their own: two instances contesting the
+	// same expired lease both mint cur.Epoch+1, so arbitration rests on
+	// the {Instance, Epoch} pair — fencedWrite compares both, which is
+	// what keeps durable writes single-writer even when two takers
+	// transiently believe they hold the same epoch. A writer whose
+	// {instance, epoch} is not the file's exact pair has lost the claim.
 	Epoch int64 `json:"epoch"`
 	// DeadlineMS is the claim's expiry as Unix milliseconds on the
 	// store host's clock; renewals push it forward by the TTL.
@@ -223,9 +227,17 @@ func (s *Supervisor) claimJob(j *Job) error {
 		// Rename is last-writer-wins: confirm this takeover landed (a
 		// peer contesting the same expired lease may have renamed after
 		// us — its fence checks will agree it owns the job, ours won't).
-		chk, cerr := s.store.ReadLease(j.ID)
-		if cerr != nil || chk == nil || chk.Instance != next.Instance || chk.Epoch != next.Epoch {
-			return errLeaseBusy
+		// The confirm itself can race: a contender whose read lands
+		// before the rival's rename also believes it won, so two takers
+		// may transiently both run until the loser's first fenced write
+		// self-fences. Re-confirm once to shrink that window; the safety
+		// argument never rests on it — durable writes stay single-writer
+		// because fencedWrite compares the {instance, epoch} pair.
+		for confirm := 0; confirm < 2; confirm++ {
+			chk, cerr := s.store.ReadLease(j.ID)
+			if cerr != nil || chk == nil || chk.Instance != next.Instance || chk.Epoch != next.Epoch {
+				return errLeaseBusy
+			}
 		}
 	default:
 		// A live peer's fresh claim.
@@ -325,6 +337,17 @@ func (s *Supervisor) renewLeases() {
 		terminal := terminalState(j.status.State)
 		j.mu.Unlock()
 		if l == nil || terminal {
+			continue
+		}
+		if !l.fresh(s.now()) {
+			// Our own deadline passed without renewal — a peer may already
+			// be mid-takeover. Renewing anyway would reopen the classic
+			// read/write window: a stale holder waking between the peer's
+			// takeover read and write could rename its old-epoch record
+			// back over the fresh lease and silently steal ownership back.
+			// Self-fence instead; that narrows the steal-back window to
+			// the same microsecond rename race data writes already accept.
+			s.fenceJob(j)
 			continue
 		}
 		cur, err := s.store.ReadLease(j.ID)

@@ -20,6 +20,7 @@ import (
 	"io/fs"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -487,6 +488,14 @@ func (s *Supervisor) dispatch() {
 // QueueFullError rather than admitted to degrade running work. Sequence
 // numbers are arbitrated across instances by the job directory create —
 // a seq a peer claimed first is skipped and the next one tried.
+//
+// Persist first, publish second: the job enters s.jobs and the run
+// queue only after store.CreateJob has won the cross-instance seq
+// arbitration. Publishing before the directory create would open a
+// window where, during a seq collision, this instance's dispatcher
+// could claim a lease inside the peer-owned job-NNNNNN directory and
+// run a different spec there — or a stale retry goroutine could write
+// an unfenced status into it after the withdrawal.
 func (s *Supervisor) Submit(sp Spec) (Status, error) {
 	if err := sp.Validate(); err != nil {
 		return Status{}, err
@@ -512,34 +521,39 @@ func (s *Supervisor) Submit(sp Spec) (Status, error) {
 		j := &Job{ID: jobID(seq), Seq: seq, Spec: sp, hub: newHub()}
 		j.status = Status{ID: j.ID, Seq: seq, State: StateQueued, CasesTotal: sp.Cases}
 		s.stamp(&j.status)
-		s.jobs[j.ID] = j
-		s.order = append(s.order, j.ID)
-		s.enqueueLocked(j.ID)
 		s.mu.Unlock()
 
 		err := s.store.CreateJob(j.status, sp)
-		if err == nil {
-			s.kick()
-			return j.snapshot(), nil
-		}
-		// Withdraw the unpersisted job: admission without durability
-		// would silently break the crash-recovery contract.
-		s.mu.Lock()
-		delete(s.jobs, j.ID)
-		for i, id := range s.order {
-			if id == j.ID {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		s.dequeueLocked(j.ID)
-		s.mu.Unlock()
 		if errors.Is(err, fs.ErrExist) {
 			// A peer instance claimed this sequence number first; the
 			// next maintenance scan will adopt its job. Try the next seq.
 			continue
 		}
-		return Status{}, fmt.Errorf("persist job: %w", err)
+		if err != nil {
+			return Status{}, fmt.Errorf("persist job: %w", err)
+		}
+
+		s.mu.Lock()
+		if existing := s.jobs[j.ID]; existing != nil {
+			// The maintenance scan adopted this job from disk between the
+			// directory create and here — same job, keep the adopted entry
+			// (subscribers may already be attached to its hub).
+			s.mu.Unlock()
+			s.kick()
+			return existing.snapshot(), nil
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if n := len(s.order); n > 1 && s.jobs[s.order[n-2]].Seq > seq {
+			// A concurrent Submit with a higher seq persisted first; keep
+			// the listing in sequence order.
+			jobs := s.jobs
+			sort.Slice(s.order, func(a, b int) bool { return jobs[s.order[a]].Seq < jobs[s.order[b]].Seq })
+		}
+		s.enqueueLocked(j.ID)
+		s.mu.Unlock()
+		s.kick()
+		return j.snapshot(), nil
 	}
 }
 

@@ -2,6 +2,8 @@ package server
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -350,4 +352,77 @@ func TestTwoInstanceCrashRecoveryOracle(t *testing.T) {
 			t.Fatalf("stale instance rewrote the lease: %+v (err %v)", endLease, err)
 		}
 	})
+}
+
+// TestSubmitSeqCollisionNeverTouchesPeerDirectory pins Submit's
+// persist-first ordering: when this instance's candidate sequence number
+// collides with a job a peer created first, the losing attempt must
+// leave the peer-owned directory completely untouched — no lease, no
+// status overwrite, no checkpoint — because the job is published to the
+// dispatcher only after the directory create wins the arbitration.
+// (Publishing first used to open a window where the dispatcher could
+// lease the peer's directory and run a different spec inside it.)
+func TestSubmitSeqCollisionNeverTouchesPeerDirectory(t *testing.T) {
+	clk := newFakeClock()
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSupervisor(twoInstanceOptions(store, clk, "alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown()
+
+	// A peer wins seq 1 on the shared store after alpha booted, so
+	// alpha's in-memory nextSeq still points at 1.
+	peer := jobID(1)
+	peerSpec := Spec{Fuzzer: "COMFORT", Cases: 8, Seed: 99, TestbedLimit: 2}
+	peerStatus := Status{ID: peer, Seq: 1, State: StateQueued, CasesTotal: peerSpec.Cases}
+	if err := store.CreateJob(peerStatus, peerSpec); err != nil {
+		t.Fatal(err)
+	}
+	statusPath := filepath.Join(store.jobDir(peer), "status.json")
+	peerBytes, err := os.ReadFile(statusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.Submit(Spec{Fuzzer: "COMFORT", Cases: 16, Seed: 2, TestbedLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != jobID(2) {
+		t.Fatalf("submit returned %s, want %s (seq 1 belongs to the peer)", st.ID, jobID(2))
+	}
+	waitIdle(t, s)
+
+	// The losing attempt never surfaced: no job-000001 entry exists on
+	// alpha (the heartbeat is parked, so only Submit could have added
+	// one), and the peer directory holds exactly the peer's two files,
+	// byte-identical.
+	if _, ok := s.JobStatus(peer); ok {
+		t.Fatalf("losing submit published %s into the supervisor", peer)
+	}
+	if l, lerr := store.ReadLease(peer); lerr != nil || l != nil {
+		t.Fatalf("peer job was leased by the losing submit: %+v (err %v)", l, lerr)
+	}
+	entries, err := os.ReadDir(store.jobDir(peer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 || names[0] != "spec.json" || names[1] != "status.json" {
+		t.Fatalf("peer directory contents %v, want exactly [spec.json status.json]", names)
+	}
+	if got, _ := os.ReadFile(statusPath); !bytes.Equal(got, peerBytes) {
+		t.Fatalf("peer status rewritten by the losing submit:\n--- before\n%s\n--- after\n%s", peerBytes, got)
+	}
+	// The retried submission itself converged in its own directory.
+	if final, ok := s.JobStatus(st.ID); !ok || final.State != StateDone {
+		t.Fatalf("retried submission state %+v, want done", final)
+	}
 }
